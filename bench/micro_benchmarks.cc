@@ -1,0 +1,192 @@
+// google-benchmark micro-benchmarks for the substrate modules: the solver
+// and index costs that determine RBCAer's per-slot scheduling latency
+// (backs the paper's §V-D scalability discussion).
+#include <benchmark/benchmark.h>
+
+#include "cluster/content_distance.h"
+#include "cluster/hierarchical.h"
+#include "core/balance_graph.h"
+#include "core/rbcaer_scheme.h"
+#include "flow/dinic.h"
+#include "flow/mcmf.h"
+#include "geo/grid_index.h"
+#include "lp/simplex.h"
+#include "model/demand.h"
+#include "model/topsets.h"
+#include "stats/zipf.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+
+namespace {
+
+using namespace ccdn;
+
+FlowNetwork make_bipartite(Rng& rng, std::size_t side, double density) {
+  FlowNetwork net(2 + 2 * side);
+  for (std::size_t i = 0; i < side; ++i) {
+    (void)net.add_edge(0, static_cast<NodeId>(2 + i),
+                       rng.uniform_int(1, 100), 0.0);
+    (void)net.add_edge(static_cast<NodeId>(2 + side + i), 1,
+                       rng.uniform_int(1, 100), 0.0);
+  }
+  for (std::size_t i = 0; i < side; ++i) {
+    for (std::size_t j = 0; j < side; ++j) {
+      if (rng.chance(density)) {
+        (void)net.add_edge(static_cast<NodeId>(2 + i),
+                           static_cast<NodeId>(2 + side + j),
+                           rng.uniform_int(1, 50), rng.uniform(0.1, 5.0));
+      }
+    }
+  }
+  return net;
+}
+
+void BM_McmfSpfa(benchmark::State& state) {
+  Rng rng(1);
+  const FlowNetwork base =
+      make_bipartite(rng, static_cast<std::size_t>(state.range(0)), 0.2);
+  for (auto _ : state) {
+    FlowNetwork net = base;
+    benchmark::DoNotOptimize(
+        MinCostMaxFlow::solve(net, 0, 1, McmfStrategy::kSpfa));
+  }
+}
+BENCHMARK(BM_McmfSpfa)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_McmfDijkstra(benchmark::State& state) {
+  Rng rng(1);
+  const FlowNetwork base =
+      make_bipartite(rng, static_cast<std::size_t>(state.range(0)), 0.2);
+  for (auto _ : state) {
+    FlowNetwork net = base;
+    benchmark::DoNotOptimize(MinCostMaxFlow::solve(
+        net, 0, 1, McmfStrategy::kDijkstraPotentials));
+  }
+}
+BENCHMARK(BM_McmfDijkstra)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_DinicMaxflow(benchmark::State& state) {
+  Rng rng(2);
+  const FlowNetwork base =
+      make_bipartite(rng, static_cast<std::size_t>(state.range(0)), 0.2);
+  for (auto _ : state) {
+    FlowNetwork net = base;
+    benchmark::DoNotOptimize(Dinic::solve(net, 0, 1));
+  }
+}
+BENCHMARK(BM_DinicMaxflow)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_HierarchicalClustering(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  DistanceMatrix matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      matrix.set(i, j, rng.uniform(0.0, 1.0));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hierarchical_cluster(matrix, Linkage::kComplete, 0.5));
+  }
+}
+BENCHMARK(BM_HierarchicalClustering)->Arg(100)->Arg(310)->Arg(600);
+
+void BM_GridIndexNearest(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<GeoPoint> points;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    points.push_back({rng.uniform(40.0, 40.1), rng.uniform(116.4, 116.6)});
+  }
+  const GridIndex index(points, 0.5);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const GeoPoint query{40.0 + 0.1 * ((cursor * 37) % 100) / 100.0,
+                         116.4 + 0.2 * ((cursor * 91) % 100) / 100.0};
+    benchmark::DoNotOptimize(index.nearest(query));
+    ++cursor;
+  }
+}
+BENCHMARK(BM_GridIndexNearest)->Arg(310)->Arg(5000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 1.0);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(15190)->Arg(400000);
+
+void BM_SimplexSmallLp(benchmark::State& state) {
+  // Random dense LP with n variables and 2n constraints.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(6);
+  LpProblem problem;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    (void)problem.add_variable(rng.uniform(-1.0, 1.0));
+  }
+  for (std::uint32_t row = 0; row < 2 * n; ++row) {
+    LpConstraint c;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      c.terms.push_back({v, rng.uniform(0.0, 1.0)});
+    }
+    c.relation = Relation::kLessEq;
+    c.rhs = rng.uniform(1.0, 5.0);
+    problem.add_constraint(std::move(c));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimplexSolver().solve(problem));
+  }
+}
+BENCHMARK(BM_SimplexSmallLp)->Arg(10)->Arg(30)->Arg(60);
+
+/// Whole-slot planning cost for RBCAer at the paper's scale — the number
+/// behind Fig. 8's RBCAer bar.
+void BM_RbcaerPlanSlot(benchmark::State& state) {
+  World world = generate_world(WorldConfig::evaluation_region());
+  assign_uniform_capacities(world, 0.05, 0.03);
+  TraceConfig trace_config;
+  trace_config.num_requests = static_cast<std::size_t>(state.range(0));
+  const auto trace = generate_trace(world, trace_config);
+  const GridIndex index(world.hotspot_locations(), 0.5);
+  const SchemeContext context{world.hotspots(), index,
+                              VideoCatalog{world.config().num_videos},
+                              kCdnDistanceKm};
+  const SlotDemand demand(trace, index);
+  for (auto _ : state) {
+    RbcaerScheme scheme;
+    benchmark::DoNotOptimize(scheme.plan_slot(context, trace, demand));
+  }
+}
+BENCHMARK(BM_RbcaerPlanSlot)->Arg(50000)->Arg(212472)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SlotDemandAggregation(benchmark::State& state) {
+  World world = generate_world(WorldConfig::evaluation_region());
+  TraceConfig trace_config;
+  trace_config.num_requests = static_cast<std::size_t>(state.range(0));
+  const auto trace = generate_trace(world, trace_config);
+  const GridIndex index(world.hotspot_locations(), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SlotDemand(trace, index));
+  }
+}
+BENCHMARK(BM_SlotDemandAggregation)->Arg(50000)->Arg(212472)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopSets(benchmark::State& state) {
+  World world = generate_world(WorldConfig::evaluation_region());
+  TraceConfig trace_config;
+  const auto trace = generate_trace(world, trace_config);
+  const GridIndex index(world.hotspot_locations(), 0.5);
+  const SlotDemand demand(trace, index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(top_sets_per_hotspot(demand, 0.2));
+  }
+}
+BENCHMARK(BM_TopSets)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

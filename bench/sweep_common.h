@@ -1,0 +1,46 @@
+// Shared scaffolding for the Fig. 6 / Fig. 7 sweep benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/nearest_scheme.h"
+#include "core/random_scheme.h"
+#include "core/rbcaer_scheme.h"
+#include "sim/experiment.h"
+
+namespace ccdn::bench {
+
+/// The paper's three contenders (§V-A).
+inline std::vector<NamedSchemeFactory> paper_schemes() {
+  return {
+      {"RBCAer", [] { return std::make_unique<RbcaerScheme>(); }},
+      {"Nearest", [] { return std::make_unique<NearestScheme>(); }},
+      {"Random", [] { return std::make_unique<RandomScheme>(1.5); }},
+  };
+}
+
+/// Print one metric as a (parameter x scheme) table.
+inline void print_metric_table(const char* title,
+                               const std::vector<SweepPoint>& points,
+                               const std::vector<NamedSchemeFactory>& schemes,
+                               double SweepPoint::* metric,
+                               const char* parameter_name) {
+  std::printf("\n-- %s --\n", title);
+  std::printf("%-10s", parameter_name);
+  for (const auto& scheme : schemes) {
+    std::printf(" %12s", scheme.label.c_str());
+  }
+  std::printf("\n");
+  // Points arrive grouped by parameter, schemes in factory order.
+  for (std::size_t i = 0; i < points.size(); i += schemes.size()) {
+    std::printf("%-9.2f%%", points[i].parameter * 100.0);
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      std::printf(" %12.3f", points[i + s].*metric);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace ccdn::bench

@@ -1,0 +1,79 @@
+// The deployable component: an online ScheduleServer that forecasts demand,
+// plans placements with RBCAer at every slot boundary, and routes requests
+// one at a time as they arrive — then compares the result against the
+// batch oracle pipeline to show the price of going online.
+//
+//   ./scheduler_daemon [--hours=48] [--requests=400000]
+#include <cstdio>
+
+#include "core/rbcaer_scheme.h"
+#include "core/schedule_server.h"
+#include "geo/geo_point.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace ccdn;
+  const Flags flags(argc, argv);
+
+  World world = generate_world(WorldConfig::evaluation_region());
+  // Hourly slots: per-slot capacity is the daily budget / 12.
+  assign_uniform_capacities(world, 0.05 / 12.0, 0.03);
+  TraceConfig trace_config;
+  trace_config.duration_hours =
+      static_cast<std::size_t>(flags.get_int("hours", 48));
+  trace_config.num_requests =
+      static_cast<std::size_t>(flags.get_int("requests", 400000));
+  const auto trace = generate_trace(world, trace_config);
+  const VideoCatalog catalog{world.config().num_videos};
+
+  std::printf("online scheduling server demo: %zu requests over %zu h\n\n",
+              trace.size(), trace_config.duration_hours);
+
+  // --- Online: forecast -> plan -> route one request at a time. ---
+  RbcaerScheme online_scheme;
+  MovingAverageForecaster forecaster(6);
+  ScheduleServerConfig server_config;
+  server_config.slot_seconds = 3600;
+  ScheduleServer server(world.hotspots(), catalog, online_scheme, forecaster,
+                        server_config);
+  std::size_t served = 0;
+  double distance_sum = 0.0;
+  for (const Request& request : trace) {
+    const HotspotIndex target = server.route(request);
+    if (target == kCdnServer) {
+      distance_sum += kCdnDistanceKm;
+    } else {
+      ++served;
+      distance_sum +=
+          distance_km(request.location, world.hotspots()[target].location);
+    }
+  }
+  const double n = static_cast<double>(trace.size());
+  std::printf("%-22s serving=%.3f dist=%.2fkm repl=%.2f cdn_load=%.3f "
+              "(%zu slots planned)\n",
+              "online (forecast)", served / n, distance_sum / n,
+              static_cast<double>(server.replicas_pushed()) /
+                  catalog.num_videos,
+              ((n - served) + static_cast<double>(server.replicas_pushed())) /
+                  n,
+              server.slots_planned());
+
+  // --- Batch oracle: the paper's pipeline on the same trace. ---
+  SimulationConfig sim_config;
+  sim_config.slot_seconds = 3600;
+  const Simulator simulator(world.hotspots(), catalog, sim_config);
+  RbcaerScheme batch_scheme;
+  const auto report = simulator.run(batch_scheme, trace);
+  std::printf("%-22s serving=%.3f dist=%.2fkm repl=%.2f cdn_load=%.3f\n",
+              "batch (oracle)", report.serving_ratio(),
+              report.average_distance_km(), report.replication_cost(),
+              report.cdn_server_load());
+
+  std::printf("\nthe gap between the rows is the price of forecasting and "
+              "greedy online routing versus planning with the slot's "
+              "observed demand.\n");
+  return 0;
+}

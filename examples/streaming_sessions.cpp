@@ -1,0 +1,58 @@
+// Session-level simulation: the slotted planner under concurrent-stream
+// admission. Shows that RBCAer's advantage is not an artifact of the
+// per-slot request-count capacity model.
+//
+//   ./streaming_sessions [--median_minutes=12] [--concurrency=0.25]
+#include <cstdio>
+
+#include "core/nearest_scheme.h"
+#include "core/random_scheme.h"
+#include "core/rbcaer_scheme.h"
+#include "sim/streaming.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace ccdn;
+  const Flags flags(argc, argv);
+
+  World world = generate_world(WorldConfig::evaluation_region());
+  // Hourly planning slots: the paper's 5% service capacity is a *daily*
+  // budget, so the per-slot equivalent is ~1/12 of it.
+  assign_uniform_capacities(world, flags.get_double("capacity", 0.05 / 12.0),
+                            flags.get_double("cache", 0.03));
+  TraceConfig trace_config;
+  const auto trace = generate_trace(world, trace_config);
+  const auto sessions = attach_durations(
+      trace, flags.get_double("median_minutes", 12.0));
+
+  StreamingConfig config;
+  config.slot_seconds = 3600;
+  config.concurrency_factor = flags.get_double("concurrency", 0.5);
+
+  std::printf("session-level simulation: %zu sessions, median watch time "
+              "%.0f min, %.2f streams per capacity unit\n\n",
+              sessions.size(), flags.get_double("median_minutes", 12.0),
+              config.concurrency_factor);
+  std::printf("%-18s %10s %10s %10s %10s %12s\n", "scheme", "serving",
+              "dist(km)", "repl", "cdn_load", "peak_conc");
+
+  NearestScheme nearest;
+  RandomScheme random_scheme(1.5);
+  RbcaerScheme rbcaer;
+  for (RedirectionScheme* scheme :
+       {static_cast<RedirectionScheme*>(&nearest),
+        static_cast<RedirectionScheme*>(&random_scheme),
+        static_cast<RedirectionScheme*>(&rbcaer)}) {
+    const auto report =
+        run_streaming(world.hotspots(),
+                      VideoCatalog{world.config().num_videos}, *scheme,
+                      sessions, config);
+    std::printf("%-18s %10.3f %10.2f %10.2f %10.3f %12zu\n",
+                scheme->name().c_str(), report.serving_ratio(),
+                report.average_distance_km(), report.replication_cost(),
+                report.cdn_server_load(), report.peak_concurrency);
+  }
+  return 0;
+}

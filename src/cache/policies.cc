@@ -1,0 +1,120 @@
+#include "cache/policies.h"
+
+#include "util/error.h"
+
+namespace ccdn {
+
+VideoCache::VideoCache(std::size_t capacity) : capacity_(capacity) {
+  CCDN_REQUIRE(capacity >= 1, "cache capacity must be positive");
+}
+
+// --- LRU ---
+
+bool LruCache::access(VideoId video) {
+  const auto it = map_.find(video);
+  if (it == map_.end()) return false;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+bool LruCache::contains(VideoId video) const { return map_.count(video) > 0; }
+
+std::optional<VideoId> LruCache::insert(VideoId video) {
+  if (map_.count(video)) return std::nullopt;
+  std::optional<VideoId> evicted;
+  if (map_.size() == capacity_) {
+    evicted = order_.back();
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(video);
+  map_[video] = order_.begin();
+  return evicted;
+}
+
+// --- FIFO ---
+
+bool FifoCache::access(VideoId video) { return map_.count(video) > 0; }
+
+bool FifoCache::contains(VideoId video) const {
+  return map_.count(video) > 0;
+}
+
+std::optional<VideoId> FifoCache::insert(VideoId video) {
+  if (map_.count(video)) return std::nullopt;
+  std::optional<VideoId> evicted;
+  if (map_.size() == capacity_) {
+    evicted = order_.front();
+    map_.erase(order_.front());
+    order_.pop_front();
+  }
+  order_.push_back(video);
+  map_[video] = std::prev(order_.end());
+  return evicted;
+}
+
+// --- LFU ---
+
+void LfuCache::bump(VideoId video, Entry& entry) {
+  auto& old_bucket = buckets_[entry.frequency];
+  old_bucket.erase(entry.position);
+  if (old_bucket.empty()) {
+    buckets_.erase(entry.frequency);
+    if (min_frequency_ == entry.frequency) ++min_frequency_;
+  }
+  ++entry.frequency;
+  auto& new_bucket = buckets_[entry.frequency];
+  new_bucket.push_front(video);
+  entry.position = new_bucket.begin();
+}
+
+bool LfuCache::access(VideoId video) {
+  const auto it = entries_.find(video);
+  if (it == entries_.end()) return false;
+  bump(video, it->second);
+  return true;
+}
+
+bool LfuCache::contains(VideoId video) const {
+  return entries_.count(video) > 0;
+}
+
+std::optional<VideoId> LfuCache::insert(VideoId video) {
+  if (entries_.count(video)) return std::nullopt;
+  std::optional<VideoId> evicted;
+  if (entries_.size() == capacity_) {
+    auto& bucket = buckets_.at(min_frequency_);
+    const VideoId victim = bucket.back();  // LRU within the min bucket
+    bucket.pop_back();
+    if (bucket.empty()) buckets_.erase(min_frequency_);
+    entries_.erase(victim);
+    evicted = victim;
+  }
+  auto& bucket = buckets_[1];
+  bucket.push_front(video);
+  entries_[video] = Entry{1, bucket.begin()};
+  min_frequency_ = 1;
+  return evicted;
+}
+
+// --- factory ---
+
+VideoCachePtr make_cache(CachePolicy policy, std::size_t capacity) {
+  switch (policy) {
+    case CachePolicy::kLru: return std::make_unique<LruCache>(capacity);
+    case CachePolicy::kFifo: return std::make_unique<FifoCache>(capacity);
+    case CachePolicy::kLfu: return std::make_unique<LfuCache>(capacity);
+  }
+  throw PreconditionError("unknown cache policy");
+}
+
+const char* cache_policy_name(CachePolicy policy) noexcept {
+  switch (policy) {
+    case CachePolicy::kLru: return "LRU";
+    case CachePolicy::kFifo: return "FIFO";
+    case CachePolicy::kLfu: return "LFU";
+  }
+  return "?";
+}
+
+}  // namespace ccdn

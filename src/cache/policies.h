@@ -1,0 +1,108 @@
+// Reactive cache-eviction policies.
+//
+// The paper's hotspots *prefetch* content chosen by the scheduler. The
+// natural alternative a practitioner would reach for first is reactive
+// caching: fetch on miss, evict by LRU/LFU/FIFO. This module provides those
+// policies so the benchmark suite can quantify what centralized prefetching
+// buys (it is also what the cited smartrouter measurements [7] compare
+// against).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "model/types.h"
+
+namespace ccdn {
+
+/// A fixed-capacity video cache with a pluggable replacement policy.
+/// All operations are O(1) (LRU/FIFO) or O(log n) (LFU).
+class VideoCache {
+ public:
+  virtual ~VideoCache() = default;
+
+  [[nodiscard]] virtual std::string policy_name() const = 0;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// True if the video is cached; counts as a reference for the policy.
+  [[nodiscard]] virtual bool access(VideoId video) = 0;
+
+  /// True if cached, without touching recency/frequency state.
+  [[nodiscard]] virtual bool contains(VideoId video) const = 0;
+
+  /// Insert after a miss; returns the evicted video, if any. Inserting a
+  /// present video is a no-op (returns nullopt).
+  virtual std::optional<VideoId> insert(VideoId video) = 0;
+
+ protected:
+  explicit VideoCache(std::size_t capacity);
+  std::size_t capacity_;
+};
+
+using VideoCachePtr = std::unique_ptr<VideoCache>;
+
+/// Least-recently-used.
+class LruCache final : public VideoCache {
+ public:
+  explicit LruCache(std::size_t capacity) : VideoCache(capacity) {}
+  [[nodiscard]] std::string policy_name() const override { return "LRU"; }
+  [[nodiscard]] std::size_t size() const override { return map_.size(); }
+  [[nodiscard]] bool access(VideoId video) override;
+  [[nodiscard]] bool contains(VideoId video) const override;
+  std::optional<VideoId> insert(VideoId video) override;
+
+ private:
+  std::list<VideoId> order_;  // front = most recent
+  std::unordered_map<VideoId, std::list<VideoId>::iterator> map_;
+};
+
+/// First-in first-out (no recency update on hit).
+class FifoCache final : public VideoCache {
+ public:
+  explicit FifoCache(std::size_t capacity) : VideoCache(capacity) {}
+  [[nodiscard]] std::string policy_name() const override { return "FIFO"; }
+  [[nodiscard]] std::size_t size() const override { return map_.size(); }
+  [[nodiscard]] bool access(VideoId video) override;
+  [[nodiscard]] bool contains(VideoId video) const override;
+  std::optional<VideoId> insert(VideoId video) override;
+
+ private:
+  std::list<VideoId> order_;  // front = oldest
+  std::unordered_map<VideoId, std::list<VideoId>::iterator> map_;
+};
+
+/// Least-frequently-used with LRU tie-breaking (classic O(1) LFU buckets).
+class LfuCache final : public VideoCache {
+ public:
+  explicit LfuCache(std::size_t capacity) : VideoCache(capacity) {}
+  [[nodiscard]] std::string policy_name() const override { return "LFU"; }
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] bool access(VideoId video) override;
+  [[nodiscard]] bool contains(VideoId video) const override;
+  std::optional<VideoId> insert(VideoId video) override;
+
+ private:
+  struct Entry {
+    std::uint64_t frequency = 1;
+    std::list<VideoId>::iterator position;  // within its frequency bucket
+  };
+  void bump(VideoId video, Entry& entry);
+
+  std::unordered_map<VideoId, Entry> entries_;
+  // frequency -> LRU list of videos at that frequency (front = most recent)
+  std::unordered_map<std::uint64_t, std::list<VideoId>> buckets_;
+  std::uint64_t min_frequency_ = 0;
+};
+
+enum class CachePolicy { kLru, kFifo, kLfu };
+
+[[nodiscard]] VideoCachePtr make_cache(CachePolicy policy,
+                                       std::size_t capacity);
+[[nodiscard]] const char* cache_policy_name(CachePolicy policy) noexcept;
+
+}  // namespace ccdn

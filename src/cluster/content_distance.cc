@@ -1,0 +1,19 @@
+#include "cluster/content_distance.h"
+
+#include "stats/correlation.h"
+
+namespace ccdn {
+
+DistanceMatrix content_distance_matrix(
+    std::span<const std::vector<VideoId>> top_sets) {
+  DistanceMatrix matrix(top_sets.size());
+  for (std::size_t i = 0; i < top_sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < top_sets.size(); ++j) {
+      const double similarity = jaccard_similarity(top_sets[i], top_sets[j]);
+      matrix.set(i, j, 1.0 - similarity);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace ccdn

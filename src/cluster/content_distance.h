@@ -1,0 +1,20 @@
+// Content-aware distance between hotspots (paper Eq. 13):
+//   Jd(i, j) = 1 − Jaccard(V_i, V_j)
+// where V_i is hotspot i's Top-20% requested-video set.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/hierarchical.h"
+#include "model/types.h"
+
+namespace ccdn {
+
+/// Build the pairwise Jd matrix from per-hotspot content sets (each sorted
+/// ascending by video id). Hotspots with empty sets are at distance 1 from
+/// everything (no overlap evidence).
+[[nodiscard]] DistanceMatrix content_distance_matrix(
+    std::span<const std::vector<VideoId>> top_sets);
+
+}  // namespace ccdn

@@ -1,0 +1,167 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+DistanceMatrix::DistanceMatrix(std::size_t n)
+    : n_(n), data_(n < 2 ? 0 : n * (n - 1) / 2, 0.0) {}
+
+std::size_t DistanceMatrix::slot(std::size_t i, std::size_t j) const {
+  CCDN_REQUIRE(i < n_ && j < n_ && i != j, "bad index pair");
+  if (i > j) std::swap(i, j);
+  // Condensed index of (i, j), i < j.
+  return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+}
+
+double DistanceMatrix::at(std::size_t i, std::size_t j) const {
+  if (i == j) return 0.0;
+  return data_[slot(i, j)];
+}
+
+void DistanceMatrix::set(std::size_t i, std::size_t j, double distance) {
+  CCDN_REQUIRE(distance >= 0.0, "negative distance");
+  data_[slot(i, j)] = distance;
+}
+
+namespace {
+
+/// Lance-Williams update for the distance between a freshly merged cluster
+/// (a ∪ b) and another cluster k.
+double merged_distance(Linkage linkage, double d_ak, double d_bk,
+                       std::size_t size_a, std::size_t size_b) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(d_ak, d_bk);
+    case Linkage::kComplete:
+      return std::max(d_ak, d_bk);
+    case Linkage::kAverage: {
+      const double wa = static_cast<double>(size_a);
+      const double wb = static_cast<double>(size_b);
+      return (wa * d_ak + wb * d_bk) / (wa + wb);
+    }
+  }
+  return std::max(d_ak, d_bk);
+}
+
+}  // namespace
+
+ClusteringResult hierarchical_cluster(const DistanceMatrix& distances,
+                                      Linkage linkage, double threshold) {
+  const std::size_t n = distances.size();
+  ClusteringResult result;
+  if (n == 0) return result;
+
+  // Working distance matrix over active clusters, full square for O(1)
+  // updates (n is hotspot-count scale, a few hundred to a few thousand).
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      dist[i][j] = dist[j][i] = distances.at(i, j);
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> cluster_size(n, 1);
+  // Dendrogram node id currently represented by each active slot.
+  std::vector<std::uint32_t> node_id(n);
+  std::iota(node_id.begin(), node_id.end(), 0u);
+
+  // Nearest-neighbour cache per active slot; amortizes the min search.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> nn(n, 0);
+  std::vector<double> nn_dist(n, kInf);
+  const auto recompute_nn = [&](std::size_t i) {
+    nn_dist[i] = kInf;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || !active[j]) continue;
+      if (dist[i][j] < nn_dist[i]) {
+        nn_dist[i] = dist[i][j];
+        nn[i] = j;
+      }
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) recompute_nn(i);
+
+  std::size_t active_count = n;
+  std::uint32_t next_node = static_cast<std::uint32_t>(n);
+  while (active_count > 1) {
+    // Global closest pair from the caches.
+    std::size_t best_i = n;
+    double best = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i] && nn_dist[i] < best) {
+        best = nn_dist[i];
+        best_i = i;
+      }
+    }
+    if (best_i == n || best > threshold) break;
+    const std::size_t a = best_i;
+    const std::size_t b = nn[a];
+    CCDN_ENSURE(active[a] && active[b] && a != b, "stale nearest neighbour");
+
+    result.merges.push_back({node_id[a], node_id[b], best});
+    // Merge b into a.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == a || k == b) continue;
+      const double d = merged_distance(linkage, dist[a][k], dist[b][k],
+                                       cluster_size[a], cluster_size[b]);
+      dist[a][k] = dist[k][a] = d;
+    }
+    active[b] = false;
+    cluster_size[a] += cluster_size[b];
+    node_id[a] = next_node++;
+    --active_count;
+
+    // Refresh caches invalidated by the merge.
+    recompute_nn(a);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == a) continue;
+      if (nn[k] == a || nn[k] == b) {
+        recompute_nn(k);
+      } else if (dist[k][a] < nn_dist[k]) {
+        nn[k] = a;
+        nn_dist[k] = dist[k][a];
+      }
+    }
+  }
+
+  // Flatten: union-find over the merge history restricted to <= threshold
+  // (all recorded merges qualify by construction).
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](std::uint32_t x) -> std::uint32_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  // Map dendrogram node id -> representative leaf.
+  std::vector<std::uint32_t> rep(n + result.merges.size());
+  std::iota(rep.begin(), rep.begin() + static_cast<std::ptrdiff_t>(n), 0u);
+  for (std::size_t s = 0; s < result.merges.size(); ++s) {
+    const auto& merge = result.merges[s];
+    const std::uint32_t ra = find(rep[merge.left]);
+    const std::uint32_t rb = find(rep[merge.right]);
+    parent[rb] = ra;
+    rep[n + s] = ra;
+  }
+
+  result.labels.assign(n, 0);
+  std::vector<std::int64_t> label_of_root(n, -1);
+  std::uint32_t next_label = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t root = find(static_cast<std::uint32_t>(i));
+    if (label_of_root[root] < 0) label_of_root[root] = next_label++;
+    result.labels[i] = static_cast<std::uint32_t>(label_of_root[root]);
+  }
+  result.num_clusters = next_label;
+  return result;
+}
+
+}  // namespace ccdn

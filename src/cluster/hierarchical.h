@@ -1,0 +1,56 @@
+// Agglomerative hierarchical clustering (paper §IV-B, citing Johnson 1967).
+//
+// RBCAer clusters hotspots by content-aware distance Jd = 1 − Jaccard and
+// cuts the dendrogram so that no two members of a cluster are farther apart
+// than 0.5 (complete linkage realizes that guarantee exactly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ccdn {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+/// Symmetric pairwise distances with condensed upper-triangle storage.
+/// Diagonal is implicitly zero.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+  void set(std::size_t i, std::size_t j, double distance);
+
+ private:
+  [[nodiscard]] std::size_t slot(std::size_t i, std::size_t j) const;
+
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// One merge step of the dendrogram (children may be leaves [0,n) or prior
+/// merges [n, n+step)).
+struct MergeStep {
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+  double distance = 0.0;
+};
+
+struct ClusteringResult {
+  /// Cluster label per item, 0..num_clusters-1, labelled by order of first
+  /// member.
+  std::vector<std::uint32_t> labels;
+  std::size_t num_clusters = 0;
+  /// Full merge history (useful for dendrogram inspection in tests).
+  std::vector<MergeStep> merges;
+};
+
+/// Cluster items, merging while the linkage distance is <= threshold.
+/// With complete linkage this guarantees every intra-cluster pairwise
+/// distance is <= threshold (the paper's Jd <= 0.5 rule).
+[[nodiscard]] ClusteringResult hierarchical_cluster(
+    const DistanceMatrix& distances, Linkage linkage, double threshold);
+
+}  // namespace ccdn

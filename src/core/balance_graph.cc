@@ -1,0 +1,236 @@
+#include "core/balance_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "geo/geo_point.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+HotspotPartition HotspotPartition::from_loads(
+    std::span<const Hotspot> hotspots, std::span<const std::uint32_t> loads) {
+  CCDN_REQUIRE(hotspots.size() == loads.size(),
+               "hotspot/load count mismatch");
+  HotspotPartition partition;
+  partition.phi.assign(hotspots.size(), 0);
+  for (std::size_t h = 0; h < hotspots.size(); ++h) {
+    const auto capacity =
+        static_cast<std::int64_t>(hotspots[h].service_capacity);
+    const auto load = static_cast<std::int64_t>(loads[h]);
+    if (load > capacity) {
+      partition.overloaded.push_back(static_cast<std::uint32_t>(h));
+      partition.phi[h] = load - capacity;
+    } else if (load < capacity) {
+      partition.underutilized.push_back(static_cast<std::uint32_t>(h));
+      partition.phi[h] = capacity - load;
+    }
+  }
+  return partition;
+}
+
+std::int64_t HotspotPartition::max_movable() const {
+  std::int64_t out = 0;
+  std::int64_t in = 0;
+  for (const auto i : overloaded) out += phi[i];
+  for (const auto j : underutilized) in += phi[j];
+  return std::min(out, in);
+}
+
+std::vector<CandidateEdge> candidate_edges(std::span<const Hotspot> hotspots,
+                                           const HotspotPartition& partition,
+                                           double radius_km) {
+  CCDN_REQUIRE(radius_km >= 0.0, "negative radius");
+  std::vector<CandidateEdge> edges;
+  // O(|Hs| · |Ht|) pair scan; both sets are fractions of the hotspot count,
+  // and this runs once per slot (the per-θ filters reuse the result).
+  for (const auto i : partition.overloaded) {
+    for (const auto j : partition.underutilized) {
+      const double d =
+          distance_km(hotspots[i].location, hotspots[j].location);
+      if (d < radius_km) edges.push_back({i, j, d});
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+/// Shared scaffolding: nodes for source, sink, and every hotspot that has
+/// remaining slack, plus the source/sink arcs.
+struct Scaffold {
+  BalanceGraph graph;
+  std::unordered_map<std::uint32_t, NodeId> node_of;
+};
+
+Scaffold build_scaffold(const HotspotPartition& partition) {
+  Scaffold s;
+  s.graph.net = FlowNetwork(2);
+  s.graph.source = 0;
+  s.graph.sink = 1;
+  for (const auto i : partition.overloaded) {
+    if (partition.phi[i] <= 0) continue;
+    const NodeId node = s.graph.net.add_node();
+    s.node_of.emplace(i, node);
+    (void)s.graph.net.add_edge(s.graph.source, node, partition.phi[i], 0.0);
+  }
+  for (const auto j : partition.underutilized) {
+    if (partition.phi[j] <= 0) continue;
+    const NodeId node = s.graph.net.add_node();
+    s.node_of.emplace(j, node);
+    (void)s.graph.net.add_edge(node, s.graph.sink, partition.phi[j], 0.0);
+  }
+  return s;
+}
+
+/// Candidates filtered to d < θ with both endpoints still having slack.
+std::vector<CandidateEdge> live_candidates(
+    const HotspotPartition& partition,
+    std::span<const CandidateEdge> candidates, double theta_km) {
+  std::vector<CandidateEdge> live;
+  for (const auto& c : candidates) {
+    if (c.distance_km < theta_km && partition.phi[c.from] > 0 &&
+        partition.phi[c.to] > 0) {
+      live.push_back(c);
+    }
+  }
+  return live;
+}
+
+}  // namespace
+
+BalanceGraph build_gd(const HotspotPartition& partition,
+                      std::span<const CandidateEdge> candidates,
+                      double theta_km) {
+  Scaffold s = build_scaffold(partition);
+  for (const auto& c : live_candidates(partition, candidates, theta_km)) {
+    const std::int64_t cap =
+        std::min(partition.phi[c.from], partition.phi[c.to]);
+    const EdgeId e = s.graph.net.add_edge(s.node_of.at(c.from),
+                                          s.node_of.at(c.to), cap,
+                                          c.distance_km);
+    s.graph.pair_edges.push_back({c.from, c.to, e});
+  }
+  return std::move(s.graph);
+}
+
+BalanceGraph build_gc(const HotspotPartition& partition,
+                      std::span<const CandidateEdge> candidates,
+                      double theta_km,
+                      std::span<const std::uint32_t> cluster_of,
+                      const GuideOptions& options) {
+  CCDN_REQUIRE(options.fill_threshold >= 0.0, "negative fill threshold");
+  Scaffold s = build_scaffold(partition);
+  const auto live = live_candidates(partition, candidates, theta_km);
+
+  // Group candidate senders of each under-utilized hotspot by cluster:
+  // H_jk = { i ∈ SinktoSource(j) : i ∈ P_k }.
+  struct Group {
+    std::vector<const CandidateEdge*> members;
+    std::int64_t phi_sum = 0;  // Σ φ_ij
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Group> groups;  // (j,k)
+  for (const auto& c : live) {
+    CCDN_REQUIRE(c.from < cluster_of.size() && c.to < cluster_of.size(),
+                 "cluster labels do not cover all hotspots");
+    Group& group = groups[{c.to, cluster_of[c.from]}];
+    group.members.push_back(&c);
+    group.phi_sum += std::min(partition.phi[c.from], partition.phi[c.to]);
+  }
+
+  // Decide which groups get a guide node, and gather the raw guide costs
+  // for the unit normalization.
+  std::vector<double> direct_distances;
+  std::vector<double> raw_guide_costs;
+  std::vector<const Group*> guided;
+  std::vector<bool> is_guided;
+  is_guided.reserve(groups.size());
+  for (const auto& [key, group] : groups) {
+    const auto [j, k] = key;
+    const bool fills_enough =
+        static_cast<double>(group.phi_sum) >=
+        options.fill_threshold * static_cast<double>(partition.phi[j]);
+    const bool own_cluster = cluster_of[j] == k;
+    const bool guide = fills_enough || own_cluster;
+    is_guided.push_back(guide);
+    if (guide) {
+      guided.push_back(&group);
+      raw_guide_costs.push_back(static_cast<double>(group.phi_sum) /
+                                static_cast<double>(group.members.size()));
+    } else {
+      for (const CandidateEdge* c : group.members) {
+        direct_distances.push_back(c->distance_km);
+      }
+    }
+  }
+
+  // Paper Eq. (§IV-B): guide cost = Σφ_ij / ‖H_jk‖, which is in request
+  // units while direct edges cost km. auto_scale maps the raw costs into
+  // the distance range (median-to-median) so MCMF actually trades the two
+  // off; cost_scale then biases toward (<1) or away from (>1) guides.
+  double scale = options.cost_scale;
+  if (options.auto_scale && !raw_guide_costs.empty()) {
+    auto median_of = [](std::vector<double> v) {
+      std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
+                       v.end());
+      return v[v.size() / 2];
+    };
+    const double median_raw = median_of(raw_guide_costs);
+    const double median_direct =
+        direct_distances.empty() ? theta_km / 2.0
+                                 : median_of(direct_distances);
+    if (median_raw > 0.0) {
+      scale *= 0.5 * median_direct / median_raw;
+    }
+  }
+
+  std::size_t group_index = 0;
+  for (const auto& [key, group] : groups) {
+    const auto j = key.first;
+    if (!is_guided[group_index++]) {
+      for (const CandidateEdge* c : group.members) {
+        const std::int64_t cap =
+            std::min(partition.phi[c->from], partition.phi[c->to]);
+        const EdgeId e =
+            s.graph.net.add_edge(s.node_of.at(c->from), s.node_of.at(c->to),
+                                 cap, c->distance_km);
+        s.graph.pair_edges.push_back({c->from, c->to, e});
+      }
+      continue;
+    }
+    // Guide node n_kj: members connect at zero cost; the aggregate edge to
+    // j carries the (scaled) paper cost and is clamped to j's slack.
+    const NodeId guide_node = s.graph.net.add_node();
+    ++s.graph.num_guide_nodes;
+    const double raw_cost = static_cast<double>(group.phi_sum) /
+                            static_cast<double>(group.members.size());
+    for (const CandidateEdge* c : group.members) {
+      const std::int64_t cap =
+          std::min(partition.phi[c->from], partition.phi[c->to]);
+      const EdgeId e =
+          s.graph.net.add_edge(s.node_of.at(c->from), guide_node, cap, 0.0);
+      s.graph.pair_edges.push_back({c->from, c->to, e});
+    }
+    (void)s.graph.net.add_edge(guide_node, s.node_of.at(j),
+                               std::min(group.phi_sum, partition.phi[j]),
+                               scale * raw_cost);
+  }
+  return std::move(s.graph);
+}
+
+std::vector<FlowEntry> extract_flows(const BalanceGraph& graph) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> merged;
+  for (const auto& pair : graph.pair_edges) {
+    const std::int64_t f = graph.net.flow(pair.edge);
+    if (f > 0) merged[{pair.from, pair.to}] += f;
+  }
+  std::vector<FlowEntry> entries;
+  entries.reserve(merged.size());
+  for (const auto& [key, amount] : merged) {
+    entries.push_back({key.first, key.second, amount});
+  }
+  return entries;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,50 @@
+#include "core/lp_scheme.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+LpScheme::LpScheme(Options options) : options_(options) {
+  CCDN_REQUIRE(options_.alpha >= 0.0 && options_.beta >= 0.0,
+               "negative objective weights");
+}
+
+SlotPlan LpScheme::plan_slot(const SchemeContext& context,
+                             std::span<const Request> requests,
+                             const SlotDemand& demand) {
+  CCDN_REQUIRE(demand.num_hotspots() == context.hotspots.size(),
+               "demand/hotspot count mismatch");
+  CCDN_REQUIRE(requests.size() <= options_.max_requests,
+               "slot too large for the LP-based scheme; sample it first");
+
+  UInstance instance;
+  instance.alpha = options_.alpha;
+  instance.beta = options_.beta;
+  instance.cdn_distance_km = context.cdn_distance_km;
+  instance.hotspots = context.hotspots;
+  instance.request_locations.reserve(requests.size());
+  instance.request_videos.reserve(requests.size());
+  for (const Request& r : requests) {
+    instance.request_locations.push_back(r.location);
+    instance.request_videos.push_back(r.video);
+  }
+
+  const ULp lp = build_u_relaxation(instance);
+  const LpSolution solution = SimplexSolver(options_.simplex).solve(lp.problem);
+  last_iterations_ = solution.iterations;
+  if (solution.status != LpStatus::kOptimal &&
+      solution.status != LpStatus::kIterationLimit) {
+    throw SolverError("LP relaxation unsolvable for slot");
+  }
+  const USchedule schedule =
+      round_u_solution(instance, lp.vars, solution.values);
+
+  SlotPlan plan;
+  plan.placements = schedule.placements;
+  plan.assignment = schedule.assignment;
+  return plan;
+}
+
+}  // namespace ccdn

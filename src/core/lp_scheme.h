@@ -1,0 +1,46 @@
+// LP-based baseline (paper §V-D, Fig. 8).
+//
+// Solves the LP relaxation of problem (U) for the slot with the built-in
+// simplex solver and rounds the fractional solution to a feasible integral
+// schedule. Exact in spirit, but — as the paper's running-time experiment
+// shows — orders of magnitude slower than RBCAer, so it is only usable on
+// sampled sub-instances.
+#pragma once
+
+#include "core/scheme.h"
+#include "lp/u_relaxation.h"
+
+namespace ccdn {
+
+struct LpSchemeOptions {
+  double alpha = 1.0;  // latency weight in (U)
+  double beta = 1.0;   // replication weight in (U)
+  /// Safety bound: planning a slot larger than this throws, because the
+  /// dense simplex would need hours/memory beyond the experiment scale.
+  std::size_t max_requests = 5000;
+  SimplexOptions simplex;
+};
+
+class LpScheme final : public RedirectionScheme {
+ public:
+  using Options = LpSchemeOptions;
+
+  explicit LpScheme(Options options = {});
+
+  [[nodiscard]] std::string name() const override { return "LP-based"; }
+
+  [[nodiscard]] SlotPlan plan_slot(const SchemeContext& context,
+                                   std::span<const Request> requests,
+                                   const SlotDemand& demand) override;
+
+  /// Last slot's LP iteration count (diagnostics for Fig. 8).
+  [[nodiscard]] std::size_t last_lp_iterations() const noexcept {
+    return last_iterations_;
+  }
+
+ private:
+  Options options_;
+  std::size_t last_iterations_ = 0;
+};
+
+}  // namespace ccdn

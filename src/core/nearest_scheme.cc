@@ -1,0 +1,31 @@
+#include "core/nearest_scheme.h"
+
+#include <algorithm>
+
+#include "model/topsets.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+SlotPlan NearestScheme::plan_slot(const SchemeContext& context,
+                                  std::span<const Request> requests,
+                                  const SlotDemand& demand) {
+  CCDN_REQUIRE(demand.num_hotspots() == context.hotspots.size(),
+               "demand/hotspot count mismatch");
+  SlotPlan plan;
+  plan.placements.resize(context.hotspots.size());
+  for (std::size_t h = 0; h < context.hotspots.size(); ++h) {
+    // Top locally requested videos, bounded by the cache size.
+    plan.placements[h] =
+        top_k_videos(demand.video_demand(static_cast<HotspotIndex>(h)),
+                     context.hotspots[h].cache_capacity);
+  }
+  // x_ij: home hotspot for everyone; admission rejects the overflow.
+  const auto homes = demand.request_home();
+  CCDN_REQUIRE(homes.size() == requests.size(),
+               "demand was not built from this request span");
+  plan.assignment.assign(homes.begin(), homes.end());
+  return plan;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,22 @@
+// Nearest routing baseline (paper §V-A).
+//
+// Every request is routed to its nearest hotspot; each hotspot independently
+// caches its locally most-popular videos up to the cache capacity. No
+// coordination: crowded hotspots overflow (rejected to the CDN by the
+// simulator's admission), idle ones stay idle — the paper's Fig. 2 skew.
+#pragma once
+
+#include "core/scheme.h"
+
+namespace ccdn {
+
+class NearestScheme final : public RedirectionScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "Nearest"; }
+
+  [[nodiscard]] SlotPlan plan_slot(const SchemeContext& context,
+                                   std::span<const Request> requests,
+                                   const SlotDemand& demand) override;
+};
+
+}  // namespace ccdn

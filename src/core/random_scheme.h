@@ -1,0 +1,31 @@
+// Local-random routing baseline (paper §V-A, after [5], [7]).
+//
+// Each hotspot caches the most popular videos among requests within
+// `radius_km` (1.5 km in the paper). A request is routed uniformly at
+// random among hotspots within the radius that (a) cache the requested
+// video and (b) still have service capacity this slot; otherwise it goes to
+// the CDN. Randomization balances load, but every hotspot caching its whole
+// neighbourhood's taste inflates replication cost (the paper's Fig. 6c).
+#pragma once
+
+#include "core/scheme.h"
+#include "util/rng.h"
+
+namespace ccdn {
+
+class RandomScheme final : public RedirectionScheme {
+ public:
+  explicit RandomScheme(double radius_km = 1.5, std::uint64_t seed = 99);
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] SlotPlan plan_slot(const SchemeContext& context,
+                                   std::span<const Request> requests,
+                                   const SlotDemand& demand) override;
+
+ private:
+  double radius_km_;
+  Rng rng_;
+};
+
+}  // namespace ccdn

@@ -1,0 +1,183 @@
+#include "core/rbcaer_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "cluster/content_distance.h"
+#include "core/replication.h"
+#include "geo/geo_point.h"
+#include "model/topsets.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+RbcaerScheme::RbcaerScheme(RbcaerConfig config) : config_(config) {
+  CCDN_REQUIRE(config_.theta1_km >= 0.0, "negative theta1");
+  CCDN_REQUIRE(config_.theta2_km >= config_.theta1_km,
+               "theta2 below theta1");
+  CCDN_REQUIRE(config_.delta_km > 0.0, "non-positive delta");
+  CCDN_REQUIRE(config_.top_fraction > 0.0 && config_.top_fraction <= 1.0,
+               "top_fraction outside (0,1]");
+  CCDN_REQUIRE(config_.bpeak_multiplier > 0.0, "non-positive B_peak");
+}
+
+std::string RbcaerScheme::name() const {
+  return config_.content_aggregation ? "RBCAer" : "RBCAer(no-aggregation)";
+}
+
+SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
+                                 std::span<const Request> requests,
+                                 const SlotDemand& demand) {
+  CCDN_REQUIRE(demand.num_hotspots() == context.hotspots.size(),
+               "demand/hotspot count mismatch");
+  const std::size_t m = context.hotspots.size();
+  diagnostics_ = {};
+
+  // --- Partition and movable slack. ---
+  std::vector<std::uint32_t> loads(m);
+  for (std::size_t h = 0; h < m; ++h) {
+    loads[h] = demand.load(static_cast<HotspotIndex>(h));
+  }
+  HotspotPartition partition =
+      HotspotPartition::from_loads(context.hotspots, loads);
+  diagnostics_.max_movable = partition.max_movable();
+
+  // --- Content clustering (only needed when aggregation is on and there
+  // is anything to move). ---
+  std::vector<std::uint32_t> cluster_of(m, 0);
+  const bool has_work = diagnostics_.max_movable > 0;
+  if (config_.content_aggregation && has_work) {
+    const auto top_sets = top_sets_per_hotspot(demand, config_.top_fraction);
+    const DistanceMatrix jd = content_distance_matrix(top_sets);
+    const ClusteringResult clustering = hierarchical_cluster(
+        jd, config_.linkage, config_.content_cluster_threshold);
+    cluster_of = clustering.labels;
+    diagnostics_.num_clusters = clustering.num_clusters;
+  }
+
+  // --- Algorithm 1: θ sweep over Gc, then residual pass over Gd. ---
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> f_total;
+  const auto absorb = [&](const std::vector<FlowEntry>& flows) {
+    for (const auto& f : flows) {
+      f_total[{f.from, f.to}] += f.amount;
+      partition.phi[f.from] -= f.amount;
+      partition.phi[f.to] -= f.amount;
+      CCDN_ENSURE(partition.phi[f.from] >= 0 && partition.phi[f.to] >= 0,
+                  "flow exceeded slack");
+      diagnostics_.moved += f.amount;
+    }
+  };
+
+  if (has_work) {
+    const std::vector<CandidateEdge> candidates = candidate_edges(
+        context.hotspots, partition, config_.theta2_km);
+    constexpr double kThetaEps = 1e-9;
+    double theta = config_.theta1_km;
+    while (theta <= config_.theta2_km + kThetaEps &&
+           diagnostics_.moved < diagnostics_.max_movable) {
+      BalanceGraph graph =
+          config_.content_aggregation
+              ? build_gc(partition, candidates, theta, cluster_of,
+                         config_.guide)
+              : build_gd(partition, candidates, theta);
+      diagnostics_.guide_nodes += graph.num_guide_nodes;
+      ++diagnostics_.theta_iterations;
+      (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
+                                  config_.mcmf_strategy);
+      absorb(extract_flows(graph));
+      theta += config_.delta_km;
+    }
+    if (diagnostics_.moved < diagnostics_.max_movable) {
+      // Residual pass on the plain distance graph at θ2 (Algorithm 1,
+      // line 12); anything beyond that stays with its home hotspot and
+      // overflows to the CDN at admission (line 14).
+      BalanceGraph graph =
+          build_gd(partition, candidates, config_.theta2_km);
+      (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
+                                  config_.mcmf_strategy);
+      absorb(extract_flows(graph));
+    }
+  }
+
+  std::vector<FlowEntry> flows;
+  flows.reserve(f_total.size());
+  for (const auto& [key, amount] : f_total) {
+    if (amount > 0) flows.push_back({key.first, key.second, amount});
+  }
+
+  // --- Procedure 1: redirections + placements under B_peak. ---
+  const auto budget = static_cast<std::size_t>(std::llround(
+      config_.bpeak_multiplier * static_cast<double>(demand.num_requests())));
+  ReplicationResult replication = content_aggregation_replication(
+      demand, context.hotspots, flows, budget);
+  diagnostics_.redirected = replication.total_redirected;
+  diagnostics_.replicas = replication.replicas;
+
+  // --- Materialize the per-request assignment. ---
+  SlotPlan plan;
+  plan.placements = std::move(replication.placements);
+  plan.assignment = materialize_assignment(requests, demand.request_home(),
+                                           std::move(replication.redirects));
+
+  if (config_.miss_redirection) {
+    redirect_local_misses(context, requests, plan);
+  }
+  return plan;
+}
+
+void RbcaerScheme::redirect_local_misses(const SchemeContext& context,
+                                         std::span<const Request> requests,
+                                         SlotPlan& plan) const {
+  const std::size_t m = context.hotspots.size();
+  const auto cached = [&](std::size_t h, VideoId v) {
+    return std::binary_search(plan.placements[h].begin(),
+                              plan.placements[h].end(), v);
+  };
+  // Capacity already spoken for by servable assignments.
+  std::vector<std::int64_t> capacity_left(m);
+  for (std::size_t h = 0; h < m; ++h) {
+    capacity_left[h] =
+        static_cast<std::int64_t>(context.hotspots[h].service_capacity);
+  }
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const HotspotIndex target = plan.assignment[r];
+    if (target != kCdnServer && cached(target, requests[r].video)) {
+      --capacity_left[target];  // may go negative at overloaded homes
+    }
+  }
+  // Neighbour lists are shared per home hotspot (as in RandomScheme).
+  std::vector<std::vector<std::size_t>> neighbours(m);
+  std::size_t rerouted = 0;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const HotspotIndex home = plan.assignment[r];
+    if (home == kCdnServer || home >= m) continue;
+    if (cached(home, requests[r].video)) continue;  // served locally
+    auto& pool = neighbours[home];
+    if (pool.empty()) {
+      pool = context.hotspot_index.within_radius(
+          context.hotspots[home].location, config_.theta2_km);
+    }
+    // Nearest candidate with the video and spare capacity. The pool is
+    // small (θ2-radius), so a linear scan with distance tracking is fine.
+    std::size_t best = m;
+    double best_distance = 0.0;
+    for (const std::size_t candidate : pool) {
+      if (candidate == home || capacity_left[candidate] <= 0) continue;
+      if (!cached(candidate, requests[r].video)) continue;
+      const double d = distance_km(requests[r].location,
+                                   context.hotspots[candidate].location);
+      if (best == m || d < best_distance) {
+        best = candidate;
+        best_distance = d;
+      }
+    }
+    if (best == m) continue;  // genuinely nowhere to go but the CDN
+    plan.assignment[r] = static_cast<HotspotIndex>(best);
+    --capacity_left[best];
+    ++rerouted;
+  }
+  diagnostics_.miss_rerouted = rerouted;
+}
+
+}  // namespace ccdn

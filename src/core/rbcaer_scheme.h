@@ -1,0 +1,88 @@
+// RBCAer: Request Balancing and Content Aggregation (paper Algorithm 1).
+//
+// Per slot:
+//   1. Aggregate requests at nearest hotspots (done upstream in SlotDemand);
+//      split hotspots into overloaded H_s and under-utilized H_t with
+//      movable slack φ_i = |s_i − λ_i|.
+//   2. Cluster hotspots by content distance Jd = 1 − Jaccard(Top-20% sets),
+//      complete linkage, cut at 0.5.
+//   3. Sweep θ from θ1 to θ2 in steps of δd; at each step solve MCMF on the
+//      content-aggregation graph Gc(θ) and accumulate the flows f_ij,
+//      shrinking φ as load moves.
+//   4. Balance any residual movable load on the plain distance graph Gd(θ2);
+//      whatever still exceeds capacity is left to the CDN.
+//   5. Procedure 1 turns the f_ij into per-video redirections and replica
+//      placements under the cache sizes and the replication budget B_peak.
+#pragma once
+
+#include <optional>
+
+#include "cluster/hierarchical.h"
+#include "core/balance_graph.h"
+#include "core/scheme.h"
+#include "flow/mcmf.h"
+
+namespace ccdn {
+
+struct RbcaerConfig {
+  double theta1_km = 0.5;  // initial collaboration radius
+  double theta2_km = 1.5;  // maximum collaboration radius
+  double delta_km = 0.5;   // θ sweep step
+  /// Dendrogram cut for the content clustering (paper: Jd <= 0.5).
+  double content_cluster_threshold = 0.5;
+  /// Fraction of each hotspot's distinct videos forming its content set.
+  double top_fraction = 0.2;
+  Linkage linkage = Linkage::kComplete;
+  GuideOptions guide;
+  /// B_peak = bpeak_multiplier x (requests in the slot), in replica units.
+  double bpeak_multiplier = 1.0;
+  /// Ablation switch: false solves plain Gd only (no guide nodes).
+  bool content_aggregation = true;
+  /// Paper §III system model: "if the requested video is present in the
+  /// suitable content hotspots, the request is scheduled to be served
+  /// immediately". After the balancing redirections, requests whose home
+  /// hotspot does not cache their video are rerouted to the nearest
+  /// in-radius (θ2) hotspot that does and still has capacity, instead of
+  /// falling straight through to the CDN. Disable for the strict
+  /// Procedure-1-only behaviour.
+  bool miss_redirection = true;
+  McmfStrategy mcmf_strategy = McmfStrategy::kSpfa;
+};
+
+class RbcaerScheme final : public RedirectionScheme {
+ public:
+  explicit RbcaerScheme(RbcaerConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] SlotPlan plan_slot(const SchemeContext& context,
+                                   std::span<const Request> requests,
+                                   const SlotDemand& demand) override;
+
+  /// Introspection for tests, benches, and the θ-influence experiment.
+  struct Diagnostics {
+    std::int64_t max_movable = 0;   // maxflow in Algorithm 1
+    std::int64_t moved = 0;         // Σ f_ij actually routed
+    std::int64_t redirected = 0;    // units realized by Procedure 1
+    std::size_t num_clusters = 0;
+    std::size_t guide_nodes = 0;    // across all θ iterations
+    std::size_t theta_iterations = 0;
+    std::size_t replicas = 0;
+    std::size_t miss_rerouted = 0;  // local cache misses sent to neighbours
+  };
+  [[nodiscard]] const Diagnostics& last_diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+  [[nodiscard]] const RbcaerConfig& config() const noexcept { return config_; }
+
+ private:
+  void redirect_local_misses(const SchemeContext& context,
+                             std::span<const Request> requests,
+                             SlotPlan& plan) const;
+
+  RbcaerConfig config_;
+  mutable Diagnostics diagnostics_;
+};
+
+}  // namespace ccdn

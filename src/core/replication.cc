@@ -1,0 +1,306 @@
+#include "core/replication.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+namespace {
+
+std::uint64_t pair_key(std::uint32_t i, std::uint32_t j) {
+  return (static_cast<std::uint64_t>(i) << 32) | j;
+}
+
+/// Mutable per-hotspot copy of λ_hv supporting O(log) lookup by video.
+class RemainingDemand {
+ public:
+  RemainingDemand(const SlotDemand& demand, std::size_t num_hotspots) {
+    videos_.resize(num_hotspots);
+    counts_.resize(num_hotspots);
+    for (std::size_t h = 0; h < num_hotspots; ++h) {
+      const auto span = demand.video_demand(static_cast<HotspotIndex>(h));
+      videos_[h].reserve(span.size());
+      counts_[h].reserve(span.size());
+      for (const auto& d : span) {
+        videos_[h].push_back(d.video);
+        counts_[h].push_back(d.count);
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t get(std::uint32_t h, VideoId v) const {
+    const auto idx = index_of(h, v);
+    return idx < 0 ? 0 : counts_[h][static_cast<std::size_t>(idx)];
+  }
+
+  void subtract(std::uint32_t h, VideoId v, std::uint32_t amount) {
+    const auto idx = index_of(h, v);
+    CCDN_ENSURE(idx >= 0 &&
+                    counts_[h][static_cast<std::size_t>(idx)] >= amount,
+                "over-subtracting local demand");
+    counts_[h][static_cast<std::size_t>(idx)] -= amount;
+  }
+
+  [[nodiscard]] std::span<const VideoId> videos(std::uint32_t h) const {
+    return videos_[h];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> counts(std::uint32_t h) const {
+    return counts_[h];
+  }
+
+ private:
+  [[nodiscard]] std::ptrdiff_t index_of(std::uint32_t h, VideoId v) const {
+    const auto& vs = videos_[h];
+    const auto it = std::lower_bound(vs.begin(), vs.end(), v);
+    if (it == vs.end() || *it != v) return -1;
+    return it - vs.begin();
+  }
+
+  std::vector<std::vector<VideoId>> videos_;
+  std::vector<std::vector<std::uint32_t>> counts_;
+};
+
+}  // namespace
+
+ReplicationResult content_aggregation_replication(
+    const SlotDemand& demand, std::span<const Hotspot> hotspots,
+    std::span<const FlowEntry> flows, std::size_t replica_budget) {
+  const std::size_t m = hotspots.size();
+  CCDN_REQUIRE(demand.num_hotspots() == m, "demand/hotspot count mismatch");
+
+  ReplicationResult result;
+  result.placements.resize(m);
+  result.redirects.resize(m);
+
+  // Residual flows and the sender lists SinktoSource(j).
+  std::unordered_map<std::uint64_t, std::int64_t> flow_left;
+  std::vector<std::vector<std::uint32_t>> senders_of(m);
+  for (const auto& f : flows) {
+    CCDN_REQUIRE(f.from < m && f.to < m, "flow endpoint out of range");
+    CCDN_REQUIRE(f.amount > 0, "non-positive flow entry");
+    flow_left[pair_key(f.from, f.to)] += f.amount;
+    senders_of[f.to].push_back(f.from);
+  }
+  for (auto& senders : senders_of) {
+    std::sort(senders.begin(), senders.end());
+    senders.erase(std::unique(senders.begin(), senders.end()), senders.end());
+  }
+
+  RemainingDemand remaining(demand, m);
+
+  // Cache state.
+  std::vector<std::unordered_set<VideoId>> placed(m);
+  std::vector<std::uint32_t> cache_left(m);
+  for (std::size_t h = 0; h < m; ++h) {
+    cache_left[h] = hotspots[h].cache_capacity;
+  }
+  std::size_t budget_used = 0;
+  const auto try_place = [&](std::uint32_t h, VideoId v) {
+    if (placed[h].count(v)) return true;
+    if (cache_left[h] == 0) return false;
+    placed[h].insert(v);
+    --cache_left[h];
+    ++result.replicas;
+    ++budget_used;
+    return true;
+  };
+
+  // --- Redirect phase: lazy max-heap over e_u(v, j). ---
+  struct HeapEntry {
+    double eu = 0.0;
+    std::uint32_t j = 0;
+    VideoId video = 0;
+    bool operator<(const HeapEntry& other) const {
+      if (eu != other.eu) return eu < other.eu;
+      if (j != other.j) return j > other.j;
+      return video > other.video;
+    }
+  };
+  const auto current_eu = [&](std::uint32_t j, VideoId v) {
+    std::int64_t eu = 0;
+    for (const auto i : senders_of[j]) {
+      const auto it = flow_left.find(pair_key(i, j));
+      if (it == flow_left.end() || it->second <= 0) continue;
+      eu += std::min<std::int64_t>(it->second, remaining.get(i, v));
+    }
+    return eu;
+  };
+
+  std::priority_queue<HeapEntry> heap;
+  {
+    // Seed with every (v, j) pair that has positive initial e_u.
+    std::unordered_map<std::uint64_t, std::int64_t> eu_init;  // (j,v)
+    for (std::uint32_t j = 0; j < m; ++j) {
+      for (const auto i : senders_of[j]) {
+        const std::int64_t f = flow_left[pair_key(i, j)];
+        const auto videos = remaining.videos(i);
+        const auto counts = remaining.counts(i);
+        for (std::size_t idx = 0; idx < videos.size(); ++idx) {
+          if (counts[idx] == 0) continue;
+          eu_init[pair_key(j, videos[idx])] +=
+              std::min<std::int64_t>(f, counts[idx]);
+        }
+      }
+    }
+    for (const auto& [key, eu] : eu_init) {
+      if (eu > 0) {
+        heap.push({static_cast<double>(eu),
+                   static_cast<std::uint32_t>(key >> 32),
+                   static_cast<VideoId>(key & 0xffffffffu)});
+      }
+    }
+  }
+
+  // Redirections recorded as (origin, video) -> targets; flattened later.
+  std::vector<std::unordered_map<VideoId, std::vector<RedirectTarget>>>
+      redirect_map(m);
+  std::unordered_set<std::uint64_t> dead_pairs;  // (j,v) that can never place
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const std::uint32_t j = top.j;
+    const VideoId v = top.video;
+    if (dead_pairs.count(pair_key(j, v))) continue;
+    const std::int64_t eu = current_eu(j, v);
+    if (eu <= 0) continue;
+    // Lazy key refresh: if stale and something better is on top, requeue.
+    if (!heap.empty() &&
+        static_cast<double>(eu) < heap.top().eu) {
+      heap.push({static_cast<double>(eu), j, v});
+      continue;
+    }
+    if (!try_place(j, v)) {
+      dead_pairs.insert(pair_key(j, v));  // cache at j full, v absent
+      continue;
+    }
+    // Commit: move every sender's redirectable share of v to j.
+    for (const auto i : senders_of[j]) {
+      auto it = flow_left.find(pair_key(i, j));
+      if (it == flow_left.end() || it->second <= 0) continue;
+      const std::uint32_t amount = static_cast<std::uint32_t>(
+          std::min<std::int64_t>(it->second, remaining.get(i, v)));
+      if (amount == 0) continue;
+      it->second -= amount;
+      remaining.subtract(i, v, amount);
+      redirect_map[i][v].push_back({j, amount});
+      result.total_redirected += amount;
+    }
+  }
+
+  // --- Final fill: rank remaining local demand e_l(v, i) descending. ---
+  // A replica is only worth its replication bandwidth if the hotspot can
+  // actually serve requests for it, so the fill stops charging a hotspot
+  // once its service capacity is spoken for (redirected inflow counts
+  // against it: those requests are already guaranteed placements).
+  std::vector<std::int64_t> serviceable_left(m);
+  for (std::size_t h = 0; h < m; ++h) {
+    serviceable_left[h] =
+        static_cast<std::int64_t>(hotspots[h].service_capacity);
+  }
+  for (const auto& f : flows) {
+    serviceable_left[f.to] -= f.amount;
+  }
+  // Demand already covered by replicas placed during the redirect phase
+  // consumes serving capacity too.
+  for (std::uint32_t h = 0; h < m; ++h) {
+    for (const VideoId v : placed[h]) {
+      serviceable_left[h] -= remaining.get(h, v);
+    }
+  }
+
+  struct FillEntry {
+    std::uint32_t count = 0;
+    std::uint32_t hotspot = 0;
+    VideoId video = 0;
+  };
+  std::vector<FillEntry> fill;
+  for (std::uint32_t h = 0; h < m; ++h) {
+    const auto videos = remaining.videos(h);
+    const auto counts = remaining.counts(h);
+    for (std::size_t idx = 0; idx < videos.size(); ++idx) {
+      if (counts[idx] > 0 && !placed[h].count(videos[idx])) {
+        fill.push_back({counts[idx], h, videos[idx]});
+      }
+    }
+  }
+  std::sort(fill.begin(), fill.end(), [](const FillEntry& a,
+                                         const FillEntry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.hotspot != b.hotspot) return a.hotspot < b.hotspot;
+    return a.video < b.video;
+  });
+  for (const auto& entry : fill) {
+    if (budget_used >= replica_budget) {
+      result.budget_exhausted = true;
+      break;
+    }
+    if (cache_left[entry.hotspot] == 0) continue;
+    if (serviceable_left[entry.hotspot] <= 0) continue;
+    if (try_place(entry.hotspot, entry.video)) {
+      serviceable_left[entry.hotspot] -= entry.count;
+    }
+  }
+
+  // Flatten the placement sets and redirect maps into sorted vectors.
+  for (std::uint32_t h = 0; h < m; ++h) {
+    result.placements[h].assign(placed[h].begin(), placed[h].end());
+    std::sort(result.placements[h].begin(), result.placements[h].end());
+    auto& list = result.redirects[h];
+    list.reserve(redirect_map[h].size());
+    for (auto& [video, targets] : redirect_map[h]) {
+      list.push_back({video, std::move(targets)});
+    }
+    std::sort(list.begin(), list.end(),
+              [](const VideoRedirect& a, const VideoRedirect& b) {
+                return a.video < b.video;
+              });
+  }
+  return result;
+}
+
+std::vector<HotspotIndex> materialize_assignment(
+    std::span<const Request> requests, std::span<const HotspotIndex> homes,
+    std::vector<std::vector<VideoRedirect>> redirects) {
+  CCDN_REQUIRE(homes.size() == requests.size(),
+               "homes/requests length mismatch");
+  struct Cursor {
+    std::vector<RedirectTarget> targets;
+    std::size_t index = 0;
+  };
+  std::vector<std::map<VideoId, Cursor>> cursors(redirects.size());
+  for (std::size_t h = 0; h < redirects.size(); ++h) {
+    for (auto& vr : redirects[h]) {
+      cursors[h].emplace(vr.video, Cursor{std::move(vr.targets), 0});
+    }
+  }
+  std::vector<HotspotIndex> assignment(requests.size(), kCdnServer);
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const HotspotIndex home = homes[r];
+    CCDN_REQUIRE(home < cursors.size(), "home out of range");
+    auto& per_video = cursors[home];
+    const auto it = per_video.find(requests[r].video);
+    if (it != per_video.end()) {
+      Cursor& cursor = it->second;
+      while (cursor.index < cursor.targets.size() &&
+             cursor.targets[cursor.index].count == 0) {
+        ++cursor.index;
+      }
+      if (cursor.index < cursor.targets.size()) {
+        --cursor.targets[cursor.index].count;
+        assignment[r] =
+            static_cast<HotspotIndex>(cursor.targets[cursor.index].hotspot);
+        continue;
+      }
+    }
+    assignment[r] = home;
+  }
+  return assignment;
+}
+
+}  // namespace ccdn

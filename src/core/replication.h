@@ -1,0 +1,64 @@
+// Procedure 1: ContentAggregationReplication (paper §IV-D).
+//
+// Converts the abstract inter-hotspot flows f_ij into concrete per-video
+// redirections and replica placements using three efficiency indexes:
+//   e_f(i,v,j) = min(f_ij, λ_vi)      — redirectable volume of v from i to j
+//   e_u(v,j)   = Σ_i e_f(i,v,j)       — placement efficiency: how much demand
+//                                       one replica of v at j would absorb
+//   e_l(v,i)   = λ_vi (remaining)     — local offload efficiency
+// Redirections are committed in descending e_u order (so one replica serves
+// many same-cluster senders); afterwards caches fill with the locally most
+// demanded videos until they are full or the replication budget B_peak is
+// exhausted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/balance_graph.h"
+#include "model/demand.h"
+#include "model/types.h"
+
+namespace ccdn {
+
+/// Where (part of) a hotspot's demand for one video is redirected.
+struct RedirectTarget {
+  std::uint32_t hotspot = 0;
+  std::uint32_t count = 0;
+};
+
+/// Per-video redirections leaving one hotspot.
+struct VideoRedirect {
+  VideoId video = 0;
+  std::vector<RedirectTarget> targets;
+};
+
+struct ReplicationResult {
+  /// y_vj, sorted ascending per hotspot.
+  std::vector<std::vector<VideoId>> placements;
+  /// Redirections per origin hotspot, sorted ascending by video.
+  std::vector<std::vector<VideoRedirect>> redirects;
+  /// Total units of demand redirected between hotspots.
+  std::int64_t total_redirected = 0;
+  /// Total replicas placed (Ω2 for the slot).
+  std::size_t replicas = 0;
+  /// True when the B_peak budget stopped the final fill.
+  bool budget_exhausted = false;
+};
+
+/// Run Procedure 1. `flows` are the f_ij produced by Algorithm 1;
+/// `replica_budget` is B_peak in replica units.
+[[nodiscard]] ReplicationResult content_aggregation_replication(
+    const SlotDemand& demand, std::span<const Hotspot> hotspots,
+    std::span<const FlowEntry> flows, std::size_t replica_budget);
+
+/// Turn per-(origin, video) redirect quotas into a per-request assignment:
+/// each request drains its origin's quota for its video (in target order);
+/// once quotas are exhausted requests stay at their home hotspot, where
+/// admission applies the cache/capacity checks. `redirects` is consumed.
+[[nodiscard]] std::vector<HotspotIndex> materialize_assignment(
+    std::span<const Request> requests, std::span<const HotspotIndex> homes,
+    std::vector<std::vector<VideoRedirect>> redirects);
+
+}  // namespace ccdn

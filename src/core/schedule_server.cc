@@ -1,0 +1,137 @@
+#include "core/schedule_server.h"
+
+#include <algorithm>
+
+#include "geo/geo_point.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+OnlineRouter::OnlineRouter(const SchemeContext& context,
+                           std::vector<std::vector<VideoId>> placements,
+                           double redirect_radius_km)
+    : context_(context),
+      placements_(std::move(placements)),
+      capacity_left_(context.hotspots.size()),
+      redirect_radius_km_(redirect_radius_km),
+      neighbours_(context.hotspots.size()) {
+  CCDN_REQUIRE(placements_.size() == context.hotspots.size(),
+               "placements/hotspot count mismatch");
+  CCDN_REQUIRE(redirect_radius_km >= 0.0, "negative redirect radius");
+  for (std::size_t h = 0; h < context_.hotspots.size(); ++h) {
+    CCDN_REQUIRE(placements_[h].size() <=
+                     context_.hotspots[h].cache_capacity,
+                 "placement exceeds cache capacity");
+    CCDN_REQUIRE(std::is_sorted(placements_[h].begin(), placements_[h].end()),
+                 "placement not sorted");
+    capacity_left_[h] = context_.hotspots[h].service_capacity;
+  }
+}
+
+HotspotIndex OnlineRouter::route(const Request& request) {
+  const auto cached = [&](std::size_t h) {
+    return std::binary_search(placements_[h].begin(), placements_[h].end(),
+                              request.video);
+  };
+  const auto home =
+      static_cast<HotspotIndex>(context_.hotspot_index.nearest(
+          request.location));
+  if (cached(home) && capacity_left_[home] > 0) {
+    --capacity_left_[home];
+    return home;
+  }
+  auto& pool = neighbours_[home];
+  if (pool.empty()) {
+    pool = context_.hotspot_index.within_radius(
+        context_.hotspots[home].location, redirect_radius_km_);
+  }
+  std::size_t best = context_.hotspots.size();
+  double best_distance = 0.0;
+  for (const std::size_t candidate : pool) {
+    if (candidate == home || capacity_left_[candidate] == 0) continue;
+    if (!cached(candidate)) continue;
+    const double d = distance_km(request.location,
+                                 context_.hotspots[candidate].location);
+    if (best == context_.hotspots.size() || d < best_distance) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  if (best == context_.hotspots.size()) return kCdnServer;
+  --capacity_left_[best];
+  return static_cast<HotspotIndex>(best);
+}
+
+ScheduleServer::ScheduleServer(std::vector<Hotspot> hotspots,
+                               VideoCatalog catalog,
+                               RedirectionScheme& scheme,
+                               const Forecaster& forecaster,
+                               ScheduleServerConfig config)
+    : hotspots_(std::move(hotspots)),
+      catalog_(catalog),
+      scheme_(scheme),
+      config_(config),
+      index_(
+          [&] {
+            CCDN_REQUIRE(!hotspots_.empty(), "no hotspots");
+            std::vector<GeoPoint> locations;
+            locations.reserve(hotspots_.size());
+            for (const auto& h : hotspots_) locations.push_back(h.location);
+            return locations;
+          }(),
+          /*cell_km=*/0.5),
+      context_{hotspots_, index_, catalog_, kCdnDistanceKm},
+      predictor_(hotspots_.size(), forecaster, config_.history_window),
+      observed_(hotspots_.size()) {
+  CCDN_REQUIRE(config_.slot_seconds > 0, "non-positive slot length");
+  CCDN_REQUIRE(catalog_.num_videos > 0, "empty catalog");
+}
+
+void ScheduleServer::begin_slot() {
+  // Plan from predicted demand once warm, from the last observation before
+  // that (cold start simply plans an empty slot the very first time).
+  std::vector<std::vector<VideoDemand>> planning_demand;
+  if (predictor_.slots_observed() >= config_.warmup_slots) {
+    planning_demand = predictor_.predict();
+  } else {
+    planning_demand = observed_;  // last slot's raw counts (or empty)
+  }
+  const SlotDemand demand(std::move(planning_demand),
+                          std::vector<HotspotIndex>{});
+  const SlotPlan plan = scheme_.plan_slot(context_, {}, demand);
+  CCDN_ENSURE(plan.respects_caches(hotspots_),
+              "scheme exceeded cache capacities");
+  replicas_pushed_ += count_new_replicas(previous_placements_,
+                                         plan.placements);
+  previous_placements_ = plan.placements;
+  router_.emplace(context_, plan.placements, config_.redirect_radius_km);
+  ++slots_planned_;
+}
+
+void ScheduleServer::finish_slot() {
+  SlotDemand observed(std::move(observed_), std::vector<HotspotIndex>{});
+  predictor_.observe(observed);
+  observed_.assign(hotspots_.size(), {});
+}
+
+HotspotIndex ScheduleServer::route(const Request& request) {
+  CCDN_REQUIRE(!slot_start_ || request.timestamp >= last_timestamp_,
+               "requests must arrive in timestamp order");
+  last_timestamp_ = request.timestamp;
+  if (!slot_start_) {
+    slot_start_ = request.timestamp;
+    begin_slot();
+  }
+  while (request.timestamp >= *slot_start_ + config_.slot_seconds) {
+    finish_slot();
+    *slot_start_ += config_.slot_seconds;
+    begin_slot();
+  }
+  // Record the observation (by home hotspot) for the next forecast.
+  const auto home =
+      static_cast<HotspotIndex>(index_.nearest(request.location));
+  observed_[home].push_back({request.video, 1});
+  return router_->route(request);
+}
+
+}  // namespace ccdn

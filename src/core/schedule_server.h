@@ -1,0 +1,109 @@
+// Online scheduling server (paper Fig. 1).
+//
+// The batch pipeline plans and assigns a whole slot at once — fine for
+// trace studies, but a deployed scheduling server must answer each request
+// *when it arrives*. This module provides that component:
+//
+//   * OnlineRouter — routes one request at a time against a slot's
+//     placement plan: home hotspot if it caches the video and has
+//     capacity, otherwise the nearest in-radius hotspot that does,
+//     otherwise the origin CDN. Capacity is decremented as requests are
+//     admitted, so the router realizes the plan's load limits greedily.
+//   * ScheduleServer — the slot loop: at each slot boundary it forecasts
+//     demand, asks the configured RedirectionScheme for a placement plan,
+//     and installs a fresh router; between boundaries it routes requests
+//     and records the observed demand for the next forecast.
+//
+// Relative to batch RBCAer, online mode keeps the placement decisions
+// (including content aggregation) but approximates the f_ij redirections
+// with greedy capacity-aware routing — the price of not knowing the
+// future; `examples/scheduler_daemon.cpp` quantifies it.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/scheme.h"
+#include "predict/demand_predictor.h"
+
+namespace ccdn {
+
+class OnlineRouter {
+ public:
+  /// `placements` must respect the hotspots' cache capacities. Capacity
+  /// accounting starts fresh (a new router per slot).
+  OnlineRouter(const SchemeContext& context,
+               std::vector<std::vector<VideoId>> placements,
+               double redirect_radius_km);
+
+  /// Route one request; decrements the chosen hotspot's remaining
+  /// capacity. Returns kCdnServer when no hotspot can serve it.
+  [[nodiscard]] HotspotIndex route(const Request& request);
+
+  [[nodiscard]] const std::vector<std::vector<VideoId>>& placements()
+      const noexcept {
+    return placements_;
+  }
+
+ private:
+  const SchemeContext& context_;
+  std::vector<std::vector<VideoId>> placements_;
+  std::vector<std::uint32_t> capacity_left_;
+  double redirect_radius_km_;
+  // Shared per-home neighbour cache, as in the batch schemes.
+  std::vector<std::vector<std::size_t>> neighbours_;
+};
+
+struct ScheduleServerConfig {
+  std::int64_t slot_seconds = 3600;
+  /// Radius for online miss redirection (the scheme's θ2 by convention).
+  double redirect_radius_km = 1.5;
+  /// Slots planned from observed demand while forecast history builds.
+  std::size_t warmup_slots = 1;
+  std::size_t history_window = 25;
+};
+
+class ScheduleServer {
+ public:
+  /// The scheme and forecaster are borrowed and must outlive the server.
+  ScheduleServer(std::vector<Hotspot> hotspots, VideoCatalog catalog,
+                 RedirectionScheme& scheme, const Forecaster& forecaster,
+                 ScheduleServerConfig config = {});
+
+  /// Route one request (requests must arrive in timestamp order). Plans a
+  /// new slot transparently whenever the timestamp crosses a boundary.
+  [[nodiscard]] HotspotIndex route(const Request& request);
+
+  /// Total replicas pushed so far (placement deltas across slots).
+  [[nodiscard]] std::size_t replicas_pushed() const noexcept {
+    return replicas_pushed_;
+  }
+  [[nodiscard]] std::size_t slots_planned() const noexcept {
+    return slots_planned_;
+  }
+  [[nodiscard]] const std::vector<Hotspot>& hotspots() const noexcept {
+    return hotspots_;
+  }
+
+ private:
+  void begin_slot();
+  void finish_slot();
+
+  std::vector<Hotspot> hotspots_;
+  VideoCatalog catalog_;
+  RedirectionScheme& scheme_;
+  ScheduleServerConfig config_;
+  GridIndex index_;
+  SchemeContext context_;
+  DemandPredictor predictor_;
+  std::optional<OnlineRouter> router_;
+  std::vector<std::vector<VideoId>> previous_placements_;
+  // Demand observed in the slot in progress.
+  std::vector<std::vector<VideoDemand>> observed_;
+  std::optional<std::int64_t> slot_start_;
+  std::int64_t last_timestamp_ = 0;
+  std::size_t replicas_pushed_ = 0;
+  std::size_t slots_planned_ = 0;
+};
+
+}  // namespace ccdn

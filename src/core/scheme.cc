@@ -1,0 +1,43 @@
+#include "core/scheme.h"
+
+#include <algorithm>
+
+namespace ccdn {
+
+std::size_t SlotPlan::total_replicas() const noexcept {
+  std::size_t total = 0;
+  for (const auto& videos : placements) total += videos.size();
+  return total;
+}
+
+bool SlotPlan::respects_caches(const std::vector<Hotspot>& hotspots) const {
+  if (placements.size() != hotspots.size()) return false;
+  for (std::size_t h = 0; h < placements.size(); ++h) {
+    const auto& videos = placements[h];
+    if (videos.size() > hotspots[h].cache_capacity) return false;
+    if (!std::is_sorted(videos.begin(), videos.end())) return false;
+    if (std::adjacent_find(videos.begin(), videos.end()) != videos.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t count_new_replicas(
+    const std::vector<std::vector<VideoId>>& previous,
+    const std::vector<std::vector<VideoId>>& current) {
+  std::size_t pushes = 0;
+  for (std::size_t h = 0; h < current.size(); ++h) {
+    if (h >= previous.size() || previous[h].empty()) {
+      pushes += current[h].size();
+      continue;
+    }
+    const auto& old_set = previous[h];
+    for (const VideoId v : current[h]) {
+      if (!std::binary_search(old_set.begin(), old_set.end(), v)) ++pushes;
+    }
+  }
+  return pushes;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,70 @@
+// Request-redirection scheme interface.
+//
+// A scheme receives one timeslot's requests (plus their aggregation at the
+// nearest hotspots) and produces a SlotPlan: the content placement y_vj and
+// a serving hotspot per request (x_ij, with kCdnServer playing x_iS). The
+// simulator then *admits* the plan, enforcing placement and service-capacity
+// constraints uniformly across schemes — a scheme that over-assigns (e.g.
+// Nearest routing at a crowded hotspot) sees its excess rejected to the CDN,
+// exactly the inefficiency the paper measures.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "model/demand.h"
+#include "model/types.h"
+
+namespace ccdn {
+
+/// Immutable per-run context shared by all slots.
+struct SchemeContext {
+  const std::vector<Hotspot>& hotspots;
+  /// Spatial index over the hotspot locations (same order as `hotspots`).
+  const GridIndex& hotspot_index;
+  VideoCatalog catalog;
+  double cdn_distance_km = kCdnDistanceKm;
+};
+
+/// One slot's joint decision.
+struct SlotPlan {
+  /// y_vj: videos replicated at each hotspot, sorted ascending by id.
+  std::vector<std::vector<VideoId>> placements;
+  /// x_ij: serving hotspot per request (parallel to the slot's request
+  /// span), or kCdnServer.
+  std::vector<HotspotIndex> assignment;
+
+  /// Total replicas across hotspots (Ω2 for this slot).
+  [[nodiscard]] std::size_t total_replicas() const noexcept;
+  /// True if every placement list is sorted, unique, and within the cache
+  /// capacity of its hotspot.
+  [[nodiscard]] bool respects_caches(
+      const std::vector<Hotspot>& hotspots) const;
+};
+
+/// Number of (hotspot, video) placements in `current` that are not in
+/// `previous` — the origin pushes needed to transition between slots
+/// (hotspot caches persist; placements are sorted per hotspot).
+[[nodiscard]] std::size_t count_new_replicas(
+    const std::vector<std::vector<VideoId>>& previous,
+    const std::vector<std::vector<VideoId>>& current);
+
+class RedirectionScheme {
+ public:
+  virtual ~RedirectionScheme() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Plan one timeslot. `requests` and `demand` describe the same slot;
+  /// `demand.request_home()` is parallel to `requests`.
+  [[nodiscard]] virtual SlotPlan plan_slot(const SchemeContext& context,
+                                           std::span<const Request> requests,
+                                           const SlotDemand& demand) = 0;
+};
+
+using SchemePtr = std::unique_ptr<RedirectionScheme>;
+
+}  // namespace ccdn

@@ -1,0 +1,84 @@
+// Hierarchical RBCAer over virtual region-hotspots (paper §VI, closing
+// remark: "if we aggregate all hotspots in each region to a virtual
+// hotspot, RBCAer could be used to make cross-region cooperation to further
+// increase the algorithm scalability", building on the region-partition
+// work [28]).
+//
+// Per slot:
+//   1. Partition hotspots into spatial regions (uniform grid of
+//      `region_km` cells; [28]'s latency/replication-aware partitioning is
+//      approximated by geography, which is its dominant term).
+//   2. Aggregate each region into a *virtual hotspot* (summed capacities,
+//      summed demand, centroid location) and run the RBCAer core —
+//      clustering, Gc, θ-sweep MCMF, Procedure 1 — on the K virtual
+//      hotspots instead of the N physical ones. Clustering drops from
+//      O(N²) to O(K²) pairs, the flow graphs shrink accordingly.
+//   3. Localize the region-level decisions: inbound redirected demand is
+//      spread over member hotspots with slack (placing the videos there);
+//      outbound quotas are drawn from the most-overloaded members; local
+//      demand fills caches under the same serviceability cap as flat
+//      RBCAer.
+//
+// The price is granularity: balancing *within* a region only happens
+// implicitly through the localization pass, so flat RBCAer stays slightly
+// ahead on quality while the virtual variant scales to city-sized
+// deployments (see bench/hierarchical_scalability).
+#pragma once
+
+#include "core/rbcaer_scheme.h"
+
+namespace ccdn {
+
+enum class RegionPartition {
+  /// Uniform square cells of `region_km` — O(N), the default.
+  kGrid,
+  /// Complete-linkage clustering on geo distance with dendrogram cut at
+  /// `region_km` (every intra-region pair closer than that). Closer to
+  /// [28]'s latency-aware partitioning but O(N^2); use for <= ~1K hotspots.
+  kGeoCluster,
+};
+
+struct VirtualRbcaerConfig {
+  /// Edge length (grid) / diameter bound (cluster) of a region.
+  double region_km = 2.0;
+  RegionPartition partition = RegionPartition::kGrid;
+  /// Parameters for the region-level RBCAer core. θ values are in km
+  /// between region centroids, so they default wider than the flat
+  /// scheme's.
+  RbcaerConfig regional = default_regional_config();
+
+  [[nodiscard]] static constexpr RbcaerConfig default_regional_config() {
+    RbcaerConfig config;
+    config.theta1_km = 2.0;
+    config.theta2_km = 6.0;
+    config.delta_km = 2.0;
+    return config;
+  }
+};
+
+class VirtualRbcaerScheme final : public RedirectionScheme {
+ public:
+  explicit VirtualRbcaerScheme(VirtualRbcaerConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "RBCAer(virtual)"; }
+
+  [[nodiscard]] SlotPlan plan_slot(const SchemeContext& context,
+                                   std::span<const Request> requests,
+                                   const SlotDemand& demand) override;
+
+  struct Diagnostics {
+    std::size_t num_regions = 0;
+    std::int64_t region_max_movable = 0;
+    std::int64_t region_moved = 0;
+    std::int64_t localized_redirects = 0;
+  };
+  [[nodiscard]] const Diagnostics& last_diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  VirtualRbcaerConfig config_;
+  Diagnostics diagnostics_;
+};
+
+}  // namespace ccdn

@@ -1,0 +1,91 @@
+#include "flow/decompose.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccdn {
+
+std::vector<FlowPath> decompose_flow(const FlowNetwork& net, NodeId source,
+                                     NodeId sink,
+                                     std::int64_t* cycle_flow_remaining) {
+  CCDN_REQUIRE(source < net.num_nodes() && sink < net.num_nodes(),
+               "source/sink out of range");
+  CCDN_REQUIRE(source != sink, "source equals sink");
+
+  // Mutable copy of per-forward-edge flow.
+  std::vector<std::int64_t> remaining(net.num_edges() * 2, 0);
+  for (EdgeId e = 0; e < net.num_edges() * 2; e += 2) {
+    remaining[e] = net.flow(e);
+  }
+
+  // Verify conservation before decomposing.
+  std::vector<std::int64_t> balance(net.num_nodes(), 0);
+  for (EdgeId e = 0; e < net.num_edges() * 2; e += 2) {
+    balance[net.edge(e).from] -= remaining[e];
+    balance[net.edge(e).to] += remaining[e];
+  }
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (v == source || v == sink) continue;
+    CCDN_ENSURE(balance[v] == 0, "flow not conserved at interior node");
+  }
+  CCDN_ENSURE(balance[source] <= 0 && balance[sink] >= 0 &&
+                  balance[source] == -balance[sink],
+              "source/sink imbalance mismatch");
+
+  std::vector<FlowPath> paths;
+  std::vector<EdgeId> parent(net.num_nodes(), 0);
+  std::vector<bool> on_path(net.num_nodes(), false);
+  while (true) {
+    // Greedy walk from source along positive-flow edges; flows are acyclic
+    // along any shortest decomposition, but guard against cycles by
+    // stopping on revisit.
+    std::fill(on_path.begin(), on_path.end(), false);
+    NodeId node = source;
+    on_path[source] = true;
+    bool reached = false;
+    bool stuck = false;
+    while (!reached && !stuck) {
+      stuck = true;
+      for (const EdgeId e : net.out_edges(node)) {
+        if ((e & 1u) != 0) continue;  // forward edges only
+        if (remaining[e] <= 0) continue;
+        const NodeId next = net.edge(e).to;
+        if (on_path[next]) continue;  // avoid cycles
+        parent[next] = e;
+        on_path[next] = true;
+        node = next;
+        stuck = false;
+        break;
+      }
+      if (node == sink) reached = true;
+    }
+    if (!reached) break;
+
+    // Bottleneck and cost along the recorded path.
+    FlowPath path;
+    std::int64_t bottleneck = std::numeric_limits<std::int64_t>::max();
+    for (NodeId v = sink; v != source; v = net.edge(parent[v]).from) {
+      bottleneck = std::min(bottleneck, remaining[parent[v]]);
+    }
+    for (NodeId v = sink; v != source; v = net.edge(parent[v]).from) {
+      remaining[parent[v]] -= bottleneck;
+      path.unit_cost += net.edge(parent[v]).cost;
+      path.nodes.push_back(v);
+    }
+    path.nodes.push_back(source);
+    std::reverse(path.nodes.begin(), path.nodes.end());
+    path.amount = bottleneck;
+    paths.push_back(std::move(path));
+  }
+
+  if (cycle_flow_remaining != nullptr) {
+    std::int64_t leftover = 0;
+    for (EdgeId e = 0; e < net.num_edges() * 2; e += 2) {
+      leftover += remaining[e];
+    }
+    *cycle_flow_remaining = leftover;
+  }
+  return paths;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,34 @@
+// Flow decomposition: express a solved s-t flow as a set of simple paths.
+//
+// Useful for explaining a balancing solution ("these 37 requests travel
+// source → hotspot 12 → guide → hotspot 40 → sink"), for debugging guide
+// graphs, and as an independent check that a solver's flow is conserved.
+#pragma once
+
+#include <vector>
+
+#include "flow/network.h"
+
+namespace ccdn {
+
+struct FlowPath {
+  /// Node sequence from source to sink.
+  std::vector<NodeId> nodes;
+  /// Flow carried by this path.
+  std::int64_t amount = 0;
+  /// Total cost per unit along the path.
+  double unit_cost = 0.0;
+};
+
+/// Decompose the current flow of `net` (as pushed by a solver) into simple
+/// source→sink paths. The network's flow state is not modified. Standard
+/// result: at most |E| paths. Throws InvariantError if the flow is not
+/// conserved (solver bug or tampered network). Flows containing cycles of
+/// positive flow are decomposed into the path part only; the residual
+/// cycle flow (cost-reducing cycles cannot occur in an optimal solution)
+/// is reported via `cycle_flow_remaining` when requested.
+[[nodiscard]] std::vector<FlowPath> decompose_flow(
+    const FlowNetwork& net, NodeId source, NodeId sink,
+    std::int64_t* cycle_flow_remaining = nullptr);
+
+}  // namespace ccdn

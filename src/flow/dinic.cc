@@ -1,0 +1,71 @@
+#include "flow/dinic.h"
+
+#include <limits>
+#include <queue>
+
+namespace ccdn {
+
+namespace {
+
+bool build_levels(const FlowNetwork& net, NodeId source, NodeId sink,
+                  std::vector<std::int32_t>& level) {
+  level.assign(net.num_nodes(), -1);
+  std::queue<NodeId> frontier;
+  level[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    for (const EdgeId e : net.out_edges(node)) {
+      const auto& edge = net.edge(e);
+      if (edge.capacity > 0 && level[edge.to] < 0) {
+        level[edge.to] = level[node] + 1;
+        frontier.push(edge.to);
+      }
+    }
+  }
+  return level[sink] >= 0;
+}
+
+std::int64_t augment(FlowNetwork& net, NodeId node, NodeId sink,
+                     std::int64_t limit, const std::vector<std::int32_t>& level,
+                     std::vector<std::size_t>& next_edge) {
+  if (node == sink) return limit;
+  for (std::size_t& i = next_edge[node]; i < net.out_edges(node).size(); ++i) {
+    const EdgeId e = net.out_edges(node)[i];
+    const auto& edge = net.edge(e);
+    if (edge.capacity <= 0 || level[edge.to] != level[node] + 1) continue;
+    const std::int64_t pushed =
+        augment(net, edge.to, sink, std::min(limit, edge.capacity), level,
+                next_edge);
+    if (pushed > 0) {
+      net.push(e, pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int64_t Dinic::solve(FlowNetwork& net, NodeId source, NodeId sink) {
+  CCDN_REQUIRE(source < net.num_nodes() && sink < net.num_nodes(),
+               "source/sink out of range");
+  CCDN_REQUIRE(source != sink, "source equals sink");
+  std::int64_t total = 0;
+  std::vector<std::int32_t> level;
+  std::vector<std::size_t> next_edge;
+  while (build_levels(net, source, sink, level)) {
+    next_edge.assign(net.num_nodes(), 0);
+    while (true) {
+      const std::int64_t pushed =
+          augment(net, source, sink, std::numeric_limits<std::int64_t>::max(),
+                  level, next_edge);
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+}  // namespace ccdn

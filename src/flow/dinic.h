@@ -1,0 +1,19 @@
+// Dinic's max-flow algorithm.
+//
+// Used where only the flow value matters (e.g. the achievable `maxflow`
+// normalization in the θ-influence experiment, Fig. 9) and as an oracle in
+// MCMF property tests.
+#pragma once
+
+#include "flow/network.h"
+
+namespace ccdn {
+
+class Dinic {
+ public:
+  /// Computes a maximum flow from `source` to `sink`, mutating the residual
+  /// capacities of `net`. Returns the flow value.
+  static std::int64_t solve(FlowNetwork& net, NodeId source, NodeId sink);
+};
+
+}  // namespace ccdn

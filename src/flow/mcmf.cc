@@ -1,0 +1,169 @@
+#include "flow/mcmf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace ccdn {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Path costs are sums of km distances; treat differences below this as zero
+// to keep the search robust against floating-point noise.
+constexpr double kEps = 1e-9;
+
+struct SearchState {
+  std::vector<double> dist;
+  std::vector<EdgeId> parent_edge;
+  std::vector<bool> reached;
+};
+
+/// SPFA shortest path by cost over residual edges. Returns true if the sink
+/// is reachable.
+bool spfa(const FlowNetwork& net, NodeId source, NodeId sink,
+          SearchState& state) {
+  const std::size_t n = net.num_nodes();
+  state.dist.assign(n, kInf);
+  state.parent_edge.assign(n, 0);
+  state.reached.assign(n, false);
+  std::vector<bool> in_queue(n, false);
+  std::deque<NodeId> queue;
+  state.dist[source] = 0.0;
+  state.reached[source] = true;
+  queue.push_back(source);
+  in_queue[source] = true;
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    in_queue[node] = false;
+    for (const EdgeId e : net.out_edges(node)) {
+      const auto& edge = net.edge(e);
+      if (edge.capacity <= 0) continue;
+      const double candidate = state.dist[node] + edge.cost;
+      if (candidate + kEps < state.dist[edge.to]) {
+        state.dist[edge.to] = candidate;
+        state.parent_edge[edge.to] = e;
+        state.reached[edge.to] = true;
+        if (!in_queue[edge.to]) {
+          // SLF heuristic: jump the queue when promising.
+          if (!queue.empty() && candidate < state.dist[queue.front()]) {
+            queue.push_front(edge.to);
+          } else {
+            queue.push_back(edge.to);
+          }
+          in_queue[edge.to] = true;
+        }
+      }
+    }
+  }
+  return state.reached[sink] && state.dist[sink] < kInf;
+}
+
+/// Dijkstra over reduced costs w.r.t. potentials. Requires potentials that
+/// make every residual edge's reduced cost non-negative.
+bool dijkstra(const FlowNetwork& net, NodeId source, NodeId sink,
+              const std::vector<double>& potential, SearchState& state) {
+  const std::size_t n = net.num_nodes();
+  state.dist.assign(n, kInf);
+  state.parent_edge.assign(n, 0);
+  state.reached.assign(n, false);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  state.dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (state.reached[node]) continue;
+    state.reached[node] = true;
+    for (const EdgeId e : net.out_edges(node)) {
+      const auto& edge = net.edge(e);
+      if (edge.capacity <= 0 || state.reached[edge.to]) continue;
+      const double reduced =
+          std::max(0.0, edge.cost + potential[node] - potential[edge.to]);
+      const double candidate = d + reduced;
+      if (candidate + kEps < state.dist[edge.to]) {
+        state.dist[edge.to] = candidate;
+        state.parent_edge[edge.to] = e;
+        heap.emplace(candidate, edge.to);
+      }
+    }
+  }
+  return state.reached[sink];
+}
+
+std::int64_t bottleneck_along_path(const FlowNetwork& net, NodeId source,
+                                   NodeId sink, const SearchState& state) {
+  std::int64_t bottleneck = std::numeric_limits<std::int64_t>::max();
+  NodeId node = sink;
+  while (node != source) {
+    const EdgeId e = state.parent_edge[node];
+    bottleneck = std::min(bottleneck, net.edge(e).capacity);
+    node = net.edge(e).from;
+  }
+  return bottleneck;
+}
+
+double apply_path(FlowNetwork& net, NodeId source, NodeId sink,
+                  const SearchState& state, std::int64_t amount) {
+  double path_cost = 0.0;
+  NodeId node = sink;
+  while (node != source) {
+    const EdgeId e = state.parent_edge[node];
+    path_cost += net.edge(e).cost;
+    node = net.edge(e).from;
+    net.push(e, amount);
+  }
+  return path_cost;
+}
+
+}  // namespace
+
+McmfResult MinCostMaxFlow::solve(FlowNetwork& net, NodeId source, NodeId sink,
+                                 McmfStrategy strategy) {
+  return solve_up_to(net, source, sink,
+                     std::numeric_limits<std::int64_t>::max(), strategy);
+}
+
+McmfResult MinCostMaxFlow::solve_up_to(FlowNetwork& net, NodeId source,
+                                       NodeId sink, std::int64_t flow_limit,
+                                       McmfStrategy strategy) {
+  CCDN_REQUIRE(source < net.num_nodes() && sink < net.num_nodes(),
+               "source/sink out of range");
+  CCDN_REQUIRE(source != sink, "source equals sink");
+  CCDN_REQUIRE(flow_limit >= 0, "negative flow limit");
+
+  McmfResult result;
+  SearchState state;
+  std::vector<double> potential(net.num_nodes(), 0.0);
+  // Forward costs are non-negative, so zero potentials are valid initially
+  // for the Dijkstra strategy.
+  while (result.flow < flow_limit) {
+    bool found = false;
+    if (strategy == McmfStrategy::kSpfa) {
+      found = spfa(net, source, sink, state);
+    } else {
+      found = dijkstra(net, source, sink, potential, state);
+    }
+    if (!found) break;
+    if (strategy == McmfStrategy::kDijkstraPotentials) {
+      for (std::size_t v = 0; v < net.num_nodes(); ++v) {
+        if (state.reached[v]) potential[v] += state.dist[v];
+      }
+    }
+    const std::int64_t room = flow_limit - result.flow;
+    const std::int64_t amount =
+        std::min(room, bottleneck_along_path(net, source, sink, state));
+    CCDN_ENSURE(amount > 0, "augmenting path with zero bottleneck");
+    const double path_cost = apply_path(net, source, sink, state, amount);
+    result.flow += amount;
+    result.cost += path_cost * static_cast<double>(amount);
+  }
+  return result;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,61 @@
+#include "flow/network.h"
+
+namespace ccdn {
+
+FlowNetwork::FlowNetwork(std::size_t num_nodes) : heads_(num_nodes) {}
+
+NodeId FlowNetwork::add_node() {
+  heads_.emplace_back();
+  return static_cast<NodeId>(heads_.size() - 1);
+}
+
+EdgeId FlowNetwork::add_edge(NodeId from, NodeId to, std::int64_t capacity,
+                             double cost) {
+  CCDN_REQUIRE(from < heads_.size() && to < heads_.size(),
+               "edge endpoint out of range");
+  CCDN_REQUIRE(capacity >= 0, "negative capacity");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({from, to, capacity, cost});
+  edges_.push_back({to, from, 0, -cost});
+  original_caps_.push_back(capacity);
+  original_caps_.push_back(0);
+  heads_[from].push_back(id);
+  heads_[to].push_back(id + 1);
+  return id;
+}
+
+const FlowNetwork::Edge& FlowNetwork::edge(EdgeId e) const {
+  CCDN_REQUIRE(e < edges_.size(), "edge id out of range");
+  return edges_[e];
+}
+
+std::int64_t FlowNetwork::flow(EdgeId e) const {
+  CCDN_REQUIRE(e < edges_.size() && (e & 1u) == 0, "not a forward edge id");
+  return original_caps_[e] - edges_[e].capacity;
+}
+
+std::int64_t FlowNetwork::original_capacity(EdgeId e) const {
+  CCDN_REQUIRE(e < edges_.size(), "edge id out of range");
+  return original_caps_[e];
+}
+
+std::span<const EdgeId> FlowNetwork::out_edges(NodeId node) const {
+  CCDN_REQUIRE(node < heads_.size(), "node id out of range");
+  return heads_[node];
+}
+
+void FlowNetwork::reset_flows() noexcept {
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    edges_[e].capacity = original_caps_[e];
+  }
+}
+
+void FlowNetwork::push(EdgeId e, std::int64_t amount) {
+  CCDN_REQUIRE(e < edges_.size(), "edge id out of range");
+  CCDN_REQUIRE(amount >= 0 && amount <= edges_[e].capacity,
+               "push exceeds residual capacity");
+  edges_[e].capacity -= amount;
+  edges_[paired(e)].capacity += amount;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,69 @@
+// Directed flow network with residual edges.
+//
+// RBCAer models request balancing as a min-cost max-flow problem between
+// overloaded and under-utilized hotspots (paper §IV-A); this is the shared
+// graph representation for the Dinic and MCMF solvers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+class FlowNetwork {
+ public:
+  /// Network with `num_nodes` nodes and no edges.
+  explicit FlowNetwork(std::size_t num_nodes);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return heads_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size() / 2;
+  }
+
+  /// Append one node; returns its id.
+  NodeId add_node();
+
+  /// Add a directed edge with capacity and per-unit cost; the paired
+  /// residual edge (capacity 0, cost -cost) is created automatically.
+  /// Returns the forward edge id. Requires capacity >= 0.
+  EdgeId add_edge(NodeId from, NodeId to, std::int64_t capacity, double cost);
+
+  struct Edge {
+    NodeId from = 0;
+    NodeId to = 0;
+    std::int64_t capacity = 0;  // residual capacity
+    double cost = 0.0;
+  };
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const;
+  /// Flow currently pushed through a *forward* edge.
+  [[nodiscard]] std::int64_t flow(EdgeId e) const;
+  /// Original capacity of a forward edge.
+  [[nodiscard]] std::int64_t original_capacity(EdgeId e) const;
+
+  /// Edge ids (forward and residual) leaving a node.
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId node) const;
+
+  /// Reset all flows to zero (restores capacities).
+  void reset_flows() noexcept;
+
+  // --- solver interface (residual manipulation) ---
+  [[nodiscard]] EdgeId paired(EdgeId e) const noexcept { return e ^ 1u; }
+  void push(EdgeId e, std::int64_t amount);
+
+ private:
+  friend class Dinic;
+  friend class MinCostMaxFlow;
+
+  std::vector<Edge> edges_;                  // interleaved fwd/residual
+  std::vector<std::int64_t> original_caps_;  // per stored edge
+  std::vector<std::vector<EdgeId>> heads_;   // adjacency: node -> edge ids
+};
+
+}  // namespace ccdn

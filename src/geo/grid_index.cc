@@ -1,0 +1,195 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+GridIndex::GridIndex(std::vector<GeoPoint> points, double cell_km)
+    : points_(std::move(points)),
+      projection_(GeoPoint{}),
+      cell_km_(cell_km) {
+  CCDN_REQUIRE(!points_.empty(), "empty point set");
+  CCDN_REQUIRE(cell_km > 0.0, "non-positive cell size");
+
+  GeoPoint lo = points_.front();
+  GeoPoint hi = points_.front();
+  for (const auto& p : points_) {
+    lo.lat = std::min(lo.lat, p.lat);
+    lo.lon = std::min(lo.lon, p.lon);
+    hi.lat = std::max(hi.lat, p.lat);
+    hi.lon = std::max(hi.lon, p.lon);
+  }
+  projection_ = Projection(BoundingBox{lo, hi}.center());
+
+  projected_.reserve(points_.size());
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) {
+    const auto xy = projection_.to_xy(p);
+    projected_.push_back(xy);
+    min_x = std::min(min_x, xy.x_km);
+    min_y = std::min(min_y, xy.y_km);
+    max_x = std::max(max_x, xy.x_km);
+    max_y = std::max(max_y, xy.y_km);
+  }
+  min_x_ = min_x;
+  min_y_ = min_y;
+  cols_ = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::floor((max_x - min_x) / cell_km_)) + 1);
+  rows_ = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::floor((max_y - min_y) / cell_km_)) + 1);
+
+  // Counting sort of point ids into cells.
+  const std::size_t cell_count =
+      static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  std::vector<std::uint32_t> counts(cell_count + 1, 0);
+  std::vector<std::size_t> slots(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    slots[i] = cell_slot(cell_of(projected_[i]));
+    ++counts[slots[i] + 1];
+  }
+  for (std::size_t c = 1; c < counts.size(); ++c) counts[c] += counts[c - 1];
+  bucket_offsets_ = counts;
+  bucket_ids_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(counts.begin(), counts.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    bucket_ids_[cursor[slots[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+GridIndex::Cell GridIndex::cell_of(const Projection::Xy& xy) const noexcept {
+  auto clamp = [](std::int32_t v, std::int32_t hi) {
+    return std::max<std::int32_t>(0, std::min(v, hi - 1));
+  };
+  return {clamp(static_cast<std::int32_t>(
+                    std::floor((xy.x_km - min_x_) / cell_km_)),
+                cols_),
+          clamp(static_cast<std::int32_t>(
+                    std::floor((xy.y_km - min_y_) / cell_km_)),
+                rows_)};
+}
+
+std::size_t GridIndex::cell_slot(Cell c) const noexcept {
+  return static_cast<std::size_t>(c.row) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(c.col);
+}
+
+std::size_t GridIndex::nearest(const GeoPoint& query) const {
+  const auto q = projection_.to_xy(query);
+  const Cell center = cell_of(q);
+  std::size_t best = 0;
+  double best_dist2 = std::numeric_limits<double>::infinity();
+
+  const auto scan_ring = [&](std::int32_t ring) {
+    for (std::int32_t row = center.row - ring; row <= center.row + ring;
+         ++row) {
+      if (row < 0 || row >= rows_) continue;
+      for (std::int32_t col = center.col - ring; col <= center.col + ring;
+           ++col) {
+        if (col < 0 || col >= cols_) continue;
+        // Only the ring boundary; interior was scanned at smaller rings.
+        if (ring > 0 && row != center.row - ring && row != center.row + ring &&
+            col != center.col - ring && col != center.col + ring) {
+          continue;
+        }
+        const std::size_t slot = cell_slot({col, row});
+        for (std::uint32_t k = bucket_offsets_[slot];
+             k < bucket_offsets_[slot + 1]; ++k) {
+          const std::uint32_t id = bucket_ids_[k];
+          const double dx = projected_[id].x_km - q.x_km;
+          const double dy = projected_[id].y_km - q.y_km;
+          const double d2 = dx * dx + dy * dy;
+          if (d2 < best_dist2 ||
+              (d2 == best_dist2 && id < best)) {
+            best_dist2 = d2;
+            best = id;
+          }
+        }
+      }
+    }
+  };
+
+  const std::int32_t max_ring = std::max(cols_, rows_);
+  for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
+    scan_ring(ring);
+    if (best_dist2 < std::numeric_limits<double>::infinity()) {
+      // A candidate found at ring r is only guaranteed optimal once we have
+      // scanned every cell that could contain a closer point: cells within
+      // ceil(sqrt(best)/cell) rings.
+      const double best_dist = std::sqrt(best_dist2);
+      const auto safe_ring =
+          static_cast<std::int32_t>(std::ceil(best_dist / cell_km_));
+      if (ring >= safe_ring) break;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> GridIndex::within_radius(const GeoPoint& query,
+                                                  double radius_km) const {
+  CCDN_REQUIRE(radius_km >= 0.0, "negative radius");
+  const auto q = projection_.to_xy(query);
+  const Cell center = cell_of(q);
+  const auto reach = static_cast<std::int32_t>(std::ceil(radius_km / cell_km_));
+  const double radius2 = radius_km * radius_km;
+  std::vector<std::size_t> out;
+  for (std::int32_t row = center.row - reach; row <= center.row + reach;
+       ++row) {
+    if (row < 0 || row >= rows_) continue;
+    for (std::int32_t col = center.col - reach; col <= center.col + reach;
+         ++col) {
+      if (col < 0 || col >= cols_) continue;
+      const std::size_t slot = cell_slot({col, row});
+      for (std::uint32_t k = bucket_offsets_[slot];
+           k < bucket_offsets_[slot + 1]; ++k) {
+        const std::uint32_t id = bucket_ids_[k];
+        const double dx = projected_[id].x_km - q.x_km;
+        const double dy = projected_[id].y_km - q.y_km;
+        if (dx * dx + dy * dy <= radius2) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> GridIndex::k_nearest(const GeoPoint& query,
+                                              std::size_t k) const {
+  k = std::min(k, points_.size());
+  if (k == 0) return {};
+  // Expand the radius until at least k candidates are inside, then sort.
+  double radius = cell_km_;
+  std::vector<std::size_t> candidates;
+  while (true) {
+    candidates = within_radius(query, radius);
+    if (candidates.size() >= k) break;
+    const double diag =
+        cell_km_ * (static_cast<double>(cols_) + static_cast<double>(rows_));
+    if (radius > diag) {  // whole grid covered
+      break;
+    }
+    radius *= 2.0;
+  }
+  const auto q = projection_.to_xy(query);
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double dax = projected_[a].x_km - q.x_km;
+              const double day = projected_[a].y_km - q.y_km;
+              const double dbx = projected_[b].x_km - q.x_km;
+              const double dby = projected_[b].y_km - q.y_km;
+              const double da = dax * dax + day * day;
+              const double db = dbx * dbx + dby * dby;
+              if (da != db) return da < db;
+              return a < b;
+            });
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,61 @@
+// Uniform spatial grid over a set of geo points.
+//
+// Supports nearest-neighbour and radius queries; used to (a) aggregate every
+// user request at its nearest hotspot and (b) enumerate candidate hotspots
+// within the Random-routing / θ radius, without O(N·M) scans.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace ccdn {
+
+class GridIndex {
+ public:
+  /// Index over `points` (copied). `cell_km` controls the grid resolution;
+  /// a value near the typical query radius works well. Requires a non-empty
+  /// point set and cell_km > 0.
+  GridIndex(std::vector<GeoPoint> points, double cell_km);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] const GeoPoint& point(std::size_t i) const {
+    return points_.at(i);
+  }
+
+  /// Index of the nearest point to the query (ties broken by lowest index).
+  [[nodiscard]] std::size_t nearest(const GeoPoint& query) const;
+
+  /// Indices of all points with distance <= radius_km, ascending by index.
+  [[nodiscard]] std::vector<std::size_t> within_radius(const GeoPoint& query,
+                                                       double radius_km) const;
+
+  /// Indices of the k nearest points, ascending by distance (k clamped to
+  /// size()).
+  [[nodiscard]] std::vector<std::size_t> k_nearest(const GeoPoint& query,
+                                                   std::size_t k) const;
+
+ private:
+  struct Cell {
+    std::int32_t col = 0;
+    std::int32_t row = 0;
+  };
+
+  [[nodiscard]] Cell cell_of(const Projection::Xy& xy) const noexcept;
+  [[nodiscard]] std::size_t cell_slot(Cell c) const noexcept;
+
+  std::vector<GeoPoint> points_;
+  std::vector<Projection::Xy> projected_;
+  Projection projection_;
+  double cell_km_;
+  std::int32_t cols_ = 0;
+  std::int32_t rows_ = 0;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  // CSR-style buckets: ids of points per cell.
+  std::vector<std::uint32_t> bucket_offsets_;
+  std::vector<std::uint32_t> bucket_ids_;
+};
+
+}  // namespace ccdn

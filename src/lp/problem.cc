@@ -1,0 +1,82 @@
+#include "lp/problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+std::uint32_t LpProblem::add_variable(double objective_coefficient,
+                                      std::string name) {
+  objective_.push_back(objective_coefficient);
+  if (name.empty()) name = "x" + std::to_string(objective_.size() - 1);
+  names_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(objective_.size() - 1);
+}
+
+void LpProblem::add_constraint(LpConstraint constraint) {
+  auto& terms = constraint.terms;
+  for (const auto& term : terms) {
+    CCDN_REQUIRE(term.variable < objective_.size(),
+                 "constraint references unknown variable");
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const LpTerm& a, const LpTerm& b) {
+              return a.variable < b.variable;
+            });
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < terms.size(); ++read) {
+    if (write > 0 && terms[write - 1].variable == terms[read].variable) {
+      terms[write - 1].coefficient += terms[read].coefficient;
+    } else {
+      terms[write++] = terms[read];
+    }
+  }
+  terms.resize(write);
+  constraints_.push_back(std::move(constraint));
+}
+
+double LpProblem::objective_coefficient(std::uint32_t variable) const {
+  CCDN_REQUIRE(variable < objective_.size(), "variable out of range");
+  return objective_[variable];
+}
+
+const std::string& LpProblem::variable_name(std::uint32_t variable) const {
+  CCDN_REQUIRE(variable < names_.size(), "variable out of range");
+  return names_[variable];
+}
+
+const LpConstraint& LpProblem::constraint(std::size_t row) const {
+  CCDN_REQUIRE(row < constraints_.size(), "constraint out of range");
+  return constraints_[row];
+}
+
+double LpProblem::objective_value(const std::vector<double>& x) const {
+  CCDN_REQUIRE(x.size() == objective_.size(), "assignment length mismatch");
+  double value = 0.0;
+  for (std::size_t v = 0; v < x.size(); ++v) value += objective_[v] * x[v];
+  return value;
+}
+
+double LpProblem::max_violation(const std::vector<double>& x) const {
+  CCDN_REQUIRE(x.size() == objective_.size(), "assignment length mismatch");
+  double worst = 0.0;
+  for (const auto& constraint : constraints_) {
+    double lhs = 0.0;
+    for (const auto& term : constraint.terms) {
+      lhs += term.coefficient * x[term.variable];
+    }
+    double violation = 0.0;
+    switch (constraint.relation) {
+      case Relation::kLessEq: violation = lhs - constraint.rhs; break;
+      case Relation::kGreaterEq: violation = constraint.rhs - lhs; break;
+      case Relation::kEq: violation = std::abs(lhs - constraint.rhs); break;
+    }
+    worst = std::max(worst, violation);
+  }
+  for (const double value : x) worst = std::max(worst, -value);
+  return worst;
+}
+
+}  // namespace ccdn

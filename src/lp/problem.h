@@ -1,0 +1,61 @@
+// Sparse linear-program description.
+//
+// Minimize c·x subject to sparse linear constraints and x >= 0.
+// This backs the LP-based baseline of the paper's Fig. 8: the ILP (U) is
+// relaxed, solved with the simplex method, and rounded (the paper did the
+// same with GLPK on a sampled instance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccdn {
+
+enum class Relation { kLessEq, kEq, kGreaterEq };
+
+struct LpTerm {
+  std::uint32_t variable = 0;
+  double coefficient = 0.0;
+};
+
+struct LpConstraint {
+  std::vector<LpTerm> terms;
+  Relation relation = Relation::kLessEq;
+  double rhs = 0.0;
+};
+
+class LpProblem {
+ public:
+  /// Add a variable (implicitly >= 0) with the given objective coefficient;
+  /// returns its index.
+  std::uint32_t add_variable(double objective_coefficient,
+                             std::string name = {});
+
+  /// Add a constraint; terms referencing unknown variables are rejected.
+  /// Duplicate variables within one constraint are summed.
+  void add_constraint(LpConstraint constraint);
+
+  [[nodiscard]] std::size_t num_variables() const noexcept {
+    return objective_.size();
+  }
+  [[nodiscard]] std::size_t num_constraints() const noexcept {
+    return constraints_.size();
+  }
+  [[nodiscard]] double objective_coefficient(std::uint32_t variable) const;
+  [[nodiscard]] const std::string& variable_name(std::uint32_t variable) const;
+  [[nodiscard]] const LpConstraint& constraint(std::size_t row) const;
+
+  /// Objective value of an assignment (no feasibility check).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// Max constraint violation of an assignment (0 when feasible).
+  [[nodiscard]] double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<std::string> names_;
+  std::vector<LpConstraint> constraints_;
+};
+
+}  // namespace ccdn

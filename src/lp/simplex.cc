@@ -1,0 +1,269 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+namespace {
+
+/// Dense tableau in canonical form:
+///   rows 0..m-1: constraint rows (equalities with slacks/artificials)
+///   row m:       objective row (reduced costs; entry [m][n] is -objective)
+/// Column n is the RHS.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, const SimplexOptions& options)
+      : options_(options) {
+    const std::size_t m = problem.num_constraints();
+    num_structural_ = problem.num_variables();
+
+    // Count slacks (one per inequality) and artificials (one per row that
+    // needs an initial basis column: equalities and rows whose slack has a
+    // negative coefficient after normalizing b >= 0).
+    std::vector<double> rhs(m);
+    std::vector<int> sign(m, 1);  // row multiplier to make rhs >= 0
+    for (std::size_t r = 0; r < m; ++r) {
+      rhs[r] = problem.constraint(r).rhs;
+      if (rhs[r] < 0) sign[r] = -1;
+    }
+
+    std::size_t num_slacks = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (problem.constraint(r).relation != Relation::kEq) ++num_slacks;
+    }
+    // Conservatively allocate an artificial per row; unused ones are never
+    // brought into the basis and cost nothing beyond a column of zeros.
+    const std::size_t n = num_structural_ + num_slacks + m;
+    cols_ = n + 1;
+    rows_ = m + 1;
+    data_.assign(rows_ * cols_, 0.0);
+    basis_.assign(m, 0);
+    artificial_start_ = num_structural_ + num_slacks;
+
+    std::size_t slack_cursor = num_structural_;
+    for (std::size_t r = 0; r < m; ++r) {
+      const LpConstraint& constraint = problem.constraint(r);
+      const double row_sign = static_cast<double>(sign[r]);
+      for (const auto& term : constraint.terms) {
+        at(r, term.variable) += row_sign * term.coefficient;
+      }
+      at(r, n) = row_sign * constraint.rhs;
+
+      double slack_coeff = 0.0;
+      std::size_t slack_col = 0;
+      if (constraint.relation != Relation::kEq) {
+        slack_coeff =
+            (constraint.relation == Relation::kLessEq ? 1.0 : -1.0) * row_sign;
+        slack_col = slack_cursor++;
+        at(r, slack_col) = slack_coeff;
+      }
+
+      if (constraint.relation != Relation::kEq && slack_coeff > 0.0) {
+        basis_[r] = slack_col;  // slack starts basic
+      } else {
+        const std::size_t art_col = artificial_start_ + r;
+        at(r, art_col) = 1.0;
+        basis_[r] = art_col;
+        artificial_used_.push_back(art_col);
+      }
+    }
+  }
+
+  /// Phase 1: minimize the sum of artificials. Returns false if infeasible.
+  bool phase1(std::size_t& iterations) {
+    if (artificial_used_.empty()) return true;
+    // Objective row: sum of artificial columns = sum over their rows.
+    const std::size_t m = rows_ - 1;
+    std::fill(&at(m, 0), &at(m, 0) + cols_, 0.0);
+    for (const std::size_t col : artificial_used_) at(m, col) = 1.0;
+    // Price out the basic artificials.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (at(m, basis_[r]) != 0.0) subtract_row(m, r, at(m, basis_[r]));
+    }
+    if (!iterate(iterations)) return false;  // unbounded phase 1: impossible
+    const double artificial_sum = -at(m, cols_ - 1);
+    if (artificial_sum > options_.epsilon * 100) return false;
+    drive_out_artificials();
+    return true;
+  }
+
+  /// Phase 2: minimize the original objective. Returns false if unbounded.
+  bool phase2(const LpProblem& problem, std::size_t& iterations) {
+    const std::size_t m = rows_ - 1;
+    std::fill(&at(m, 0), &at(m, 0) + cols_, 0.0);
+    for (std::uint32_t v = 0; v < num_structural_; ++v) {
+      at(m, v) = problem.objective_coefficient(v);
+    }
+    // Forbid artificials from re-entering.
+    blocked_.assign(cols_ - 1, false);
+    for (const std::size_t col : artificial_used_) blocked_[col] = true;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (at(m, basis_[r]) != 0.0) subtract_row(m, r, at(m, basis_[r]));
+    }
+    return iterate(iterations);
+  }
+
+  [[nodiscard]] std::vector<double> extract(std::size_t num_vars) const {
+    std::vector<double> x(num_vars, 0.0);
+    const std::size_t m = rows_ - 1;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis_[r] < num_vars) x[basis_[r]] = at(r, cols_ - 1);
+    }
+    return x;
+  }
+
+  [[nodiscard]] double objective_row_value() const {
+    return -at(rows_ - 1, cols_ - 1);
+  }
+
+  [[nodiscard]] bool hit_iteration_limit() const noexcept {
+    return hit_limit_;
+  }
+
+ private:
+  double& at(std::size_t row, std::size_t col) {
+    return data_[row * cols_ + col];
+  }
+  [[nodiscard]] const double& at(std::size_t row, std::size_t col) const {
+    return data_[row * cols_ + col];
+  }
+
+  void subtract_row(std::size_t target, std::size_t source, double factor) {
+    if (factor == 0.0) return;
+    double* t = &at(target, 0);
+    const double* s = &at(source, 0);
+    for (std::size_t c = 0; c < cols_; ++c) t[c] -= factor * s[c];
+  }
+
+  void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    const double pivot_value = at(pivot_row, pivot_col);
+    CCDN_ENSURE(std::abs(pivot_value) > 1e-12, "numerically zero pivot");
+    double* pr = &at(pivot_row, 0);
+    const double inverse = 1.0 / pivot_value;
+    for (std::size_t c = 0; c < cols_; ++c) pr[c] *= inverse;
+    pr[pivot_col] = 1.0;  // exactly
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (factor == 0.0) continue;
+      subtract_row(r, pivot_row, factor);
+      at(r, pivot_col) = 0.0;  // exactly
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  /// Run simplex iterations on the current objective row.
+  /// Returns false on unbounded.
+  bool iterate(std::size_t& iterations) {
+    const std::size_t m = rows_ - 1;
+    std::size_t degenerate_streak = 0;
+    while (true) {
+      if (iterations >= options_.max_iterations) {
+        hit_limit_ = true;
+        return true;
+      }
+      const bool use_bland = degenerate_streak >= options_.degenerate_switch;
+
+      // Entering column: most negative reduced cost (Dantzig) or first
+      // negative (Bland).
+      std::size_t entering = cols_ - 1;
+      double best = -options_.epsilon;
+      for (std::size_t c = 0; c + 1 < cols_; ++c) {
+        if (!blocked_.empty() && blocked_[c]) continue;
+        const double reduced = at(m, c);
+        if (reduced < best) {
+          entering = c;
+          if (use_bland) break;
+          best = reduced;
+        }
+      }
+      if (entering == cols_ - 1) return true;  // optimal
+
+      // Leaving row: ratio test (Bland tie-break on basis index).
+      std::size_t leaving = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m; ++r) {
+        const double coeff = at(r, entering);
+        if (coeff <= options_.epsilon) continue;
+        const double ratio = at(r, cols_ - 1) / coeff;
+        if (ratio < best_ratio - options_.epsilon ||
+            (ratio < best_ratio + options_.epsilon && leaving != m &&
+             basis_[r] < basis_[leaving])) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+      if (leaving == m) return false;  // unbounded
+
+      degenerate_streak =
+          best_ratio <= options_.epsilon ? degenerate_streak + 1 : 0;
+      pivot(leaving, entering);
+      ++iterations;
+    }
+  }
+
+  /// After phase 1, pivot remaining basic artificials out of the basis (or
+  /// detect their rows as redundant).
+  void drive_out_artificials() {
+    const std::size_t m = rows_ - 1;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis_[r] < artificial_start_) continue;
+      // Find any non-artificial column with a nonzero entry in this row.
+      std::size_t replacement = cols_ - 1;
+      for (std::size_t c = 0; c < artificial_start_; ++c) {
+        if (std::abs(at(r, c)) > options_.epsilon) {
+          replacement = c;
+          break;
+        }
+      }
+      if (replacement != cols_ - 1) {
+        pivot(r, replacement);
+      }
+      // Else: redundant row; the artificial stays basic at value ~0, which
+      // is harmless because phase 2 blocks artificial columns from pricing.
+    }
+  }
+
+  SimplexOptions options_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t num_structural_ = 0;
+  std::size_t artificial_start_ = 0;
+  std::vector<double> data_;
+  std::vector<std::size_t> basis_;
+  std::vector<std::size_t> artificial_used_;
+  std::vector<bool> blocked_;
+  bool hit_limit_ = false;
+};
+
+}  // namespace
+
+LpSolution SimplexSolver::solve(const LpProblem& problem) const {
+  LpSolution solution;
+  if (problem.num_variables() == 0) {
+    solution.status = LpStatus::kOptimal;
+    return solution;
+  }
+  Tableau tableau(problem, options_);
+  if (!tableau.phase1(solution.iterations)) {
+    solution.status = LpStatus::kInfeasible;
+    return solution;
+  }
+  const bool bounded = tableau.phase2(problem, solution.iterations);
+  solution.values = tableau.extract(problem.num_variables());
+  solution.objective = problem.objective_value(solution.values);
+  if (!bounded) {
+    solution.status = LpStatus::kUnbounded;
+  } else if (tableau.hit_iteration_limit()) {
+    solution.status = LpStatus::kIterationLimit;
+  } else {
+    solution.status = LpStatus::kOptimal;
+  }
+  return solution;
+}
+
+}  // namespace ccdn

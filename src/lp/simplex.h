@@ -1,0 +1,44 @@
+// Two-phase dense primal simplex.
+//
+// Deliberately a straightforward tableau implementation: the LP-based
+// baseline exists to reproduce the paper's running-time comparison (Fig. 8),
+// where generic LP solving is orders of magnitude slower than RBCAer.
+// Dantzig pricing with an automatic switch to Bland's rule after a stretch
+// of degenerate pivots guarantees termination.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.h"
+
+namespace ccdn {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> values;   // per original variable
+  std::size_t iterations = 0;   // total pivots (both phases)
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  double epsilon = 1e-9;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  std::size_t degenerate_switch = 64;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solve min c·x, Ax ⋈ b, x >= 0.
+  [[nodiscard]] LpSolution solve(const LpProblem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace ccdn

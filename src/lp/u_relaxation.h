@@ -1,0 +1,94 @@
+// LP relaxation of the joint request-redirection / content-replication
+// problem (U) from paper §III-B:
+//
+//   min  α·ΣΣ x_ij·d_ij + β·ΣΣ y_vj
+//   s.t. Σ_j x_ij + x_iS = 1            (every request served)       Eq. 4
+//        x_ij ≤ y_{W(i)j}               (placement precedes serving) Eq. 5
+//        Σ_i x_ij ≤ s_j                 (service capacity)           Eq. 6
+//        Σ_v y_vj ≤ c_j                 (cache capacity)             Eq. 7
+//        x, y ∈ [0,1]  (relaxed from {0,1})
+//
+// The individual upper bounds are implied: x by Eq. 4 and non-negativity;
+// y because lowering any y_vj > max_i x_ij strictly improves the objective.
+// The rounding pass converts a fractional solution into a feasible integral
+// schedule, as in the paper's LP-based baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+#include "model/types.h"
+
+namespace ccdn {
+
+/// A (typically sampled) instance of problem (U).
+struct UInstance {
+  std::vector<GeoPoint> request_locations;
+  std::vector<VideoId> request_videos;  // W(i), parallel to locations
+  std::vector<Hotspot> hotspots;
+  double alpha = 1.0;
+  double beta = 1.0;
+  double cdn_distance_km = kCdnDistanceKm;
+};
+
+/// Variable index bookkeeping for an assembled LP.
+class UVariableMap {
+ public:
+  UVariableMap(std::size_t num_requests, std::size_t num_hotspots,
+               std::vector<VideoId> distinct_videos);
+
+  [[nodiscard]] std::size_t num_requests() const noexcept { return requests_; }
+  [[nodiscard]] std::size_t num_hotspots() const noexcept { return hotspots_; }
+  [[nodiscard]] std::size_t num_videos() const noexcept {
+    return videos_.size();
+  }
+
+  /// x_ij, j < num_hotspots; x_iS via x_cdn().
+  [[nodiscard]] std::uint32_t x(std::size_t request, std::size_t hotspot) const;
+  [[nodiscard]] std::uint32_t x_cdn(std::size_t request) const;
+  /// y_vj with v given as the original VideoId.
+  [[nodiscard]] std::uint32_t y(VideoId video, std::size_t hotspot) const;
+  [[nodiscard]] std::size_t video_slot(VideoId video) const;
+  [[nodiscard]] std::size_t total_variables() const noexcept;
+
+ private:
+  std::size_t requests_;
+  std::size_t hotspots_;
+  std::vector<VideoId> videos_;  // sorted distinct
+};
+
+/// Assemble the LP relaxation. Returns the problem plus the variable map
+/// needed to interpret solutions.
+struct ULp {
+  LpProblem problem;
+  UVariableMap vars;
+};
+[[nodiscard]] ULp build_u_relaxation(const UInstance& instance);
+
+/// A feasible integral schedule for a UInstance.
+struct USchedule {
+  /// Serving hotspot per request, or kCdnServer.
+  std::vector<HotspotIndex> assignment;
+  /// Videos replicated per hotspot.
+  std::vector<std::vector<VideoId>> placements;
+  double total_distance_km = 0.0;  // Ω1
+  std::size_t total_replicas = 0;  // Ω2
+  /// α·Ω1 + β·Ω2 under the instance weights.
+  double objective = 0.0;
+};
+
+/// Greedy rounding of a fractional solution: requests are assigned in
+/// descending fractional confidence, respecting service capacity, cache
+/// capacity, and the x<=y coupling; leftovers go to the CDN.
+[[nodiscard]] USchedule round_u_solution(const UInstance& instance,
+                                         const UVariableMap& vars,
+                                         const std::vector<double>& values);
+
+/// Convenience: solve + round in one call.
+[[nodiscard]] USchedule solve_u_instance(const UInstance& instance,
+                                         const SimplexOptions& options = {});
+
+}  // namespace ccdn

@@ -1,0 +1,88 @@
+#include "model/demand.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+SlotDemand::SlotDemand(std::span<const Request> requests,
+                       const GridIndex& hotspot_index)
+    : per_hotspot_(hotspot_index.size()) {
+  request_home_.reserve(requests.size());
+  // First pass: raw (video) appends per hotspot; merged in finalize().
+  for (const Request& request : requests) {
+    const auto home =
+        static_cast<HotspotIndex>(hotspot_index.nearest(request.location));
+    request_home_.push_back(home);
+    per_hotspot_[home].push_back({request.video, 1});
+  }
+  finalize();
+}
+
+SlotDemand::SlotDemand(std::vector<std::vector<VideoDemand>> per_hotspot)
+    : per_hotspot_(std::move(per_hotspot)) {
+  finalize();
+}
+
+SlotDemand::SlotDemand(
+    std::vector<std::vector<VideoDemand>> predicted_per_hotspot,
+    std::vector<HotspotIndex> request_home)
+    : per_hotspot_(std::move(predicted_per_hotspot)),
+      request_home_(std::move(request_home)) {
+  for (const HotspotIndex home : request_home_) {
+    CCDN_REQUIRE(home < per_hotspot_.size(), "request home out of range");
+  }
+  finalize();
+}
+
+void SlotDemand::finalize() {
+  loads_.assign(per_hotspot_.size(), 0);
+  for (std::size_t h = 0; h < per_hotspot_.size(); ++h) {
+    auto& demands = per_hotspot_[h];
+    std::sort(demands.begin(), demands.end(),
+              [](const VideoDemand& a, const VideoDemand& b) {
+                return a.video < b.video;
+              });
+    // Merge duplicate video entries.
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < demands.size(); ++read) {
+      if (write > 0 && demands[write - 1].video == demands[read].video) {
+        demands[write - 1].count += demands[read].count;
+      } else {
+        demands[write++] = demands[read];
+      }
+    }
+    demands.resize(write);
+    for (const auto& d : demands) {
+      loads_[h] += d.count;
+      requested_videos_.push_back(d.video);
+    }
+    total_requests_ += loads_[h];
+  }
+  std::sort(requested_videos_.begin(), requested_videos_.end());
+  requested_videos_.erase(
+      std::unique(requested_videos_.begin(), requested_videos_.end()),
+      requested_videos_.end());
+}
+
+std::uint32_t SlotDemand::load(HotspotIndex h) const {
+  CCDN_REQUIRE(h < loads_.size(), "hotspot index out of range");
+  return loads_[h];
+}
+
+std::span<const VideoDemand> SlotDemand::video_demand(HotspotIndex h) const {
+  CCDN_REQUIRE(h < per_hotspot_.size(), "hotspot index out of range");
+  return per_hotspot_[h];
+}
+
+std::uint32_t SlotDemand::demand_for(HotspotIndex h, VideoId video) const {
+  const auto demands = video_demand(h);
+  const auto it = std::lower_bound(
+      demands.begin(), demands.end(), video,
+      [](const VideoDemand& d, VideoId v) { return d.video < v; });
+  if (it == demands.end() || it->video != video) return 0;
+  return it->count;
+}
+
+}  // namespace ccdn

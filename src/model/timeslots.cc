@@ -1,0 +1,40 @@
+#include "model/timeslots.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+std::vector<SlotRange> partition_into_slots(std::span<const Request> requests,
+                                            std::int64_t slot_seconds) {
+  CCDN_REQUIRE(slot_seconds > 0, "slot length must be positive");
+  CCDN_REQUIRE(std::is_sorted(requests.begin(), requests.end(),
+                              [](const Request& a, const Request& b) {
+                                return a.timestamp < b.timestamp;
+                              }),
+               "requests must be sorted by timestamp");
+  std::vector<SlotRange> slots;
+  if (requests.empty()) return slots;
+
+  const std::int64_t origin = requests.front().timestamp;
+  std::size_t cursor = 0;
+  while (cursor < requests.size()) {
+    const auto slot_index = static_cast<std::size_t>(
+        (requests[cursor].timestamp - origin) / slot_seconds);
+    while (slots.size() < slot_index) {
+      slots.push_back({cursor, cursor});  // empty interior slot
+    }
+    const std::int64_t slot_end_ts =
+        origin + static_cast<std::int64_t>(slot_index + 1) * slot_seconds;
+    std::size_t end = cursor;
+    while (end < requests.size() && requests[end].timestamp < slot_end_ts) {
+      ++end;
+    }
+    slots.push_back({cursor, end});
+    cursor = end;
+  }
+  return slots;
+}
+
+}  // namespace ccdn

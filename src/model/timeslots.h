@@ -1,0 +1,31 @@
+// Partition a session trace into fixed-length timeslots.
+//
+// The scheduler makes one joint redirection + replication decision per slot
+// (1 h in the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/types.h"
+
+namespace ccdn {
+
+/// Half-open index range [begin, end) into a request vector.
+struct SlotRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Split requests (which must be sorted by timestamp ascending) into
+/// consecutive slots of `slot_seconds`. Slots are anchored at the first
+/// request's timestamp; empty interior slots are preserved (zero-length
+/// ranges) so slot indexes align with wall-clock hours.
+/// Requires slot_seconds > 0.
+[[nodiscard]] std::vector<SlotRange> partition_into_slots(
+    std::span<const Request> requests, std::int64_t slot_seconds);
+
+}  // namespace ccdn

@@ -1,0 +1,48 @@
+#include "model/topsets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+std::vector<VideoId> top_k_videos(std::span<const VideoDemand> demands,
+                                  std::size_t k) {
+  k = std::min(k, demands.size());
+  if (k == 0) return {};
+  std::vector<VideoDemand> sorted(demands.begin(), demands.end());
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   sorted.end(),
+                   [](const VideoDemand& a, const VideoDemand& b) {
+                     if (a.count != b.count) return a.count > b.count;
+                     return a.video < b.video;
+                   });
+  sorted.resize(k);
+  std::vector<VideoId> ids;
+  ids.reserve(k);
+  for (const auto& d : sorted) ids.push_back(d.video);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<VideoId> top_fraction_videos(std::span<const VideoDemand> demands,
+                                         double fraction) {
+  CCDN_REQUIRE(fraction > 0.0 && fraction <= 1.0, "fraction outside (0,1]");
+  if (demands.empty()) return {};
+  const auto k = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(demands.size())));
+  return top_k_videos(demands, std::max<std::size_t>(1, k));
+}
+
+std::vector<std::vector<VideoId>> top_sets_per_hotspot(
+    const SlotDemand& demand, double fraction) {
+  std::vector<std::vector<VideoId>> sets(demand.num_hotspots());
+  for (std::size_t h = 0; h < demand.num_hotspots(); ++h) {
+    sets[h] = top_fraction_videos(
+        demand.video_demand(static_cast<HotspotIndex>(h)), fraction);
+  }
+  return sets;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,32 @@
+// Top-k / top-fraction popular content sets.
+//
+// The paper characterizes a hotspot by its Top-20% requested videos
+// (80/20 Pareto footnote) and compares hotspots by the Jaccard similarity
+// of those sets (Eq. 1); the same sets feed the content-distance clustering
+// in RBCAer (§IV-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/demand.h"
+
+namespace ccdn {
+
+/// The `k` most-requested videos among `demands`, returned sorted ascending
+/// by video id (ready for jaccard_similarity). Ties broken by lower video id.
+/// k is clamped to the number of distinct videos.
+[[nodiscard]] std::vector<VideoId> top_k_videos(
+    std::span<const VideoDemand> demands, std::size_t k);
+
+/// Top `fraction` (0 < fraction <= 1) of the distinct videos by request
+/// count; at least one video when demands is non-empty.
+[[nodiscard]] std::vector<VideoId> top_fraction_videos(
+    std::span<const VideoDemand> demands, double fraction);
+
+/// Top-20% sets for every hotspot of a slot (paper's similarity unit).
+[[nodiscard]] std::vector<std::vector<VideoId>> top_sets_per_hotspot(
+    const SlotDemand& demand, double fraction = 0.2);
+
+}  // namespace ccdn

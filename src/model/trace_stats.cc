@@ -1,0 +1,43 @@
+#include "model/trace_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ccdn {
+
+TraceStats compute_trace_stats(std::span<const Request> requests) {
+  TraceStats stats;
+  stats.num_requests = requests.size();
+  if (requests.empty()) return stats;
+
+  std::unordered_set<UserId> users;
+  std::unordered_map<VideoId, std::size_t> video_counts;
+  stats.first_timestamp = requests.front().timestamp;
+  stats.last_timestamp = requests.front().timestamp;
+  for (const Request& request : requests) {
+    users.insert(request.user);
+    ++video_counts[request.video];
+    stats.first_timestamp = std::min(stats.first_timestamp, request.timestamp);
+    stats.last_timestamp = std::max(stats.last_timestamp, request.timestamp);
+    const auto hour =
+        static_cast<std::size_t>((request.timestamp / 3600) % 24);
+    ++stats.per_hour[hour];
+  }
+  stats.distinct_users = users.size();
+  stats.distinct_videos = video_counts.size();
+
+  std::vector<std::size_t> counts;
+  counts.reserve(video_counts.size());
+  for (const auto& [_, count] : video_counts) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  const std::size_t head = std::max<std::size_t>(1, counts.size() / 5);
+  std::size_t head_mass = 0;
+  for (std::size_t i = 0; i < head; ++i) head_mass += counts[i];
+  stats.top20_share = static_cast<double>(head_mass) /
+                      static_cast<double>(requests.size());
+  return stats;
+}
+
+}  // namespace ccdn

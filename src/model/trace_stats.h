@@ -1,0 +1,37 @@
+// Descriptive statistics of a session trace.
+//
+// Summarizes the fields the paper reports for its datasets (users, videos,
+// sessions, time span) plus the request-per-hour profile; used by the
+// ccdn-trace CLI and the measurement example.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "model/types.h"
+
+namespace ccdn {
+
+struct TraceStats {
+  std::size_t num_requests = 0;
+  std::size_t distinct_users = 0;
+  std::size_t distinct_videos = 0;
+  std::int64_t first_timestamp = 0;
+  std::int64_t last_timestamp = 0;
+  /// Requests per hour-of-day (timestamp / 3600 mod 24).
+  std::array<std::size_t, 24> per_hour{};
+  /// Share of requests carried by the most popular 20% of videos
+  /// (the paper's Pareto check); 0 when the trace is empty.
+  double top20_share = 0.0;
+
+  [[nodiscard]] std::int64_t span_seconds() const noexcept {
+    return num_requests == 0 ? 0 : last_timestamp - first_timestamp;
+  }
+};
+
+/// Single pass over the trace (plus a sort over the distinct-video counts
+/// for the Pareto share).
+[[nodiscard]] TraceStats compute_trace_stats(std::span<const Request> requests);
+
+}  // namespace ccdn

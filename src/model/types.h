@@ -1,0 +1,52 @@
+// Core domain vocabulary of the crowdsourced CDN.
+//
+// Terminology follows the paper (§III): a *hotspot* is an edge device
+// (e.g. smart Wi-Fi AP) with service capacity s_h (requests per timeslot)
+// and cache capacity c_h (unit-size videos); the *origin CDN server* holds
+// every video and absorbs whatever the hotspots cannot serve.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace ccdn {
+
+using VideoId = std::uint32_t;
+using UserId = std::uint32_t;
+using HotspotIndex = std::uint32_t;  // position in the hotspot vector
+
+/// Sentinel "hotspot" index meaning the origin CDN server.
+inline constexpr HotspotIndex kCdnServer =
+    std::numeric_limits<HotspotIndex>::max();
+
+/// One video-session request (one row of the session trace).
+struct Request {
+  UserId user = 0;
+  VideoId video = 0;
+  std::int64_t timestamp = 0;  // seconds since trace start
+  GeoPoint location;
+};
+
+/// An edge content hotspot.
+struct Hotspot {
+  GeoPoint location;
+  /// Requests it can serve in one timeslot (s_h).
+  std::uint32_t service_capacity = 0;
+  /// Unit-size videos it can cache (c_h).
+  std::uint32_t cache_capacity = 0;
+};
+
+/// Video catalog. Videos are unit-size (paper §III assumption 3), so the
+/// catalog is fully described by its cardinality.
+struct VideoCatalog {
+  std::uint32_t num_videos = 0;
+};
+
+/// Distance charged when the origin CDN server serves a request
+/// (paper §V-A: the 17x11 km region diagonal, ~20 km).
+inline constexpr double kCdnDistanceKm = 20.0;
+
+}  // namespace ccdn

@@ -1,0 +1,84 @@
+#include "predict/demand_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+DemandPredictor::DemandPredictor(std::size_t num_hotspots,
+                                 const Forecaster& forecaster,
+                                 std::size_t history_window)
+    : forecaster_(forecaster),
+      history_window_(history_window),
+      num_hotspots_(num_hotspots),
+      state_(num_hotspots) {
+  CCDN_REQUIRE(history_window >= 1, "history window must be positive");
+}
+
+void DemandPredictor::observe(const SlotDemand& demand) {
+  CCDN_REQUIRE(demand.num_hotspots() == num_hotspots_,
+               "hotspot count mismatch");
+  for (std::size_t h = 0; h < num_hotspots_; ++h) {
+    auto& per_video = state_[h];
+    // Append this slot's counts; series for videos absent this slot get an
+    // explicit 0 so forecasters see fading demand fade.
+    for (auto& [video, series] : per_video) {
+      series.values.push_back(0.0);
+      if (series.values.size() > history_window_) series.values.pop_front();
+    }
+    for (const auto& d : demand.video_demand(static_cast<HotspotIndex>(h))) {
+      auto [it, inserted] = per_video.try_emplace(d.video);
+      if (inserted) {
+        // Align the new series in time: it was 0 in the slots we already
+        // observed (up to the window).
+        it->second.values.assign(std::min(slots_observed_,
+                                          history_window_ - 1),
+                                 0.0);
+        it->second.values.push_back(static_cast<double>(d.count));
+      } else {
+        it->second.values.back() = static_cast<double>(d.count);
+      }
+    }
+    // Drop all-zero series to keep the state sparse.
+    for (auto it = per_video.begin(); it != per_video.end();) {
+      const auto& values = it->second.values;
+      const bool all_zero =
+          std::all_of(values.begin(), values.end(),
+                      [](double v) { return v == 0.0; });
+      it = all_zero ? per_video.erase(it) : std::next(it);
+    }
+  }
+  ++slots_observed_;
+}
+
+std::vector<std::vector<VideoDemand>> DemandPredictor::predict() const {
+  std::vector<std::vector<VideoDemand>> predicted(num_hotspots_);
+  std::vector<double> history;
+  for (std::size_t h = 0; h < num_hotspots_; ++h) {
+    predicted[h].reserve(state_[h].size());
+    for (const auto& [video, series] : state_[h]) {
+      history.assign(series.values.begin(), series.values.end());
+      const double value = forecaster_.forecast(history);
+      const auto count =
+          static_cast<std::uint32_t>(std::llround(std::max(0.0, value)));
+      if (count > 0) predicted[h].push_back({video, count});
+    }
+    std::sort(predicted[h].begin(), predicted[h].end(),
+              [](const VideoDemand& a, const VideoDemand& b) {
+                return a.video < b.video;
+              });
+  }
+  return predicted;
+}
+
+SlotDemand DemandPredictor::predict_for(const SlotDemand& actual) const {
+  CCDN_REQUIRE(actual.num_hotspots() == num_hotspots_,
+               "hotspot count mismatch");
+  const auto homes = actual.request_home();
+  return SlotDemand(predict(),
+                    std::vector<HotspotIndex>(homes.begin(), homes.end()));
+}
+
+}  // namespace ccdn

@@ -1,0 +1,55 @@
+// Per-hotspot per-video demand prediction.
+//
+// Maintains a bounded history of observed λ_hv per (hotspot, video) and
+// produces the forecast demand matrix for the next slot, which the
+// scheduler plans against (the paper's assumption 4: placement decisions
+// use predicted, not observed, popularity). Videos never seen at a hotspot
+// predict 0 and are skipped, keeping the state sparse.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "model/demand.h"
+#include "predict/forecaster.h"
+
+namespace ccdn {
+
+class DemandPredictor {
+ public:
+  /// `history_window`: slots of history retained per (hotspot, video).
+  DemandPredictor(std::size_t num_hotspots, const Forecaster& forecaster,
+                  std::size_t history_window = 24);
+
+  /// Record one slot's observed demand (hotspot count must match).
+  void observe(const SlotDemand& demand);
+
+  /// Number of slots observed so far.
+  [[nodiscard]] std::size_t slots_observed() const noexcept {
+    return slots_observed_;
+  }
+
+  /// Forecast the next slot's per-hotspot demand (rounded to integers,
+  /// zero-demand entries dropped).
+  [[nodiscard]] std::vector<std::vector<VideoDemand>> predict() const;
+
+  /// Convenience: predicted demand combined with the *actual* request homes
+  /// of the slot being planned, ready for RedirectionScheme::plan_slot.
+  [[nodiscard]] SlotDemand predict_for(const SlotDemand& actual) const;
+
+ private:
+  struct Series {
+    // Ring of the last `history_window` observations; absent slots are 0.
+    std::deque<double> values;
+  };
+
+  const Forecaster& forecaster_;
+  std::size_t history_window_;
+  std::size_t num_hotspots_;
+  std::size_t slots_observed_ = 0;
+  std::vector<std::unordered_map<VideoId, Series>> state_;
+};
+
+}  // namespace ccdn

@@ -1,0 +1,126 @@
+#include "predict/forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ccdn {
+
+namespace {
+double clamp_non_negative(double value) { return std::max(0.0, value); }
+}  // namespace
+
+double LastValueForecaster::forecast(std::span<const double> history) const {
+  return history.empty() ? 0.0 : clamp_non_negative(history.back());
+}
+
+MovingAverageForecaster::MovingAverageForecaster(std::size_t window)
+    : window_(window) {
+  CCDN_REQUIRE(window >= 1, "window must be positive");
+}
+
+std::string MovingAverageForecaster::name() const {
+  return "moving-average(" + std::to_string(window_) + ")";
+}
+
+double MovingAverageForecaster::forecast(
+    std::span<const double> history) const {
+  if (history.empty()) return 0.0;
+  const std::size_t n = std::min(window_, history.size());
+  const auto tail = history.subspan(history.size() - n, n);
+  const double sum = std::accumulate(tail.begin(), tail.end(), 0.0);
+  return clamp_non_negative(sum / static_cast<double>(n));
+}
+
+ExponentialSmoothingForecaster::ExponentialSmoothingForecaster(double alpha)
+    : alpha_(alpha) {
+  CCDN_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha outside (0,1]");
+}
+
+std::string ExponentialSmoothingForecaster::name() const {
+  return "exp-smoothing(" + format_fixed(alpha_, 2) + ")";
+}
+
+double ExponentialSmoothingForecaster::forecast(
+    std::span<const double> history) const {
+  if (history.empty()) return 0.0;
+  double level = history.front();
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    level = alpha_ * history[i] + (1.0 - alpha_) * level;
+  }
+  return clamp_non_negative(level);
+}
+
+HoltForecaster::HoltForecaster(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  CCDN_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha outside (0,1]");
+  CCDN_REQUIRE(beta > 0.0 && beta <= 1.0, "beta outside (0,1]");
+}
+
+std::string HoltForecaster::name() const {
+  return "holt(" + format_fixed(alpha_, 2) + "," + format_fixed(beta_, 2) +
+         ")";
+}
+
+double HoltForecaster::forecast(std::span<const double> history) const {
+  if (history.empty()) return 0.0;
+  if (history.size() == 1) return clamp_non_negative(history.front());
+  double level = history[0];
+  double trend = history[1] - history[0];
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    const double previous_level = level;
+    level = alpha_ * history[i] + (1.0 - alpha_) * (level + trend);
+    trend = beta_ * (level - previous_level) + (1.0 - beta_) * trend;
+  }
+  return clamp_non_negative(level + trend);
+}
+
+double Ar1Forecaster::forecast(std::span<const double> history) const {
+  if (history.empty()) return 0.0;
+  const double mean =
+      std::accumulate(history.begin(), history.end(), 0.0) /
+      static_cast<double>(history.size());
+  if (history.size() < 3) return clamp_non_negative(history.back());
+  // OLS fit of x[t] = c + phi * x[t-1].
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  const auto n = static_cast<double>(history.size() - 1);
+  for (std::size_t t = 1; t < history.size(); ++t) {
+    sx += history[t - 1];
+    sy += history[t];
+    sxx += history[t - 1] * history[t - 1];
+    sxy += history[t - 1] * history[t];
+  }
+  const double denominator = n * sxx - sx * sx;
+  if (std::abs(denominator) < 1e-12) return clamp_non_negative(mean);
+  double phi = (n * sxy - sx * sy) / denominator;
+  // Guard against explosive fits on short noisy histories.
+  phi = std::clamp(phi, -1.0, 1.0);
+  const double intercept = (sy - phi * sx) / n;
+  return clamp_non_negative(intercept + phi * history.back());
+}
+
+SeasonalNaiveForecaster::SeasonalNaiveForecaster(std::size_t period)
+    : period_(period) {
+  CCDN_REQUIRE(period >= 1, "period must be positive");
+}
+
+std::string SeasonalNaiveForecaster::name() const {
+  return "seasonal-naive(" + std::to_string(period_) + ")";
+}
+
+double SeasonalNaiveForecaster::forecast(
+    std::span<const double> history) const {
+  if (history.empty()) return 0.0;
+  if (history.size() < period_) {
+    return clamp_non_negative(history.back());
+  }
+  return clamp_non_negative(history[history.size() - period_]);
+}
+
+}  // namespace ccdn

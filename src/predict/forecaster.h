@@ -1,0 +1,92 @@
+// Time-series forecasters for per-video demand.
+//
+// Paper §III assumption 4: "the popularity distribution of the files
+// changes slowly, and it can be learned through some popularity prediction
+// algorithm (like the regression model ARIMA)". The scheduler plans slot
+// t+1 from a forecast of λ_hv; these are the standard light-weight models
+// used for that purpose. All forecasters consume a history vector ordered
+// oldest -> newest and return the next-step prediction (clamped to >= 0).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace ccdn {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Predict the value following `history` (oldest first). An empty history
+  /// predicts 0.
+  [[nodiscard]] virtual double forecast(
+      std::span<const double> history) const = 0;
+};
+
+using ForecasterPtr = std::unique_ptr<Forecaster>;
+
+/// Predicts the most recent observation (the "naive" baseline).
+class LastValueForecaster final : public Forecaster {
+ public:
+  [[nodiscard]] std::string name() const override { return "last-value"; }
+  [[nodiscard]] double forecast(std::span<const double> history) const override;
+};
+
+/// Mean of the last `window` observations.
+class MovingAverageForecaster final : public Forecaster {
+ public:
+  explicit MovingAverageForecaster(std::size_t window);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast(std::span<const double> history) const override;
+
+ private:
+  std::size_t window_;
+};
+
+/// Simple exponential smoothing with factor alpha in (0, 1].
+class ExponentialSmoothingForecaster final : public Forecaster {
+ public:
+  explicit ExponentialSmoothingForecaster(double alpha);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast(std::span<const double> history) const override;
+
+ private:
+  double alpha_;
+};
+
+/// Holt's linear (double exponential) smoothing: level + trend.
+class HoltForecaster final : public Forecaster {
+ public:
+  HoltForecaster(double alpha, double beta);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast(std::span<const double> history) const override;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+/// AR(1) with intercept, fitted by ordinary least squares over the history
+/// (an ARIMA(1,0,0) model — the regression family the paper cites). Falls
+/// back to the mean when the history is too short or degenerate.
+class Ar1Forecaster final : public Forecaster {
+ public:
+  [[nodiscard]] std::string name() const override { return "ar1"; }
+  [[nodiscard]] double forecast(std::span<const double> history) const override;
+};
+
+/// Seasonal naive: predicts the value one period (e.g. 24 hourly slots)
+/// ago — the canonical model for strongly diurnal demand. Falls back to
+/// the last value while the history is shorter than one period.
+class SeasonalNaiveForecaster final : public Forecaster {
+ public:
+  explicit SeasonalNaiveForecaster(std::size_t period);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double forecast(std::span<const double> history) const override;
+
+ private:
+  std::size_t period_;
+};
+
+}  // namespace ccdn

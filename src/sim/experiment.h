@@ -1,0 +1,68 @@
+// Parameter-sweep experiment drivers for the paper's Figs. 6 and 7.
+//
+// Each sweep point rebuilds the hotspot capacities (as fractions of the
+// video-set size, the paper's parameterization), runs every scheme over the
+// same trace, and records the four §V-A metrics.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+#include "sim/simulator.h"
+#include "trace/world.h"
+
+namespace ccdn {
+
+/// Factory so each sweep point gets a fresh (deterministic) scheme.
+using SchemeFactory = std::function<SchemePtr()>;
+
+struct NamedSchemeFactory {
+  std::string label;
+  SchemeFactory make;
+};
+
+struct SweepPoint {
+  double parameter = 0.0;  // the swept fraction (capacity or cache)
+  std::string scheme;
+  double serving_ratio = 0.0;
+  double average_distance_km = 0.0;
+  double replication_cost = 0.0;
+  double cdn_server_load = 0.0;
+};
+
+struct SweepConfig {
+  std::vector<double> swept_fractions;
+  /// The non-swept dimension, held fixed.
+  double fixed_fraction = 0.0;
+  SimulationConfig simulation;
+};
+
+/// Fig. 6: sweep service capacity, cache fixed (paper: capacity 2%–7%,
+/// cache 3%).
+[[nodiscard]] std::vector<SweepPoint> run_capacity_sweep(
+    const World& world, std::span<const Request> requests,
+    const std::vector<NamedSchemeFactory>& schemes, const SweepConfig& config);
+
+/// Fig. 7: sweep cache size, capacity fixed (paper: cache 0.5%–5%,
+/// capacity 5%).
+[[nodiscard]] std::vector<SweepPoint> run_cache_sweep(
+    const World& world, std::span<const Request> requests,
+    const std::vector<NamedSchemeFactory>& schemes, const SweepConfig& config);
+
+/// Write sweep points as CSV (parameter, scheme, four metrics) — ready to
+/// plot against the paper's figures.
+void write_sweep_csv(std::ostream& out, const std::vector<SweepPoint>& points);
+
+/// One simulation at explicit capacity/cache fractions.
+[[nodiscard]] SweepPoint run_single(const World& world,
+                                    std::span<const Request> requests,
+                                    const NamedSchemeFactory& scheme,
+                                    double service_fraction,
+                                    double cache_fraction,
+                                    const SimulationConfig& simulation);
+
+}  // namespace ccdn

@@ -1,0 +1,176 @@
+#include "sim/measurement.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "model/demand.h"
+#include "model/timeslots.h"
+#include "model/topsets.h"
+#include "stats/correlation.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+namespace {
+
+RoutedDemand route_with(const GridIndex& index,
+                        std::span<const Request> requests,
+                        const std::function<std::size_t(const Request&)>& pick) {
+  RoutedDemand routed;
+  routed.workloads.assign(index.size(), 0);
+  std::vector<std::unordered_map<VideoId, std::uint32_t>> seen(index.size());
+  for (const Request& request : requests) {
+    const std::size_t h = pick(request);
+    ++routed.workloads[h];
+    ++seen[h][request.video];
+  }
+  routed.videos_per_hotspot.resize(index.size());
+  for (std::size_t h = 0; h < index.size(); ++h) {
+    auto& videos = routed.videos_per_hotspot[h];
+    videos.reserve(seen[h].size());
+    for (const auto& [video, _] : seen[h]) videos.push_back(video);
+    std::sort(videos.begin(), videos.end());
+  }
+  return routed;
+}
+
+}  // namespace
+
+std::size_t RoutedDemand::total_replication_cost() const {
+  std::size_t total = 0;
+  for (const auto& videos : videos_per_hotspot) total += videos.size();
+  return total;
+}
+
+RoutedDemand route_nearest(const GridIndex& index,
+                           std::span<const Request> requests) {
+  return route_with(index, requests, [&](const Request& r) {
+    return index.nearest(r.location);
+  });
+}
+
+RoutedDemand route_random_radius(const GridIndex& index,
+                                 std::span<const Request> requests,
+                                 double radius_km, Rng& rng) {
+  CCDN_REQUIRE(radius_km > 0.0, "non-positive radius");
+  // Cache radius query results per nearest-hotspot bucket: requests share
+  // neighbourhoods, and per-request radius queries on millions of rows
+  // would dominate the measurement.
+  std::vector<std::vector<std::size_t>> neighbourhood(index.size());
+  return route_with(index, requests, [&](const Request& r) {
+    const std::size_t home = index.nearest(r.location);
+    auto& pool = neighbourhood[home];
+    if (pool.empty()) {
+      pool = index.within_radius(index.point(home), radius_km);
+      if (pool.empty()) pool.push_back(home);
+    }
+    return pool[rng.index(pool.size())];
+  });
+}
+
+std::vector<std::uint32_t> nearest_workloads(const GridIndex& index,
+                                             std::span<const Request> requests) {
+  return route_nearest(index, requests).workloads;
+}
+
+std::vector<std::uint32_t> random_radius_workloads(
+    const GridIndex& index, std::span<const Request> requests,
+    double radius_km, Rng& rng) {
+  return route_random_radius(index, requests, radius_km, rng).workloads;
+}
+
+std::vector<double> workload_correlations(const GridIndex& index,
+                                          std::span<const Request> requests,
+                                          double pair_radius_km,
+                                          std::int64_t slot_seconds,
+                                          std::size_t max_pairs, Rng& rng) {
+  CCDN_REQUIRE(!requests.empty(), "empty trace");
+  const std::vector<SlotRange> slots =
+      partition_into_slots(requests, slot_seconds);
+  CCDN_REQUIRE(slots.size() >= 2, "need at least two slots for correlation");
+
+  // Hourly load series per hotspot.
+  std::vector<std::vector<double>> series(
+      index.size(), std::vector<double>(slots.size(), 0.0));
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    for (std::size_t r = slots[s].begin; r < slots[s].end; ++r) {
+      series[index.nearest(requests[r].location)][s] += 1.0;
+    }
+  }
+
+  // Enumerate nearby pairs; reservoir-sample down to max_pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    for (const std::size_t j : index.within_radius(index.point(i),
+                                                   pair_radius_km)) {
+      if (j <= i) continue;
+      ++seen;
+      if (pairs.size() < max_pairs) {
+        pairs.emplace_back(i, j);
+      } else {
+        const std::size_t slot = rng.index(seen);
+        if (slot < max_pairs) pairs[slot] = {i, j};
+      }
+    }
+  }
+
+  std::vector<double> correlations;
+  correlations.reserve(pairs.size());
+  for (const auto& [i, j] : pairs) {
+    correlations.push_back(spearman_correlation(series[i], series[j]));
+  }
+  return correlations;
+}
+
+std::vector<double> content_similarities(
+    std::span<const GeoPoint> hotspot_locations,
+    std::span<const Request> requests, double sample_ratio,
+    double pair_radius_km, double top_fraction, std::size_t max_pairs,
+    Rng& rng) {
+  CCDN_REQUIRE(sample_ratio > 0.0 && sample_ratio <= 1.0,
+               "sample ratio outside (0,1]");
+  CCDN_REQUIRE(!hotspot_locations.empty(), "no hotspots");
+
+  // Sample the hotspot subset and rebuild the spatial index over it.
+  const auto k = std::max<std::size_t>(
+      2, static_cast<std::size_t>(sample_ratio *
+                                  static_cast<double>(hotspot_locations.size())));
+  std::vector<std::size_t> chosen =
+      sample_indices(rng, hotspot_locations.size(), k);
+  std::vector<GeoPoint> sampled;
+  sampled.reserve(chosen.size());
+  for (const std::size_t idx : chosen) sampled.push_back(hotspot_locations[idx]);
+  const GridIndex index(std::move(sampled), /*cell_km=*/1.0);
+
+  // Re-route everything Nearest onto the sampled set and take top sets.
+  const SlotDemand demand(requests, index);
+  const auto top_sets = top_sets_per_hotspot(demand, top_fraction);
+
+  std::vector<double> similarities;
+  std::size_t seen = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    for (const std::size_t j : index.within_radius(index.point(i),
+                                                   pair_radius_km)) {
+      if (j <= i) continue;
+      // Pairs where either side saw no requests carry no signal.
+      if (top_sets[i].empty() || top_sets[j].empty()) continue;
+      ++seen;
+      if (pairs.size() < max_pairs) {
+        pairs.emplace_back(i, j);
+      } else {
+        const std::size_t slot = rng.index(seen);
+        if (slot < max_pairs) pairs[slot] = {i, j};
+      }
+    }
+  }
+  similarities.reserve(pairs.size());
+  for (const auto& [i, j] : pairs) {
+    similarities.push_back(jaccard_similarity(top_sets[i], top_sets[j]));
+  }
+  return similarities;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,64 @@
+// Measurement-study analyses (paper §II).
+//
+// These functions reproduce the statistics that motivate RBCAer:
+//   * per-hotspot workload distribution under Nearest and Random-radius
+//     routing (Fig. 2) and the associated replication-cost comparison,
+//   * Spearman workload correlation between nearby hotspot pairs (Fig. 3a),
+//   * Jaccard content similarity between nearby hotspot pairs at several
+//     hotspot sample ratios (Fig. 3b).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "model/types.h"
+#include "util/rng.h"
+
+namespace ccdn {
+
+/// Per-hotspot request counts when every request goes to its nearest
+/// hotspot.
+[[nodiscard]] std::vector<std::uint32_t> nearest_workloads(
+    const GridIndex& hotspot_index, std::span<const Request> requests);
+
+/// Per-hotspot request counts when each request picks a uniformly random
+/// hotspot within `radius_km` of it (its nearest hotspot if none in range).
+[[nodiscard]] std::vector<std::uint32_t> random_radius_workloads(
+    const GridIndex& hotspot_index, std::span<const Request> requests,
+    double radius_km, Rng& rng);
+
+/// Distinct videos requested per hotspot under an assignment produced by
+/// one of the workload functions above — the §II-A "replicate everything
+/// requested" replication-cost model. Returns the per-hotspot distinct
+/// counts; sum them for the total cost.
+struct RoutedDemand {
+  std::vector<std::uint32_t> workloads;
+  std::vector<std::vector<VideoId>> videos_per_hotspot;  // sorted distinct
+  [[nodiscard]] std::size_t total_replication_cost() const;
+};
+[[nodiscard]] RoutedDemand route_nearest(const GridIndex& hotspot_index,
+                                         std::span<const Request> requests);
+[[nodiscard]] RoutedDemand route_random_radius(
+    const GridIndex& hotspot_index, std::span<const Request> requests,
+    double radius_km, Rng& rng);
+
+/// Spearman workload correlation over hourly load series for hotspot pairs
+/// closer than `pair_radius_km` (Fig. 3a). Requests are bucketed into
+/// `slot_seconds` slots and routed Nearest. At most `max_pairs` pairs are
+/// (deterministically) sampled.
+[[nodiscard]] std::vector<double> workload_correlations(
+    const GridIndex& hotspot_index, std::span<const Request> requests,
+    double pair_radius_km, std::int64_t slot_seconds, std::size_t max_pairs,
+    Rng& rng);
+
+/// Jaccard similarity of Top-`top_fraction` content sets for hotspot pairs
+/// closer than `pair_radius_km`, after sampling `sample_ratio` of the
+/// hotspots and re-routing requests to the sampled set (Fig. 3b).
+[[nodiscard]] std::vector<double> content_similarities(
+    std::span<const GeoPoint> hotspot_locations,
+    std::span<const Request> requests, double sample_ratio,
+    double pair_radius_km, double top_fraction, std::size_t max_pairs,
+    Rng& rng);
+
+}  // namespace ccdn

@@ -1,0 +1,54 @@
+#include "sim/predictive.h"
+
+#include "model/timeslots.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+SimulationReport run_predictive(const std::vector<Hotspot>& hotspots,
+                                VideoCatalog catalog,
+                                RedirectionScheme& scheme,
+                                const Forecaster& forecaster,
+                                std::span<const Request> requests,
+                                const PredictiveConfig& config) {
+  CCDN_REQUIRE(!hotspots.empty(), "no hotspots");
+  CCDN_REQUIRE(catalog.num_videos > 0, "empty catalog");
+
+  std::vector<GeoPoint> locations;
+  locations.reserve(hotspots.size());
+  for (const auto& h : hotspots) locations.push_back(h.location);
+  const GridIndex index(std::move(locations), 0.5);
+  const SchemeContext context{hotspots, index, catalog,
+                              config.simulation.cdn_distance_km};
+
+  DemandPredictor predictor(hotspots.size(), forecaster,
+                            config.history_window);
+  SimulationReport report(catalog.num_videos,
+                          config.simulation.cdn_distance_km);
+  const auto slots =
+      partition_into_slots(requests, config.simulation.slot_seconds);
+  std::vector<std::vector<VideoId>> previous_placements;
+  for (const SlotRange& range : slots) {
+    const auto slot_requests = requests.subspan(range.begin, range.size());
+    const SlotDemand actual(slot_requests, index);
+    const bool warm = predictor.slots_observed() >= config.warmup_slots;
+    const SlotDemand planning =
+        warm ? predictor.predict_for(actual) : actual;
+    SlotPlan plan =
+        scheme.plan_slot(context, slot_requests, warm ? planning : actual);
+    std::vector<std::uint32_t> served_at;
+    SlotMetrics metrics = admit_slot(
+        hotspots, plan, slot_requests, config.simulation.cdn_distance_km,
+        config.simulation.record_hotspot_loads ? &served_at : nullptr);
+    if (config.simulation.charge_placement_deltas) {
+      metrics.replicas =
+          count_new_replicas(previous_placements, plan.placements);
+      previous_placements = std::move(plan.placements);
+    }
+    report.add_slot(metrics, std::move(served_at));
+    predictor.observe(actual);
+  }
+  return report;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,36 @@
+// Predictive scheduling pipeline.
+//
+// The plain Simulator plans each slot against its *observed* demand — an
+// oracle. In deployment the scheduling server must prefetch before the slot
+// starts, planning against *forecast* demand (paper §III assumption 4).
+// run_predictive() drives that loop: plan slot t with the predictor's
+// output, admit against the actual requests, then feed the observation back
+// into the predictor. The gap to the oracle quantifies the price of
+// prediction error.
+#pragma once
+
+#include <span>
+
+#include "core/scheme.h"
+#include "predict/demand_predictor.h"
+#include "sim/simulator.h"
+
+namespace ccdn {
+
+struct PredictiveConfig {
+  SimulationConfig simulation;
+  /// Initial slots planned against observed demand while history builds up
+  /// (an operator would bootstrap from yesterday's trace).
+  std::size_t warmup_slots = 1;
+  /// Slots of per-video history the predictor retains.
+  std::size_t history_window = 24;
+};
+
+/// Run `scheme` over the trace, planning each post-warmup slot against the
+/// forecaster's demand prediction instead of the observed demand.
+[[nodiscard]] SimulationReport run_predictive(
+    const std::vector<Hotspot>& hotspots, VideoCatalog catalog,
+    RedirectionScheme& scheme, const Forecaster& forecaster,
+    std::span<const Request> requests, const PredictiveConfig& config = {});
+
+}  // namespace ccdn

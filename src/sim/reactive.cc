@@ -1,0 +1,79 @@
+#include "sim/reactive.h"
+
+#include "geo/geo_point.h"
+#include "model/timeslots.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+SimulationReport run_reactive(const std::vector<Hotspot>& hotspots,
+                              VideoCatalog catalog,
+                              std::span<const Request> requests,
+                              const ReactiveConfig& config) {
+  CCDN_REQUIRE(!hotspots.empty(), "no hotspots");
+  CCDN_REQUIRE(catalog.num_videos > 0, "empty catalog");
+
+  std::vector<GeoPoint> locations;
+  locations.reserve(hotspots.size());
+  for (const auto& h : hotspots) locations.push_back(h.location);
+  const GridIndex index(std::move(locations), 0.5);
+
+  std::vector<VideoCachePtr> caches;
+  caches.reserve(hotspots.size());
+  for (const auto& hotspot : hotspots) {
+    caches.push_back(make_cache(
+        config.policy, std::max<std::size_t>(1, hotspot.cache_capacity)));
+  }
+
+  SimulationReport report(catalog.num_videos,
+                          config.simulation.cdn_distance_km);
+  const auto slots =
+      partition_into_slots(requests, config.simulation.slot_seconds);
+  std::vector<std::uint32_t> capacity_left(hotspots.size());
+
+  for (const SlotRange& range : slots) {
+    SlotMetrics metrics;
+    metrics.requests = range.size();
+    for (std::size_t h = 0; h < hotspots.size(); ++h) {
+      capacity_left[h] = hotspots[h].service_capacity;
+    }
+    std::vector<std::uint32_t> served_at;
+    if (config.simulation.record_hotspot_loads) {
+      served_at.assign(hotspots.size(), 0);
+    }
+
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      const Request& request = requests[r];
+      const auto home =
+          static_cast<HotspotIndex>(index.nearest(request.location));
+      bool hit = caches[home]->access(request.video);
+      if (!hit) {
+        // Fetch on miss: one unit of origin replication traffic.
+        (void)caches[home]->insert(request.video);
+        ++metrics.replicas;
+        hit = config.serve_on_fetch;
+        if (!hit) ++metrics.rejected_placement;
+      }
+      bool served = false;
+      if (hit) {
+        if (capacity_left[home] > 0) {
+          --capacity_left[home];
+          served = true;
+          ++metrics.served;
+          metrics.distance_sum_km +=
+              distance_km(request.location, hotspots[home].location);
+          if (config.simulation.record_hotspot_loads) ++served_at[home];
+        } else {
+          ++metrics.rejected_capacity;
+        }
+      }
+      if (!served) {
+        metrics.distance_sum_km += config.simulation.cdn_distance_km;
+      }
+    }
+    report.add_slot(metrics, std::move(served_at));
+  }
+  return report;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,34 @@
+// Reactive-caching baseline simulator.
+//
+// No scheduling server, no prefetching: every request goes to its nearest
+// hotspot; on a cache miss the hotspot fetches the video from the origin
+// CDN (one unit of replication traffic), evicting per the configured
+// policy, and serves the user if it has service capacity this slot. This
+// is the "just put a cache on the AP" strawman against which the paper's
+// planned prefetching is measured.
+#pragma once
+
+#include <span>
+
+#include "cache/policies.h"
+#include "sim/simulator.h"
+
+namespace ccdn {
+
+struct ReactiveConfig {
+  CachePolicy policy = CachePolicy::kLru;
+  SimulationConfig simulation;
+  /// If true, a fetched video can serve the request that triggered the
+  /// fetch (cut-through); if false the triggering request goes to the CDN
+  /// and only later requests benefit.
+  bool serve_on_fetch = true;
+};
+
+/// Run the reactive baseline over a trace. Replication cost counts origin
+/// fetches; caches persist across slots (they are device state), while
+/// service capacity resets per slot like everywhere else.
+[[nodiscard]] SimulationReport run_reactive(
+    const std::vector<Hotspot>& hotspots, VideoCatalog catalog,
+    std::span<const Request> requests, const ReactiveConfig& config = {});
+
+}  // namespace ccdn

@@ -1,0 +1,159 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "geo/geo_point.h"
+#include "util/rng.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+void SimulationReport::add_slot(SlotMetrics metrics,
+                                std::vector<std::uint32_t> hotspot_loads) {
+  requests_ += metrics.requests;
+  served_ += metrics.served;
+  replicas_ += metrics.replicas;
+  distance_sum_km_ += metrics.distance_sum_km;
+  slots_.push_back(metrics);
+  if (!hotspot_loads.empty()) {
+    hotspot_loads_.push_back(std::move(hotspot_loads));
+  }
+}
+
+double SimulationReport::serving_ratio() const noexcept {
+  return requests_ == 0
+             ? 0.0
+             : static_cast<double>(served_) / static_cast<double>(requests_);
+}
+
+double SimulationReport::average_distance_km() const noexcept {
+  return requests_ == 0 ? 0.0
+                        : distance_sum_km_ / static_cast<double>(requests_);
+}
+
+double SimulationReport::replication_cost() const noexcept {
+  return num_videos_ == 0 ? 0.0
+                          : static_cast<double>(replicas_) /
+                                static_cast<double>(num_videos_);
+}
+
+double SimulationReport::cdn_server_load() const noexcept {
+  if (requests_ == 0) return 0.0;
+  const double unserved = static_cast<double>(requests_ - served_);
+  return (unserved + static_cast<double>(replicas_)) /
+         static_cast<double>(requests_);
+}
+
+Simulator::Simulator(std::vector<Hotspot> hotspots, VideoCatalog catalog,
+                     SimulationConfig config)
+    : hotspots_(std::move(hotspots)),
+      catalog_(catalog),
+      config_(config),
+      index_(
+          [&] {
+            CCDN_REQUIRE(!hotspots_.empty(), "no hotspots");
+            std::vector<GeoPoint> locations;
+            locations.reserve(hotspots_.size());
+            for (const auto& h : hotspots_) locations.push_back(h.location);
+            return locations;
+          }(),
+          /*cell_km=*/0.5) {
+  CCDN_REQUIRE(config_.slot_seconds > 0, "non-positive slot length");
+  CCDN_REQUIRE(catalog_.num_videos > 0, "empty catalog");
+}
+
+SlotMetrics admit_slot(const std::vector<Hotspot>& hotspots,
+                       const SlotPlan& plan,
+                       std::span<const Request> requests,
+                       double cdn_distance_km,
+                       std::vector<std::uint32_t>* served_loads,
+                       std::span<const std::uint8_t> available) {
+  CCDN_ENSURE(plan.assignment.size() == requests.size(),
+              "plan assignment length mismatch");
+  CCDN_ENSURE(plan.respects_caches(hotspots),
+              "scheme exceeded cache capacities");
+  CCDN_REQUIRE(available.empty() || available.size() == hotspots.size(),
+               "availability mask length mismatch");
+
+  SlotMetrics metrics;
+  metrics.requests = requests.size();
+  metrics.replicas = plan.total_replicas();
+  std::vector<std::uint32_t> capacity_left(hotspots.size());
+  for (std::size_t h = 0; h < hotspots.size(); ++h) {
+    capacity_left[h] = hotspots[h].service_capacity;
+  }
+  if (served_loads != nullptr) served_loads->assign(hotspots.size(), 0);
+
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const HotspotIndex target = plan.assignment[r];
+    bool served = false;
+    if (target != kCdnServer) {
+      CCDN_ENSURE(target < hotspots.size(), "assignment out of range");
+      const auto& cached = plan.placements[target];
+      if (!available.empty() && available[target] == 0) {
+        ++metrics.rejected_offline;
+      } else if (!std::binary_search(cached.begin(), cached.end(),
+                              requests[r].video)) {
+        ++metrics.rejected_placement;
+      } else if (capacity_left[target] == 0) {
+        ++metrics.rejected_capacity;
+      } else {
+        --capacity_left[target];
+        served = true;
+        metrics.distance_sum_km +=
+            distance_km(requests[r].location, hotspots[target].location);
+        ++metrics.served;
+        if (served_loads != nullptr) ++(*served_loads)[target];
+      }
+    } else {
+      ++metrics.sent_to_cdn;
+    }
+    if (!served) metrics.distance_sum_km += cdn_distance_km;
+  }
+  return metrics;
+}
+
+SimulationReport Simulator::run(RedirectionScheme& scheme,
+                                std::span<const Request> requests) const {
+  SimulationReport report(catalog_.num_videos, config_.cdn_distance_km);
+  const std::vector<SlotRange> slots =
+      partition_into_slots(requests, config_.slot_seconds);
+
+  const SchemeContext context{hotspots_, index_, catalog_,
+                              config_.cdn_distance_km};
+  CCDN_REQUIRE(config_.offline_probability >= 0.0 &&
+                   config_.offline_probability < 1.0,
+               "offline probability outside [0,1)");
+  Rng churn_rng(config_.churn_seed);
+  std::vector<std::uint8_t> available;
+  std::vector<std::vector<VideoId>> previous_placements;
+  for (const SlotRange& range : slots) {
+    const auto slot_requests = requests.subspan(range.begin, range.size());
+    const SlotDemand demand(slot_requests, index_);
+    SlotPlan plan = scheme.plan_slot(context, slot_requests, demand);
+    std::span<const std::uint8_t> availability;
+    if (config_.offline_probability > 0.0) {
+      available.assign(hotspots_.size(), 1);
+      for (std::size_t h = 0; h < hotspots_.size(); ++h) {
+        if (churn_rng.chance(config_.offline_probability)) {
+          available[h] = 0;
+        }
+      }
+      availability = available;
+    }
+    std::vector<std::uint32_t> served_at;
+    SlotMetrics metrics =
+        admit_slot(hotspots_, plan, slot_requests, config_.cdn_distance_km,
+                   config_.record_hotspot_loads ? &served_at : nullptr,
+                   availability);
+    if (config_.charge_placement_deltas) {
+      metrics.replicas =
+          count_new_replicas(previous_placements, plan.placements);
+      previous_placements = std::move(plan.placements);
+    }
+    report.add_slot(metrics, std::move(served_at));
+  }
+  return report;
+}
+
+}  // namespace ccdn

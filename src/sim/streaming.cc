@@ -1,0 +1,132 @@
+#include "sim/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "geo/geo_point.h"
+#include "model/timeslots.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+std::vector<Session> attach_durations(std::span<const Request> requests,
+                                      double median_minutes, double sigma,
+                                      std::uint64_t seed) {
+  CCDN_REQUIRE(median_minutes > 0.0, "non-positive median duration");
+  CCDN_REQUIRE(sigma >= 0.0, "negative sigma");
+  Rng rng(seed);
+  std::vector<Session> sessions;
+  sessions.reserve(requests.size());
+  const double mu = std::log(median_minutes * 60.0);
+  for (const Request& request : requests) {
+    Session session;
+    session.request = request;
+    const double seconds = std::exp(rng.normal(mu, sigma));
+    session.duration_seconds = static_cast<std::int64_t>(
+        std::clamp(seconds, 30.0, 4.0 * 3600.0));
+    sessions.push_back(session);
+  }
+  return sessions;
+}
+
+StreamingReport run_streaming(const std::vector<Hotspot>& hotspots,
+                              VideoCatalog catalog, RedirectionScheme& scheme,
+                              std::span<const Session> sessions,
+                              const StreamingConfig& config) {
+  CCDN_REQUIRE(!hotspots.empty(), "no hotspots");
+  CCDN_REQUIRE(catalog.num_videos > 0, "empty catalog");
+  CCDN_REQUIRE(config.slot_seconds > 0, "non-positive slot length");
+  CCDN_REQUIRE(config.concurrency_factor > 0.0,
+               "non-positive concurrency factor");
+
+  std::vector<GeoPoint> locations;
+  locations.reserve(hotspots.size());
+  for (const auto& h : hotspots) locations.push_back(h.location);
+  const GridIndex index(std::move(locations), 0.5);
+  const SchemeContext context{hotspots, index, catalog,
+                              config.cdn_distance_km};
+
+  // Stream budget per hotspot.
+  std::vector<std::size_t> stream_limit(hotspots.size());
+  for (std::size_t h = 0; h < hotspots.size(); ++h) {
+    stream_limit[h] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(config.concurrency_factor *
+                            static_cast<double>(
+                                hotspots[h].service_capacity))));
+  }
+  // Active sessions per hotspot: min-heaps of end times.
+  std::vector<std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                                  std::greater<>>>
+      active(hotspots.size());
+
+  // The planning layer works on plain requests.
+  std::vector<Request> requests;
+  requests.reserve(sessions.size());
+  for (const auto& session : sessions) requests.push_back(session.request);
+  CCDN_REQUIRE(std::is_sorted(requests.begin(), requests.end(),
+                              [](const Request& a, const Request& b) {
+                                return a.timestamp < b.timestamp;
+                              }),
+               "sessions must be sorted by start time");
+
+  StreamingReport report;
+  report.num_videos = catalog.num_videos;
+  report.total_sessions = sessions.size();
+
+  const auto slots = partition_into_slots(requests, config.slot_seconds);
+  std::vector<std::vector<VideoId>> previous_placements;
+  for (const SlotRange& range : slots) {
+    const std::span<const Request> slot_requests(
+        requests.data() + range.begin, range.size());
+    const SlotDemand demand(slot_requests, index);
+    SlotPlan plan = scheme.plan_slot(context, slot_requests, demand);
+    CCDN_ENSURE(plan.assignment.size() == range.size(),
+                "plan assignment length mismatch");
+    CCDN_ENSURE(plan.respects_caches(hotspots),
+                "scheme exceeded cache capacities");
+    report.replicas +=
+        config.charge_placement_deltas
+            ? count_new_replicas(previous_placements, plan.placements)
+            : plan.total_replicas();
+    if (config.charge_placement_deltas) {
+      previous_placements = plan.placements;
+    }
+
+    for (std::size_t offset = 0; offset < range.size(); ++offset) {
+      const Session& session = sessions[range.begin + offset];
+      const HotspotIndex target = plan.assignment[offset];
+      bool served = false;
+      if (target != kCdnServer) {
+        const auto& cached = plan.placements[target];
+        if (!std::binary_search(cached.begin(), cached.end(),
+                                session.request.video)) {
+          ++report.rejected_placement;
+        } else {
+          auto& streams = active[target];
+          while (!streams.empty() &&
+                 streams.top() <= session.request.timestamp) {
+            streams.pop();
+          }
+          if (streams.size() < stream_limit[target]) {
+            streams.push(session.request.timestamp +
+                         session.duration_seconds);
+            report.peak_concurrency =
+                std::max(report.peak_concurrency, streams.size());
+            served = true;
+            ++report.served_sessions;
+            report.distance_sum_km += distance_km(
+                session.request.location, hotspots[target].location);
+          } else {
+            ++report.rejected_busy;
+          }
+        }
+      }
+      if (!served) report.distance_sum_km += config.cdn_distance_km;
+    }
+  }
+  return report;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,84 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  CCDN_REQUIRE(xs.size() == ys.size(), "series length mismatch");
+  CCDN_REQUIRE(xs.size() >= 2, "need at least two observations");
+  const double n = static_cast<double>(xs.size());
+  const double mean_x = std::accumulate(xs.begin(), xs.end(), 0.0) / n;
+  const double mean_y = std::accumulate(ys.begin(), ys.end(), 0.0) / n;
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x == 0.0 || var_y == 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+std::vector<double> average_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the mean of 1-based ranks i+1..j+1.
+    const double shared = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = shared;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys) {
+  CCDN_REQUIRE(xs.size() == ys.size(), "series length mismatch");
+  CCDN_REQUIRE(xs.size() >= 2, "need at least two observations");
+  const std::vector<double> rank_x = average_ranks(xs);
+  const std::vector<double> rank_y = average_ranks(ys);
+  return pearson_correlation(rank_x, rank_y);
+}
+
+double jaccard_similarity(std::span<const std::uint32_t> a,
+                          std::span<const std::uint32_t> b) {
+  CCDN_REQUIRE(std::is_sorted(a.begin(), a.end()), "set A not sorted");
+  CCDN_REQUIRE(std::is_sorted(b.begin(), b.end()), "set B not sorted");
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t intersection = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t union_size = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+}  // namespace ccdn

@@ -1,0 +1,30 @@
+// Pearson and Spearman correlation.
+//
+// Spearman rank correlation over per-timeslot workloads quantifies the
+// cooperation potential between nearby hotspots (paper Fig. 3a).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccdn {
+
+/// Pearson product-moment correlation of two equal-length series.
+/// Returns 0 when either series has zero variance. Requires length >= 2.
+[[nodiscard]] double pearson_correlation(std::span<const double> xs,
+                                         std::span<const double> ys);
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+[[nodiscard]] std::vector<double> average_ranks(std::span<const double> values);
+
+/// Spearman rank correlation: Pearson over average ranks (tie-aware).
+[[nodiscard]] double spearman_correlation(std::span<const double> xs,
+                                          std::span<const double> ys);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| over sorted unique ID vectors
+/// (paper Eq. 1). Two empty sets have similarity 0.
+[[nodiscard]] double jaccard_similarity(std::span<const std::uint32_t> a,
+                                        std::span<const std::uint32_t> b);
+
+}  // namespace ccdn

@@ -1,0 +1,48 @@
+#include "stats/empirical_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  CCDN_REQUIRE(!sorted_.empty(), "empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  CCDN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  if (sorted_.size() == 1) return sorted_.front();
+  const double position = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lower] + fraction * (sorted_[lower + 1] - sorted_[lower]);
+}
+
+double EmpiricalCdf::fraction_at_most(double value) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), value);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::series(
+    std::size_t points) const {
+  CCDN_REQUIRE(points >= 2, "need at least 2 series points");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = min();
+  const double hi = max();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double value =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(points - 1);
+    out.emplace_back(value, fraction_at_most(value));
+  }
+  return out;
+}
+
+}  // namespace ccdn

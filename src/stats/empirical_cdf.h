@@ -1,0 +1,41 @@
+// Empirical cumulative distribution over a sample.
+//
+// Backs every CDF figure in the paper (Figs. 2, 3a, 3b): quantile lookups
+// (median, 99th percentile) and evenly spaced CDF series for plotting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ccdn {
+
+class EmpiricalCdf {
+ public:
+  /// Takes ownership of the sample; sorts it once. Requires non-empty data.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+
+  /// Quantile with linear interpolation; q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Fraction of samples <= value.
+  [[nodiscard]] double fraction_at_most(double value) const noexcept;
+
+  /// (value, cumulative fraction) series with `points` evenly spaced value
+  /// steps across [min, max] — ready to print/plot. Requires points >= 2.
+  [[nodiscard]] std::vector<std::pair<double, double>> series(
+      std::size_t points) const;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ccdn

@@ -1,0 +1,49 @@
+#include "stats/histogram.h"
+
+#include "util/error.h"
+
+namespace ccdn {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  CCDN_REQUIRE(lo < hi, "histogram range inverted");
+  CCDN_REQUIRE(bins >= 1, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) noexcept {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  CCDN_REQUIRE(bin < counts_.size(), "bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  CCDN_REQUIRE(bin < counts_.size(), "bin out of range");
+  return lo_ + width_ * (static_cast<double>(bin) + 0.5);
+}
+
+std::vector<double> Histogram::normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(in_range);
+  }
+  return out;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,42 @@
+// Fixed-width binned histogram.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccdn {
+
+class Histogram {
+ public:
+  /// Bins of equal width covering [lo, hi); values outside the range are
+  /// counted in underflow/overflow. Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Midpoint value of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  /// Fraction of in-range mass in each bin (empty histogram -> all zeros).
+  [[nodiscard]] std::vector<double> normalized() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ccdn

@@ -1,0 +1,50 @@
+#include "stats/load_balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+double gini_coefficient(std::span<const double> values) {
+  CCDN_REQUIRE(!values.empty(), "empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  for (const double v : sorted) {
+    CCDN_REQUIRE(v >= 0.0, "negative value in Gini input");
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total == 0.0) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double coefficient_of_variation(std::span<const double> values) {
+  CCDN_REQUIRE(!values.empty(), "empty sample");
+  const double mean =
+      std::accumulate(values.begin(), values.end(), 0.0) /
+      static_cast<double>(values.size());
+  if (mean == 0.0) return 0.0;
+  double variance = 0.0;
+  for (const double v : values) variance += (v - mean) * (v - mean);
+  variance /= static_cast<double>(values.size());
+  return std::sqrt(variance) / mean;
+}
+
+double jains_fairness_index(std::span<const double> values) {
+  CCDN_REQUIRE(!values.empty(), "empty sample");
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += v * v;
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace ccdn

@@ -1,0 +1,23 @@
+// Load-balance indices over per-hotspot workloads.
+//
+// Complements the quantile view of Fig. 2 with the standard scalar
+// summaries of imbalance: Gini coefficient, coefficient of variation, and
+// Jain's fairness index.
+#pragma once
+
+#include <span>
+
+namespace ccdn {
+
+/// Gini coefficient in [0, 1): 0 = perfectly even, ->1 = one hotspot takes
+/// everything. Requires non-negative values; all-zero input returns 0.
+[[nodiscard]] double gini_coefficient(std::span<const double> values);
+
+/// Standard deviation / mean; 0 when the mean is 0.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> values);
+
+/// Jain's fairness index in (0, 1]: 1 = perfectly even, 1/n = maximally
+/// unfair. All-zero input returns 1 (vacuously fair).
+[[nodiscard]] double jains_fairness_index(std::span<const double> values);
+
+}  // namespace ccdn

@@ -1,0 +1,36 @@
+// Streaming summary statistics (Welford's online algorithm).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace ccdn {
+
+class StreamingStats {
+ public:
+  void add(double value) noexcept;
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const StreamingStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * count_; }
+  /// Mean of the observed values; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample (Bessel-corrected) variance; 0 when fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ccdn

@@ -1,0 +1,76 @@
+#include "stats/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent)
+    : exponent_(exponent), cdf_(n) {
+  CCDN_REQUIRE(n >= 1, "empty support");
+  CCDN_REQUIRE(exponent >= 0.0, "negative exponent");
+  double running = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    running += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[k] = running;
+  }
+  for (auto& value : cdf_) value /= running;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+double ZipfDistribution::probability(std::size_t rank) const {
+  CCDN_REQUIRE(rank < cdf_.size(), "rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+double ZipfDistribution::cumulative(std::size_t rank) const {
+  CCDN_REQUIRE(rank < cdf_.size(), "rank out of range");
+  return cdf_[rank];
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double calibrate_zipf_exponent(std::size_t n, double head_fraction,
+                               double head_mass) {
+  CCDN_REQUIRE(n >= 2, "catalog too small to calibrate");
+  CCDN_REQUIRE(head_fraction > 0.0 && head_fraction < 1.0,
+               "head_fraction outside (0,1)");
+  CCDN_REQUIRE(head_mass > 0.0 && head_mass < 1.0, "head_mass outside (0,1)");
+  CCDN_REQUIRE(head_mass >= head_fraction,
+               "head cannot carry less than uniform mass");
+  const std::size_t head =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(head_fraction * static_cast<double>(n))));
+  const auto head_share = [&](double exponent) {
+    // Mass of ranks < head under Zipf(exponent).
+    double head_sum = 0.0;
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double w = std::pow(static_cast<double>(k + 1), -exponent);
+      total += w;
+      if (k < head) head_sum += w;
+    }
+    return head_sum / total;
+  };
+  double lo = 0.0;
+  double hi = 8.0;
+  // head_share is monotone increasing in the exponent.
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (head_share(mid) < head_mass) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,47 @@
+// Zipf popularity model for video catalogs.
+//
+// The paper's measurement notes that video popularity follows the 80/20
+// Pareto rule (top 20% of videos attract ~80% of requests). ZipfDistribution
+// samples ranks from a Zipf(s) law; `calibrate_zipf_exponent` finds the
+// exponent for which the top `head_fraction` of a catalog of size n carries
+// `head_mass` of the probability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ccdn {
+
+class ZipfDistribution {
+ public:
+  /// Zipf over ranks {0, ..., n-1} with P(rank k) ∝ 1/(k+1)^exponent.
+  /// Requires n >= 1 and exponent >= 0.
+  ZipfDistribution(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+  /// Probability of a given rank.
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+  /// Cumulative probability of ranks 0..rank inclusive.
+  [[nodiscard]] double cumulative(std::size_t rank) const;
+
+  /// Sample a rank in O(log n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
+};
+
+/// Find the Zipf exponent such that the first ceil(head_fraction * n) ranks
+/// carry head_mass of the total probability (bisection; head_fraction and
+/// head_mass strictly inside (0, 1), n >= 2).
+[[nodiscard]] double calibrate_zipf_exponent(std::size_t n,
+                                             double head_fraction,
+                                             double head_mass);
+
+}  // namespace ccdn

@@ -1,0 +1,183 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/zipf.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+namespace {
+
+/// Zone-local video catalog: a genre-biased, popularity-biased sample of the
+/// global catalog. Requests hitting the local catalog make each zone's
+/// popularity ranking deviate from the global one.
+std::vector<VideoId> make_local_catalog(const World& world, const Zone& zone,
+                                        std::size_t size, Rng& rng) {
+  const std::uint32_t num_videos = world.config().num_videos;
+  size = std::min<std::size_t>(size, num_videos);
+  const auto& genres = world.video_genres();
+  std::vector<VideoId> catalog;
+  catalog.reserve(size);
+  std::vector<bool> taken(num_videos, false);
+  // Rejection-sample videos: propose by global rank bias (quadratic toward
+  // the head), accept preferred-genre videos more often.
+  const double accept_other = 1.0 / zone.genre_boost;
+  std::size_t guard = 0;
+  const std::size_t guard_limit = 200 * size + 1000;
+  while (catalog.size() < size && guard++ < guard_limit) {
+    const double u = rng.uniform();
+    const auto video =
+        static_cast<VideoId>(u * u * static_cast<double>(num_videos));
+    if (taken[video]) continue;
+    const bool preferred = genres[video] == zone.preferred_genre;
+    if (!preferred && !rng.chance(accept_other)) continue;
+    taken[video] = true;
+    catalog.push_back(video);
+  }
+  // Top up with arbitrary untaken videos if rejection stalled.
+  for (VideoId v = 0; catalog.size() < size && v < num_videos; ++v) {
+    if (!taken[v]) {
+      taken[v] = true;
+      catalog.push_back(v);
+    }
+  }
+  return catalog;
+}
+
+GeoPoint clamp_to(const BoundingBox& box, GeoPoint p) {
+  p.lat = std::clamp(p.lat, box.min.lat, box.max.lat);
+  p.lon = std::clamp(p.lon, box.min.lon, box.max.lon);
+  return p;
+}
+
+}  // namespace
+
+std::vector<Request> generate_trace(const World& world,
+                                    const TraceConfig& config) {
+  CCDN_REQUIRE(config.num_requests > 0, "empty trace requested");
+  CCDN_REQUIRE(config.duration_hours > 0, "zero-length trace");
+  CCDN_REQUIRE(config.local_skew >= 0.0 && config.local_skew <= 1.0,
+               "local_skew outside [0,1]");
+
+  const auto& zones = world.zones();
+  const auto& world_config = world.config();
+  Rng root(hash_combine64(world_config.seed, config.seed));
+  Rng catalog_rng = root.fork(1);
+  Rng draw_rng = root.fork(2);
+
+  // Per-zone local catalogs and their internal popularity law.
+  std::vector<std::vector<VideoId>> catalogs;
+  catalogs.reserve(zones.size());
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    Rng zone_rng = catalog_rng.fork(z);
+    catalogs.push_back(make_local_catalog(world, zones[z],
+                                          config.local_catalog_size, zone_rng));
+  }
+  const ZipfDistribution local_law(
+      std::max<std::size_t>(std::size_t{1}, config.local_catalog_size),
+      config.local_zipf_exponent);
+  const ZipfDistribution global_law(world_config.num_videos,
+                                    world.zipf_exponent());
+  const ZipfDistribution hot_law(
+      std::min<std::size_t>(config.hot_set_size, world_config.num_videos),
+      world.zipf_exponent());
+
+  // (zone, hour) sampling weights: demand share x diurnal activity.
+  const std::size_t cells = zones.size() * config.duration_hours;
+  std::vector<double> cumulative(cells);
+  double total = 0.0;
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    for (std::size_t hour = 0; hour < config.duration_hours; ++hour) {
+      total += zones[z].weight * zones[z].hourly[hour % 24];
+      cumulative[z * config.duration_hours + hour] = total;
+    }
+  }
+  CCDN_ENSURE(total > 0.0, "degenerate zone/hour weights");
+
+  // Users are partitioned across zones proportionally to demand weight.
+  std::vector<std::uint32_t> user_base(zones.size() + 1, 0);
+  {
+    double weight_sum = 0.0;
+    for (const auto& zone : zones) weight_sum += zone.weight;
+    double acc = 0.0;
+    for (std::size_t z = 0; z < zones.size(); ++z) {
+      acc += zones[z].weight;
+      user_base[z + 1] = static_cast<std::uint32_t>(
+          acc / weight_sum * static_cast<double>(world_config.num_users));
+    }
+    user_base.back() = world_config.num_users;
+  }
+
+  const Projection projection(world_config.region.center());
+  std::vector<Request> requests;
+  requests.reserve(config.num_requests);
+  for (std::size_t r = 0; r < config.num_requests; ++r) {
+    const double pick = draw_rng.uniform(0.0, total);
+    const std::size_t cell = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), pick) -
+        cumulative.begin());
+    const std::size_t z = std::min(cell / config.duration_hours,
+                                   zones.size() - 1);
+    const std::size_t hour = cell % config.duration_hours;
+    const Zone& zone = zones[z];
+
+    Request request;
+    request.timestamp = static_cast<std::int64_t>(hour) * 3600 +
+                        draw_rng.uniform_int(0, 3599);
+    const std::uint32_t users_in_zone =
+        std::max<std::uint32_t>(1, user_base[z + 1] - user_base[z]);
+    request.user = user_base[z] + static_cast<std::uint32_t>(
+                                      draw_rng.index(users_in_zone));
+    const double mix = draw_rng.uniform();
+    if (!catalogs[z].empty() && mix < config.local_skew) {
+      const std::size_t rank =
+          std::min(local_law.sample(draw_rng), catalogs[z].size() - 1);
+      request.video = catalogs[z][rank];
+    } else if (mix < config.local_skew + config.hot_skew) {
+      // Hit shows: the global head every neighbourhood watches.
+      request.video = static_cast<VideoId>(hot_law.sample(draw_rng));
+    } else {
+      request.video = static_cast<VideoId>(global_law.sample(draw_rng));
+    }
+    const auto center = projection.to_xy(zone.center);
+    const Projection::Xy xy{
+        center.x_km + draw_rng.normal(0.0, zone.sigma_km),
+        center.y_km + draw_rng.normal(0.0, zone.sigma_km)};
+    request.location =
+        clamp_to(world_config.region, projection.to_geo(xy));
+    if (config.micro_phase_max_shift_hours > 0) {
+      // Deterministic per-micro-site hour shift (see TraceConfig).
+      const auto final_xy = projection.to_xy(request.location);
+      const auto col = static_cast<std::int64_t>(
+          std::floor(final_xy.x_km / config.micro_phase_cell_km));
+      const auto row = static_cast<std::int64_t>(
+          std::floor(final_xy.y_km / config.micro_phase_cell_km));
+      const std::uint64_t cell = hash_combine64(
+          hash_combine64(static_cast<std::uint64_t>(col),
+                         static_cast<std::uint64_t>(row)),
+          world_config.seed);
+      const int span = 2 * config.micro_phase_max_shift_hours + 1;
+      const int shift = static_cast<int>(cell % static_cast<std::uint64_t>(
+                                                    span)) -
+                        config.micro_phase_max_shift_hours;
+      const auto duration =
+          static_cast<std::int64_t>(config.duration_hours) * 3600;
+      request.timestamp =
+          ((request.timestamp + static_cast<std::int64_t>(shift) * 3600) %
+               duration +
+           duration) %
+          duration;
+    }
+    requests.push_back(request);
+  }
+
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return requests;
+}
+
+}  // namespace ccdn

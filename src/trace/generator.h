@@ -1,0 +1,50 @@
+// Synthetic session-trace generator.
+//
+// Produces a request stream over a World that is statistically shaped like
+// the paper's iQiyi trace: global Zipf popularity calibrated to the 80/20
+// rule, zone-local popularity deviations (the "small population" effect of
+// [9]), diurnal per-zone-type activity, and spatially clustered demand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.h"
+#include "trace/world.h"
+
+namespace ccdn {
+
+struct TraceConfig {
+  /// Total sessions to draw (the paper's evaluation region has 212,472).
+  std::size_t num_requests = 212472;
+  /// Trace span; requests are spread over `duration_hours` hourly slots.
+  std::size_t duration_hours = 24;
+  /// Probability a request draws from its zone's local catalog instead of
+  /// the global popularity law. Higher = stronger local skew.
+  double local_skew = 0.5;
+  /// Distinct videos in each zone's local catalog.
+  std::size_t local_catalog_size = 150;
+  /// Zipf exponent inside a local catalog.
+  double local_zipf_exponent = 1.4;
+  /// Probability a request targets the globally hot head (hit shows that
+  /// every neighbourhood watches); gives nearby hotspots a shared baseline.
+  double hot_skew = 0.25;
+  /// Size of that globally hot head.
+  std::size_t hot_set_size = 80;
+  /// Micro-locality temporal phase: requests from the same ~cell-sized
+  /// neighbourhood share a deterministic hour shift in
+  /// [-max_shift, +max_shift]. Different micro-sites therefore peak at
+  /// different hours, decorrelating nearby hotspots' hourly workloads
+  /// (paper Fig. 3a) without changing the region-wide diurnal shape.
+  /// Set max_shift to 0 to disable.
+  double micro_phase_cell_km = 0.7;
+  int micro_phase_max_shift_hours = 5;
+  std::uint64_t seed = 7;
+};
+
+/// Generate a trace, sorted by timestamp. Deterministic in
+/// (world.config().seed, trace_config.seed).
+[[nodiscard]] std::vector<Request> generate_trace(const World& world,
+                                                  const TraceConfig& config);
+
+}  // namespace ccdn

@@ -1,0 +1,61 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ccdn {
+
+namespace {
+const char* const kHeader[] = {"user", "timestamp", "video", "lat", "lon"};
+}
+
+void write_trace_csv(std::ostream& out, const std::vector<Request>& requests) {
+  CsvWriter writer(out);
+  writer.row(kHeader[0], kHeader[1], kHeader[2], kHeader[3], kHeader[4]);
+  for (const Request& r : requests) {
+    writer.row(std::uint64_t{r.user}, r.timestamp,
+               std::uint64_t{r.video}, r.location.lat, r.location.lon);
+  }
+}
+
+void write_trace_csv(const std::string& path,
+                     const std::vector<Request>& requests) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  write_trace_csv(out, requests);
+}
+
+std::vector<Request> read_trace_csv(std::istream& in) {
+  CsvReader reader(in);
+  std::vector<std::string> fields;
+  if (!reader.read_row(fields) || fields.size() != 5 ||
+      fields[0] != kHeader[0]) {
+    throw ParseError("trace CSV: missing or malformed header");
+  }
+  std::vector<Request> requests;
+  while (reader.read_row(fields)) {
+    if (fields.size() != 5) {
+      throw ParseError("trace CSV: expected 5 fields, got " +
+                       std::to_string(fields.size()));
+    }
+    Request r;
+    r.user = static_cast<UserId>(parse_int(fields[0]));
+    r.timestamp = parse_int(fields[1]);
+    r.video = static_cast<VideoId>(parse_int(fields[2]));
+    r.location.lat = parse_double(fields[3]);
+    r.location.lon = parse_double(fields[4]);
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+std::vector<Request> read_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open for reading: " + path);
+  return read_trace_csv(in);
+}
+
+}  // namespace ccdn

@@ -1,0 +1,25 @@
+// Trace (de)serialization.
+//
+// The CSV schema mirrors the paper's session-trace fields: user id, session
+// timestamp, requested video, and the watch location.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/types.h"
+
+namespace ccdn {
+
+/// Write `requests` as CSV with a header row.
+void write_trace_csv(std::ostream& out, const std::vector<Request>& requests);
+void write_trace_csv(const std::string& path,
+                     const std::vector<Request>& requests);
+
+/// Read a trace written by write_trace_csv. Throws ParseError on schema or
+/// field errors.
+[[nodiscard]] std::vector<Request> read_trace_csv(std::istream& in);
+[[nodiscard]] std::vector<Request> read_trace_csv(const std::string& path);
+
+}  // namespace ccdn

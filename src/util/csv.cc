@@ -1,0 +1,89 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ccdn {
+
+CsvWriter::CsvWriter(std::ostream& out, char delimiter)
+    : out_(out), delimiter_(delimiter) {}
+
+std::string CsvWriter::to_cell(double v) {
+  // round-trippable representation without locale surprises
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  return buffer;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << delimiter_;
+    const std::string& field = fields[i];
+    const bool needs_quotes =
+        field.find(delimiter_) != std::string::npos ||
+        field.find('"') != std::string::npos ||
+        field.find('\n') != std::string::npos ||
+        field.find('\r') != std::string::npos;
+    if (!needs_quotes) {
+      out_ << field;
+      continue;
+    }
+    out_ << '"';
+    for (const char c : field) {
+      if (c == '"') out_ << '"';
+      out_ << c;
+    }
+    out_ << '"';
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+CsvReader::CsvReader(std::istream& in, char delimiter)
+    : in_(in), delimiter_(delimiter) {}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  fields.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  char c = 0;
+  while (in_.get(c)) {
+    saw_any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_.peek() == '"') {
+          in_.get(c);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == delimiter_) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      break;
+    } else if (c == '\r') {
+      // swallow; handles CRLF
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV field");
+  if (!saw_any) return false;
+  fields.push_back(std::move(field));
+  ++rows_;
+  return true;
+}
+
+}  // namespace ccdn

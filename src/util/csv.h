@@ -1,0 +1,67 @@
+// Minimal CSV reader/writer with RFC-4180 style quoting.
+//
+// Used for trace serialization and for emitting benchmark series that can be
+// plotted directly. Fields containing the delimiter, quotes or newlines are
+// quoted on write; quoted fields are unescaped on read.
+#pragma once
+
+#include <iosfwd>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace ccdn {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out, char delimiter = ',');
+
+  /// Write one row; fields are quoted as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: stringify and write heterogeneous fields.
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    write_row(cells);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::ostream& out_;
+  char delimiter_;
+  std::size_t rows_ = 0;
+};
+
+class CsvReader {
+ public:
+  /// Reads from an externally owned stream; the stream must outlive the
+  /// reader.
+  explicit CsvReader(std::istream& in, char delimiter = ',');
+
+  /// Read the next row into `fields`; returns false at end of input.
+  /// Throws ParseError on an unterminated quoted field.
+  bool read_row(std::vector<std::string>& fields);
+
+  [[nodiscard]] std::size_t rows_read() const noexcept { return rows_; }
+
+ private:
+  std::istream& in_;
+  char delimiter_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ccdn

@@ -1,0 +1,76 @@
+// Error types and contract-checking macros used across the library.
+//
+// The library follows the C++ Core Guidelines error-handling model (E.2):
+// exceptions for errors that cannot be handled locally, contract macros for
+// programmer errors at API boundaries (I.6/I.8).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccdn {
+
+/// Base class for all errors thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A caller violated a documented precondition.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An internal invariant did not hold (library bug).
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Parsing or I/O of external data failed.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A solver could not produce a solution (infeasible/unbounded/iteration cap).
+class SolverError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " +
+                       file + ":" + std::to_string(line) +
+                       (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace detail
+}  // namespace ccdn
+
+/// Check a precondition at a public API boundary.
+#define CCDN_REQUIRE(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ccdn::detail::throw_precondition(#expr, __FILE__, __LINE__, msg); \
+    }                                                                   \
+  } while (false)
+
+/// Check an internal invariant; failure indicates a bug in this library.
+#define CCDN_ENSURE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::ccdn::detail::throw_invariant(#expr, __FILE__, __LINE__, msg); \
+    }                                                                 \
+  } while (false)

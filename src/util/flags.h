@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for examples and benchmark binaries.
+//
+// Accepts `--name=value` and `--name value`; bare `--name` is treated as the
+// boolean true. Positional arguments are collected in order. Unknown flags
+// are an error only when the caller asks for strict validation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccdn {
+
+class Flags {
+ public:
+  /// Parse argv (argv[0] is skipped). Throws ParseError on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  /// Construct from pre-split tokens (useful in tests).
+  explicit Flags(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed getters with defaults. Throw ParseError when the stored value
+  /// cannot be converted.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Names of flags that were set but never read; call after all getters to
+  /// report typos to the user.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+  [[nodiscard]] std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> accessed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ccdn

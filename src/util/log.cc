@@ -1,0 +1,42 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace ccdn {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const auto now = std::chrono::system_clock::now();
+  const auto since_epoch =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count();
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
+               static_cast<long long>(since_epoch / 1000),
+               static_cast<long long>(since_epoch % 1000), level_name(level),
+               message.c_str());
+}
+
+}  // namespace ccdn

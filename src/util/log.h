@@ -1,0 +1,47 @@
+// Leveled logging to stderr.
+//
+// Benchmarks print their result tables to stdout; diagnostics go through
+// here so the two streams never mix.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ccdn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the minimum level that is emitted (default: kInfo).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line (thread-safe).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) noexcept : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace ccdn
+
+#define CCDN_LOG_DEBUG ::ccdn::detail::LogStream(::ccdn::LogLevel::kDebug)
+#define CCDN_LOG_INFO ::ccdn::detail::LogStream(::ccdn::LogLevel::kInfo)
+#define CCDN_LOG_WARN ::ccdn::detail::LogStream(::ccdn::LogLevel::kWarn)
+#define CCDN_LOG_ERROR ::ccdn::detail::LogStream(::ccdn::LogLevel::kError)

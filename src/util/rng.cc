@@ -1,0 +1,146 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+
+namespace ccdn {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_combine64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  CCDN_REQUIRE(lo <= hi, "uniform range inverted");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CCDN_REQUIRE(lo <= hi, "uniform_int range inverted");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  CCDN_REQUIRE(n > 0, "index over empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double sigma) {
+  CCDN_REQUIRE(sigma >= 0.0, "negative standard deviation");
+  return mean + sigma * normal();
+}
+
+double Rng::exponential(double rate) {
+  CCDN_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  CCDN_REQUIRE(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    const double threshold = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform();
+    while (product > threshold) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // synthesis where mean is large.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(draw));
+}
+
+bool Rng::chance(double p) {
+  CCDN_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  return uniform() < p;
+}
+
+Rng Rng::fork(std::uint64_t tag) const noexcept {
+  std::uint64_t mixed = state_[0];
+  mixed = hash_combine64(mixed, state_[1]);
+  mixed = hash_combine64(mixed, state_[2]);
+  mixed = hash_combine64(mixed, state_[3]);
+  mixed = hash_combine64(mixed, tag);
+  return Rng(mixed);
+}
+
+std::vector<std::size_t> sample_indices(Rng& rng, std::size_t n,
+                                        std::size_t k) {
+  CCDN_REQUIRE(k <= n, "cannot sample more than population");
+  // Floyd's algorithm: k iterations, O(k log k) with an ordered set.
+  std::set<std::size_t> chosen;
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = rng.index(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace ccdn

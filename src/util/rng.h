@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (trace generation, the Random
+// routing baseline, sampling) draw from Rng so that every experiment is
+// reproducible from a single 64-bit seed. The core generator is
+// xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Deterministic 64-bit mix of two values (order sensitive).
+[[nodiscard]] std::uint64_t hash_combine64(std::uint64_t a,
+                                           std::uint64_t b) noexcept;
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be handed to
+/// <random> distributions if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// Standard normal via Box-Muller (cached pair).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  [[nodiscard]] double normal(double mean, double sigma);
+
+  /// Exponential with the given rate (rate > 0).
+  [[nodiscard]] double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (mean >= 0).
+  /// Uses Knuth's method below 30 and a normal approximation above.
+  [[nodiscard]] std::uint64_t poisson(double mean);
+
+  /// Bernoulli trial with probability p in [0, 1].
+  [[nodiscard]] bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Pick a uniformly random element. Requires a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) {
+    CCDN_REQUIRE(!items.empty(), "pick from empty vector");
+    return items[index(items.size())];
+  }
+
+  /// Derive an independent child generator; children with distinct tags
+  /// produce independent streams regardless of draw order on the parent.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Sample k distinct indices from [0, n) uniformly (Floyd's algorithm).
+/// Result is in ascending order. Requires k <= n.
+[[nodiscard]] std::vector<std::size_t> sample_indices(Rng& rng, std::size_t n,
+                                                      std::size_t k);
+
+}  // namespace ccdn

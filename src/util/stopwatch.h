@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for the running-time experiments (Fig. 8).
+#pragma once
+
+#include <chrono>
+
+namespace ccdn {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_millis() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ccdn

@@ -1,0 +1,77 @@
+#include "util/strings.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+           c == '\f';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += separator;
+    out += items[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::int64_t parse_int(std::string_view text) {
+  const std::string_view body = trim(text);
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec != std::errc{} || ptr != body.data() + body.size()) {
+    throw ParseError("not an integer: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view text) {
+  const std::string_view body = trim(text);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec != std::errc{} || ptr != body.data() + body.size()) {
+    throw ParseError("not a number: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::string format_fixed(double value, int digits) {
+  CCDN_REQUIRE(digits >= 0 && digits <= 17, "precision out of range");
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,34 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccdn {
+
+/// Split on a delimiter; keeps empty fields ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Join items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view separator);
+
+/// True if text begins with prefix.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// Parse a decimal integer; throws ParseError on malformed input.
+[[nodiscard]] std::int64_t parse_int(std::string_view text);
+
+/// Parse a floating-point number; throws ParseError on malformed input.
+[[nodiscard]] double parse_double(std::string_view text);
+
+/// Format a double with fixed precision (no trailing-zero trimming).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace ccdn

@@ -1,0 +1,44 @@
+#include "cluster/content_distance.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdn {
+namespace {
+
+TEST(ContentDistance, IdenticalSetsAtZero) {
+  const std::vector<std::vector<VideoId>> sets{{1, 2, 3}, {1, 2, 3}};
+  const auto m = content_distance_matrix(sets);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(ContentDistance, DisjointSetsAtOne) {
+  const std::vector<std::vector<VideoId>> sets{{1, 2}, {3, 4}};
+  const auto m = content_distance_matrix(sets);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+}
+
+TEST(ContentDistance, PartialOverlapMatchesEq13) {
+  const std::vector<std::vector<VideoId>> sets{{1, 2, 3, 4}, {3, 4, 5, 6}};
+  const auto m = content_distance_matrix(sets);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0 - 2.0 / 6.0);
+}
+
+TEST(ContentDistance, EmptySetsAreMaximallyDistant) {
+  const std::vector<std::vector<VideoId>> sets{{}, {1}, {}};
+  const auto m = content_distance_matrix(sets);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 1.0);  // two empties share nothing
+}
+
+TEST(ContentDistance, MatrixCoversAllPairs) {
+  const std::vector<std::vector<VideoId>> sets{{1}, {1}, {2}, {1, 2}};
+  const auto m = content_distance_matrix(sets);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 0.5);
+}
+
+}  // namespace
+}  // namespace ccdn

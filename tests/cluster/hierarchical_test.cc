@@ -1,0 +1,164 @@
+#include "cluster/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+TEST(DistanceMatrix, StoresSymmetric) {
+  DistanceMatrix m(4);
+  m.set(0, 3, 0.7);
+  m.set(2, 1, 0.2);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 0.7);
+  EXPECT_DOUBLE_EQ(m.at(3, 0), 0.7);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.2);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(DistanceMatrix, RejectsBadAccess) {
+  DistanceMatrix m(3);
+  EXPECT_THROW(m.set(0, 3, 0.1), PreconditionError);
+  EXPECT_THROW(m.set(1, 1, 0.1), PreconditionError);
+  EXPECT_THROW(m.set(0, 1, -0.1), PreconditionError);
+}
+
+DistanceMatrix two_blobs() {
+  // Items 0-2 close together, 3-5 close together, blobs far apart.
+  DistanceMatrix m(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      const bool same = (i < 3) == (j < 3);
+      m.set(i, j, same ? 0.1 : 0.9);
+    }
+  }
+  return m;
+}
+
+TEST(Hierarchical, TwoBlobsSeparate) {
+  const auto result =
+      hierarchical_cluster(two_blobs(), Linkage::kComplete, 0.5);
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[0], result.labels[2]);
+  EXPECT_EQ(result.labels[3], result.labels[4]);
+  EXPECT_NE(result.labels[0], result.labels[3]);
+}
+
+TEST(Hierarchical, ThresholdZeroKeepsSingletons) {
+  const auto result =
+      hierarchical_cluster(two_blobs(), Linkage::kComplete, 0.0);
+  EXPECT_EQ(result.num_clusters, 6u);
+}
+
+TEST(Hierarchical, HighThresholdMergesAll) {
+  const auto result =
+      hierarchical_cluster(two_blobs(), Linkage::kComplete, 1.0);
+  EXPECT_EQ(result.num_clusters, 1u);
+  EXPECT_EQ(result.merges.size(), 5u);
+}
+
+TEST(Hierarchical, EmptyAndSingleton) {
+  const auto empty =
+      hierarchical_cluster(DistanceMatrix(0), Linkage::kComplete, 0.5);
+  EXPECT_EQ(empty.num_clusters, 0u);
+  const auto one =
+      hierarchical_cluster(DistanceMatrix(1), Linkage::kComplete, 0.5);
+  EXPECT_EQ(one.num_clusters, 1u);
+  EXPECT_EQ(one.labels, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Hierarchical, SingleLinkageChains) {
+  // A chain 0-1-2-3 with neighbour distance 0.3 but end-to-end 0.9:
+  // single linkage merges the whole chain at 0.3; complete linkage stops.
+  DistanceMatrix m(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      m.set(i, j, j - i == 1 ? 0.3 : 0.9);
+    }
+  }
+  const auto single = hierarchical_cluster(m, Linkage::kSingle, 0.5);
+  EXPECT_EQ(single.num_clusters, 1u);
+  const auto complete = hierarchical_cluster(m, Linkage::kComplete, 0.5);
+  EXPECT_GT(complete.num_clusters, 1u);
+}
+
+TEST(Hierarchical, CompleteLinkageDiameterGuarantee) {
+  // Property: with complete linkage, every intra-cluster pair distance is
+  // <= threshold (the paper's Jd <= 0.5 rule).
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 20;
+    DistanceMatrix m(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        m.set(i, j, rng.uniform(0.0, 1.0));
+      }
+    }
+    const double threshold = 0.5;
+    const auto result = hierarchical_cluster(m, Linkage::kComplete, threshold);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (result.labels[i] == result.labels[j]) {
+          EXPECT_LE(m.at(i, j), threshold)
+              << "trial " << trial << " pair " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(Hierarchical, AverageLinkageBetweenSingleAndComplete) {
+  Rng rng(37);
+  const std::size_t n = 15;
+  DistanceMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.set(i, j, rng.uniform(0.0, 1.0));
+    }
+  }
+  const auto single = hierarchical_cluster(m, Linkage::kSingle, 0.4);
+  const auto average = hierarchical_cluster(m, Linkage::kAverage, 0.4);
+  const auto complete = hierarchical_cluster(m, Linkage::kComplete, 0.4);
+  EXPECT_LE(single.num_clusters, average.num_clusters);
+  EXPECT_LE(average.num_clusters, complete.num_clusters);
+}
+
+TEST(Hierarchical, LabelsAreDense) {
+  Rng rng(41);
+  const std::size_t n = 25;
+  DistanceMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.set(i, j, rng.uniform(0.0, 1.0));
+    }
+  }
+  const auto result = hierarchical_cluster(m, Linkage::kComplete, 0.3);
+  std::set<std::uint32_t> labels(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(labels.size(), result.num_clusters);
+  EXPECT_EQ(*labels.begin(), 0u);
+  EXPECT_EQ(*labels.rbegin(), result.num_clusters - 1);
+}
+
+TEST(Hierarchical, MergeDistancesNonDecreasingForCompleteLinkage) {
+  Rng rng(43);
+  const std::size_t n = 12;
+  DistanceMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.set(i, j, rng.uniform(0.0, 1.0));
+    }
+  }
+  const auto result = hierarchical_cluster(m, Linkage::kComplete, 1.0);
+  for (std::size_t s = 1; s < result.merges.size(); ++s) {
+    EXPECT_GE(result.merges[s].distance + 1e-12,
+              result.merges[s - 1].distance);
+  }
+}
+
+}  // namespace
+}  // namespace ccdn

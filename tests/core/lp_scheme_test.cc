@@ -1,0 +1,104 @@
+#include "core/lp_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+struct Fixture {
+  std::vector<Hotspot> hotspots;
+  GridIndex index;
+  VideoCatalog catalog{20};
+
+  Fixture()
+      : hotspots([] {
+          std::vector<Hotspot> h(2);
+          h[0].location = {40.05, 116.45};
+          h[1].location = {40.05, 116.55};
+          for (auto& hotspot : h) {
+            hotspot.service_capacity = 5;
+            hotspot.cache_capacity = 3;
+          }
+          return h;
+        }()),
+        index({hotspots[0].location, hotspots[1].location}, 1.0) {}
+
+  SchemeContext context() const { return {hotspots, index, catalog, 20.0}; }
+};
+
+std::vector<Request> small_slot() {
+  std::vector<Request> requests;
+  for (int i = 0; i < 6; ++i) {
+    Request r;
+    r.video = static_cast<VideoId>(i % 3);
+    r.location = i < 3 ? GeoPoint{40.05, 116.46} : GeoPoint{40.05, 116.54};
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+TEST(LpScheme, ProducesFeasiblePlan) {
+  Fixture fixture;
+  const auto requests = small_slot();
+  const SlotDemand demand(requests, fixture.index);
+  LpScheme scheme;
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  ASSERT_EQ(plan.assignment.size(), requests.size());
+  EXPECT_TRUE(plan.respects_caches(fixture.hotspots));
+  std::vector<std::uint32_t> served(2, 0);
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const auto target = plan.assignment[r];
+    if (target == kCdnServer) continue;
+    ++served[target];
+    EXPECT_TRUE(std::binary_search(plan.placements[target].begin(),
+                                   plan.placements[target].end(),
+                                   requests[r].video));
+  }
+  EXPECT_LE(served[0], 5u);
+  EXPECT_LE(served[1], 5u);
+}
+
+TEST(LpScheme, ServesEverythingWhenCapacityAmple) {
+  Fixture fixture;
+  const auto requests = small_slot();
+  const SlotDemand demand(requests, fixture.index);
+  LpScheme scheme;
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  // 6 requests, 3 distinct videos, caches of 3 on both sides: the LP
+  // optimum serves everything locally.
+  for (const auto target : plan.assignment) EXPECT_NE(target, kCdnServer);
+}
+
+TEST(LpScheme, RefusesOversizedSlot) {
+  Fixture fixture;
+  LpSchemeOptions options;
+  options.max_requests = 3;
+  LpScheme scheme(options);
+  const auto requests = small_slot();  // 6 > 3
+  const SlotDemand demand(requests, fixture.index);
+  EXPECT_THROW(
+      (void)scheme.plan_slot(fixture.context(), requests, demand),
+      PreconditionError);
+}
+
+TEST(LpScheme, ReportsIterations) {
+  Fixture fixture;
+  const auto requests = small_slot();
+  const SlotDemand demand(requests, fixture.index);
+  LpScheme scheme;
+  (void)scheme.plan_slot(fixture.context(), requests, demand);
+  EXPECT_GT(scheme.last_lp_iterations(), 0u);
+}
+
+TEST(LpScheme, RejectsNegativeWeights) {
+  LpSchemeOptions options;
+  options.alpha = -1.0;
+  EXPECT_THROW(LpScheme{options}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn

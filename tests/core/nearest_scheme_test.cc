@@ -1,0 +1,95 @@
+#include "core/nearest_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+struct Fixture {
+  std::vector<Hotspot> hotspots;
+  GridIndex index;
+  VideoCatalog catalog{100};
+
+  Fixture()
+      : hotspots([] {
+          std::vector<Hotspot> h(2);
+          h[0].location = {40.05, 116.42};
+          h[0].service_capacity = 10;
+          h[0].cache_capacity = 2;
+          h[1].location = {40.05, 116.58};
+          h[1].service_capacity = 10;
+          h[1].cache_capacity = 2;
+          return h;
+        }()),
+        index({hotspots[0].location, hotspots[1].location}, 1.0) {}
+
+  SchemeContext context() const { return {hotspots, index, catalog, 20.0}; }
+};
+
+Request near_hotspot(int which, VideoId video) {
+  Request r;
+  r.video = video;
+  r.location = which == 0 ? GeoPoint{40.05, 116.43} : GeoPoint{40.05, 116.57};
+  return r;
+}
+
+TEST(NearestScheme, AssignsEveryRequestToItsHomeHotspot) {
+  Fixture fixture;
+  const std::vector<Request> requests{near_hotspot(0, 1), near_hotspot(1, 2),
+                                      near_hotspot(0, 3)};
+  const SlotDemand demand(requests, fixture.index);
+  NearestScheme scheme;
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  ASSERT_EQ(plan.assignment.size(), 3u);
+  EXPECT_EQ(plan.assignment[0], 0u);
+  EXPECT_EQ(plan.assignment[1], 1u);
+  EXPECT_EQ(plan.assignment[2], 0u);
+}
+
+TEST(NearestScheme, CachesTopLocalVideosWithinCapacity) {
+  Fixture fixture;
+  std::vector<Request> requests;
+  // Hotspot 0 sees videos 1 (x3), 2 (x2), 3 (x1); cache is 2.
+  for (int i = 0; i < 3; ++i) requests.push_back(near_hotspot(0, 1));
+  for (int i = 0; i < 2; ++i) requests.push_back(near_hotspot(0, 2));
+  requests.push_back(near_hotspot(0, 3));
+  const SlotDemand demand(requests, fixture.index);
+  NearestScheme scheme;
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  EXPECT_EQ(plan.placements[0], (std::vector<VideoId>{1, 2}));
+  EXPECT_TRUE(plan.placements[1].empty());
+  EXPECT_TRUE(plan.respects_caches(fixture.hotspots));
+}
+
+TEST(NearestScheme, NoCoordinationBetweenHotspots) {
+  Fixture fixture;
+  // Both hotspots request the same video: both cache it independently.
+  const std::vector<Request> requests{near_hotspot(0, 7), near_hotspot(1, 7)};
+  const SlotDemand demand(requests, fixture.index);
+  NearestScheme scheme;
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  EXPECT_EQ(plan.placements[0], (std::vector<VideoId>{7}));
+  EXPECT_EQ(plan.placements[1], (std::vector<VideoId>{7}));
+}
+
+TEST(NearestScheme, NameIsStable) {
+  NearestScheme scheme;
+  EXPECT_EQ(scheme.name(), "Nearest");
+}
+
+TEST(NearestScheme, EmptySlot) {
+  Fixture fixture;
+  const std::vector<Request> requests;
+  const SlotDemand demand(requests, fixture.index);
+  NearestScheme scheme;
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  EXPECT_TRUE(plan.assignment.empty());
+  EXPECT_EQ(plan.total_replicas(), 0u);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,131 @@
+#include "core/random_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geo/geo_point.h"
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+/// Three hotspots within 1.5 km of each other plus one far away.
+struct Fixture {
+  std::vector<Hotspot> hotspots;
+  GridIndex index;
+  VideoCatalog catalog{50};
+
+  Fixture()
+      : hotspots([] {
+          std::vector<Hotspot> h(4);
+          h[0].location = {40.050, 116.500};
+          h[1].location = {40.055, 116.505};
+          h[2].location = {40.045, 116.495};
+          h[3].location = {40.090, 116.590};  // ~10 km away
+          for (auto& hotspot : h) {
+            hotspot.service_capacity = 10;
+            hotspot.cache_capacity = 3;
+          }
+          return h;
+        }()),
+        index(
+            [this] {
+              std::vector<GeoPoint> pts;
+              for (const auto& h : hotspots) pts.push_back(h.location);
+              return pts;
+            }(),
+            1.0) {}
+
+  SchemeContext context() const { return {hotspots, index, catalog, 20.0}; }
+};
+
+Request request_at(GeoPoint where, VideoId video) {
+  Request r;
+  r.video = video;
+  r.location = where;
+  return r;
+}
+
+TEST(RandomScheme, RoutesOnlyWithinRadius) {
+  Fixture fixture;
+  std::vector<Request> requests;
+  for (int i = 0; i < 50; ++i) {
+    requests.push_back(request_at({40.050, 116.500}, 5));
+  }
+  const SlotDemand demand(requests, fixture.index);
+  RandomScheme scheme(1.5, 7);
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  for (const auto target : plan.assignment) {
+    ASSERT_NE(target, kCdnServer);
+    EXPECT_NE(target, 3u);  // the far hotspot is out of range
+  }
+  // With 50 draws over 3 candidates, all three should be used.
+  const std::set<HotspotIndex> used(plan.assignment.begin(),
+                                    plan.assignment.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(RandomScheme, CachesNeighbourhoodPopularVideos) {
+  Fixture fixture;
+  std::vector<Request> requests;
+  // Demand concentrated at hotspot 0's location; its neighbours within
+  // 1.5 km must cache the same popular set.
+  for (int i = 0; i < 5; ++i) requests.push_back(request_at({40.050, 116.5}, 1));
+  for (int i = 0; i < 4; ++i) requests.push_back(request_at({40.050, 116.5}, 2));
+  for (int i = 0; i < 3; ++i) requests.push_back(request_at({40.050, 116.5}, 3));
+  requests.push_back(request_at({40.050, 116.5}, 4));
+  const SlotDemand demand(requests, fixture.index);
+  RandomScheme scheme(1.5, 7);
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  // Cache capacity 3: the top-3 neighbourhood videos everywhere nearby.
+  EXPECT_EQ(plan.placements[0], (std::vector<VideoId>{1, 2, 3}));
+  EXPECT_EQ(plan.placements[1], (std::vector<VideoId>{1, 2, 3}));
+  EXPECT_EQ(plan.placements[2], (std::vector<VideoId>{1, 2, 3}));
+  EXPECT_TRUE(plan.placements[3].empty());  // nothing requested nearby
+}
+
+TEST(RandomScheme, UncachedVideoGoesToCdn) {
+  Fixture fixture;
+  std::vector<Request> requests;
+  // 4 distinct videos but cache capacity 3: the least popular video is
+  // uncached everywhere, so its request must go to the CDN.
+  for (int i = 0; i < 5; ++i) requests.push_back(request_at({40.050, 116.5}, 1));
+  for (int i = 0; i < 4; ++i) requests.push_back(request_at({40.050, 116.5}, 2));
+  for (int i = 0; i < 3; ++i) requests.push_back(request_at({40.050, 116.5}, 3));
+  requests.push_back(request_at({40.050, 116.5}, 4));
+  const SlotDemand demand(requests, fixture.index);
+  RandomScheme scheme(1.5, 7);
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  EXPECT_EQ(plan.assignment.back(), kCdnServer);
+}
+
+TEST(RandomScheme, DeterministicForSameSeed) {
+  Fixture fixture;
+  std::vector<Request> requests;
+  for (int i = 0; i < 30; ++i) {
+    requests.push_back(request_at({40.050, 116.500}, 1));
+  }
+  const SlotDemand demand(requests, fixture.index);
+  RandomScheme a(1.5, 42);
+  RandomScheme b(1.5, 42);
+  const SlotPlan plan_a =
+      a.plan_slot(fixture.context(), requests, demand);
+  const SlotPlan plan_b =
+      b.plan_slot(fixture.context(), requests, demand);
+  EXPECT_EQ(plan_a.assignment, plan_b.assignment);
+}
+
+TEST(RandomScheme, NameIncludesRadius) {
+  EXPECT_EQ(RandomScheme(1.5).name(), "Random(1.5km)");
+  EXPECT_EQ(RandomScheme(5.0).name(), "Random(5.0km)");
+}
+
+TEST(RandomScheme, RejectsNonPositiveRadius) {
+  EXPECT_THROW(RandomScheme(0.0), PreconditionError);
+  EXPECT_THROW(RandomScheme(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn

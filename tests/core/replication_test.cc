@@ -1,0 +1,180 @@
+#include "core/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+std::vector<Hotspot> hotspots_with(std::vector<std::uint32_t> service,
+                                   std::vector<std::uint32_t> cache) {
+  std::vector<Hotspot> hotspots(service.size());
+  for (std::size_t h = 0; h < service.size(); ++h) {
+    hotspots[h].service_capacity = service[h];
+    hotspots[h].cache_capacity = cache[h];
+  }
+  return hotspots;
+}
+
+std::int64_t redirected_to(const ReplicationResult& result,
+                           std::uint32_t origin, VideoId video,
+                           std::uint32_t target) {
+  for (const auto& vr : result.redirects[origin]) {
+    if (vr.video != video) continue;
+    for (const auto& t : vr.targets) {
+      if (t.hotspot == target) return t.count;
+    }
+  }
+  return 0;
+}
+
+TEST(Replication, NoFlowsMeansLocalFillOnly) {
+  // Hotspot 0: demand for videos 1 (x3), 2 (x1); cache 1 -> only video 1.
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{1, 3}, {2, 1}}, {}});
+  const auto hotspots = hotspots_with({10, 10}, {1, 1});
+  const auto result =
+      content_aggregation_replication(demand, hotspots, {}, 1000);
+  EXPECT_EQ(result.placements[0], (std::vector<VideoId>{1}));
+  EXPECT_TRUE(result.placements[1].empty());
+  EXPECT_EQ(result.total_redirected, 0);
+  EXPECT_EQ(result.replicas, 1u);
+}
+
+TEST(Replication, AggregatesSharedVideoAtReceiver) {
+  // Senders 0 and 1 both overloaded with demand for video 7; receiver 2.
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{7, 5}}, {{7, 4}}, {}});
+  const auto hotspots = hotspots_with({2, 2, 20}, {5, 5, 5});
+  const std::vector<FlowEntry> flows{{0, 2, 3}, {1, 2, 2}};
+  const auto result =
+      content_aggregation_replication(demand, hotspots, flows, 1000);
+  // One replica of video 7 at the receiver serves both senders' overflow.
+  EXPECT_TRUE(std::binary_search(result.placements[2].begin(),
+                                 result.placements[2].end(), VideoId{7}));
+  EXPECT_EQ(redirected_to(result, 0, 7, 2), 3);
+  EXPECT_EQ(redirected_to(result, 1, 7, 2), 2);
+  EXPECT_EQ(result.total_redirected, 5);
+}
+
+TEST(Replication, PrefersHigherAggregateDemand) {
+  // Receiver 2 can take 2 units from sender 0 which wants videos 5 (x1)
+  // and 6 (x4): video 6 has the higher e_u and must be redirected.
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{5, 1}, {6, 4}}, {}, {}});
+  const auto hotspots = hotspots_with({3, 10, 10}, {5, 5, 1});
+  const std::vector<FlowEntry> flows{{0, 2, 2}};
+  const auto result =
+      content_aggregation_replication(demand, hotspots, flows, 1000);
+  // Cache at receiver is 1: only one video can be placed, and it is 6.
+  EXPECT_EQ(result.placements[2], (std::vector<VideoId>{6}));
+  EXPECT_EQ(redirected_to(result, 0, 6, 2), 2);
+  EXPECT_EQ(redirected_to(result, 0, 5, 2), 0);
+}
+
+TEST(Replication, RedirectBoundedByFlowAndDemand) {
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{3, 10}}, {}});
+  const auto hotspots = hotspots_with({5, 5}, {5, 5});
+  const std::vector<FlowEntry> flows{{0, 1, 4}};
+  const auto result =
+      content_aggregation_replication(demand, hotspots, flows, 1000);
+  EXPECT_EQ(redirected_to(result, 0, 3, 1), 4);  // min(flow 4, demand 10)
+}
+
+TEST(Replication, SenderKeepsResidualDemandPlacement) {
+  // Sender redirects 4 of 10 requests for video 3; it still has local
+  // demand, so the final fill places video 3 locally too.
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{3, 10}}, {}});
+  const auto hotspots = hotspots_with({6, 5}, {5, 5});
+  const std::vector<FlowEntry> flows{{0, 1, 4}};
+  const auto result =
+      content_aggregation_replication(demand, hotspots, flows, 1000);
+  EXPECT_TRUE(std::binary_search(result.placements[0].begin(),
+                                 result.placements[0].end(), VideoId{3}));
+}
+
+TEST(Replication, BudgetStopsFinalFill) {
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{1, 5}, {2, 4}, {3, 3}}, {}});
+  const auto hotspots = hotspots_with({20, 20}, {10, 10});
+  const auto result =
+      content_aggregation_replication(demand, hotspots, {}, 2);
+  EXPECT_EQ(result.replicas, 2u);
+  EXPECT_TRUE(result.budget_exhausted);
+  // Highest-demand videos placed first.
+  EXPECT_EQ(result.placements[0], (std::vector<VideoId>{1, 2}));
+}
+
+TEST(Replication, ServiceCapacityCapsFill) {
+  // Hotspot can serve only 5 requests; caching beyond that serves no one.
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{1, 4}, {2, 3}, {3, 2}, {4, 1}}, {}});
+  const auto hotspots = hotspots_with({5, 5}, {10, 10});
+  const auto result =
+      content_aggregation_replication(demand, hotspots, {}, 1000);
+  // Videos 1 (4 requests) and 2 (3 requests) exhaust the capacity of 5;
+  // videos 3 and 4 must not be replicated.
+  EXPECT_EQ(result.placements[0], (std::vector<VideoId>{1, 2}));
+}
+
+TEST(Replication, CacheCapacityRespectedEverywhere) {
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{1, 9}, {2, 8}, {3, 7}}, {{4, 9}, {5, 8}}, {}});
+  const auto hotspots = hotspots_with({4, 4, 30}, {2, 1, 2});
+  const std::vector<FlowEntry> flows{{0, 2, 5}, {1, 2, 5}};
+  const auto result =
+      content_aggregation_replication(demand, hotspots, flows, 1000);
+  for (std::size_t h = 0; h < hotspots.size(); ++h) {
+    EXPECT_LE(result.placements[h].size(), hotspots[h].cache_capacity);
+    EXPECT_TRUE(std::is_sorted(result.placements[h].begin(),
+                               result.placements[h].end()));
+  }
+}
+
+TEST(Replication, ReceiverCacheFullFallsBackGracefully) {
+  // Receiver has zero cache: nothing can be redirected to it.
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{1, 9}}, {}});
+  const auto hotspots = hotspots_with({4, 10}, {2, 0});
+  const std::vector<FlowEntry> flows{{0, 1, 5}};
+  const auto result =
+      content_aggregation_replication(demand, hotspots, flows, 1000);
+  EXPECT_EQ(result.total_redirected, 0);
+  EXPECT_TRUE(result.placements[1].empty());
+}
+
+TEST(Replication, RejectsMalformedInputs) {
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{{}, {}});
+  const auto hotspots = hotspots_with({1, 1}, {1, 1});
+  EXPECT_THROW((void)content_aggregation_replication(
+                   demand, hotspots, std::vector<FlowEntry>{{0, 5, 1}}, 10),
+               PreconditionError);
+  EXPECT_THROW((void)content_aggregation_replication(
+                   demand, hotspots, std::vector<FlowEntry>{{0, 1, 0}}, 10),
+               PreconditionError);
+}
+
+TEST(Replication, RedirectsSortedByVideo) {
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{9, 3}, {2, 3}, {5, 3}}, {}});
+  const auto hotspots = hotspots_with({0, 20}, {5, 5});
+  const std::vector<FlowEntry> flows{{0, 1, 9}};
+  const auto result =
+      content_aggregation_replication(demand, hotspots, flows, 1000);
+  const auto& redirects = result.redirects[0];
+  ASSERT_EQ(redirects.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      redirects.begin(), redirects.end(),
+      [](const VideoRedirect& a, const VideoRedirect& b) {
+        return a.video < b.video;
+      }));
+  EXPECT_EQ(result.total_redirected, 9);
+}
+
+}  // namespace
+}  // namespace ccdn

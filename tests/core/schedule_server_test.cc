@@ -1,0 +1,165 @@
+#include "core/schedule_server.h"
+
+#include <gtest/gtest.h>
+
+#include "core/nearest_scheme.h"
+#include "core/rbcaer_scheme.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+struct RouterFixture {
+  std::vector<Hotspot> hotspots;
+  GridIndex index;
+  VideoCatalog catalog{50};
+  SchemeContext context;
+
+  RouterFixture()
+      : hotspots([] {
+          std::vector<Hotspot> h(3);
+          h[0].location = {40.050, 116.500};
+          h[1].location = {40.055, 116.505};  // ~0.7 km from h0
+          h[2].location = {40.050, 116.560};  // ~5 km away
+          for (auto& hotspot : h) {
+            hotspot.service_capacity = 2;
+            hotspot.cache_capacity = 5;
+          }
+          return h;
+        }()),
+        index(
+            [this] {
+              std::vector<GeoPoint> pts;
+              for (const auto& h : hotspots) pts.push_back(h.location);
+              return pts;
+            }(),
+            0.5),
+        context{hotspots, index, catalog, 20.0} {}
+};
+
+Request at_home0(VideoId video, std::int64_t ts = 0) {
+  Request r;
+  r.video = video;
+  r.location = {40.050, 116.500};
+  r.timestamp = ts;
+  return r;
+}
+
+TEST(OnlineRouter, ServesFromHomeWhenCached) {
+  RouterFixture fixture;
+  OnlineRouter router(fixture.context, {{7}, {}, {}}, 1.5);
+  EXPECT_EQ(router.route(at_home0(7)), 0u);
+}
+
+TEST(OnlineRouter, RedirectsMissToNearestCachedNeighbour) {
+  RouterFixture fixture;
+  OnlineRouter router(fixture.context, {{}, {7}, {7}}, 1.5);
+  // Home 0 lacks the video; hotspot 1 (0.7 km) has it; hotspot 2 is out of
+  // the 1.5 km radius.
+  EXPECT_EQ(router.route(at_home0(7)), 1u);
+}
+
+TEST(OnlineRouter, CapacityExhaustionFallsThrough) {
+  RouterFixture fixture;
+  OnlineRouter router(fixture.context, {{7}, {7}, {}}, 1.5);
+  EXPECT_EQ(router.route(at_home0(7)), 0u);
+  EXPECT_EQ(router.route(at_home0(7)), 0u);   // capacity 2 used up
+  EXPECT_EQ(router.route(at_home0(7)), 1u);   // spills to the neighbour
+  EXPECT_EQ(router.route(at_home0(7)), 1u);
+  EXPECT_EQ(router.route(at_home0(7)), kCdnServer);  // everyone full
+}
+
+TEST(OnlineRouter, UncachedEverywhereGoesToCdn) {
+  RouterFixture fixture;
+  OnlineRouter router(fixture.context, {{1}, {2}, {3}}, 1.5);
+  EXPECT_EQ(router.route(at_home0(9)), kCdnServer);
+}
+
+TEST(OnlineRouter, ValidatesPlacements) {
+  RouterFixture fixture;
+  EXPECT_THROW(OnlineRouter(fixture.context, {{1}, {2}}, 1.5),
+               PreconditionError);  // wrong hotspot count
+  EXPECT_THROW(OnlineRouter(fixture.context, {{3, 1}, {}, {}}, 1.5),
+               PreconditionError);  // unsorted
+  std::vector<VideoId> too_many{1, 2, 3, 4, 5, 6};
+  EXPECT_THROW(OnlineRouter(fixture.context, {too_many, {}, {}}, 1.5),
+               PreconditionError);  // beyond cache capacity
+}
+
+TEST(ScheduleServer, PlansOncePerSlot) {
+  RouterFixture fixture;
+  NearestScheme scheme;
+  LastValueForecaster naive;
+  ScheduleServerConfig config;
+  config.slot_seconds = 3600;
+  ScheduleServer server(fixture.hotspots, fixture.catalog, scheme, naive,
+                        config);
+  (void)server.route(at_home0(1, 0));
+  (void)server.route(at_home0(1, 100));
+  EXPECT_EQ(server.slots_planned(), 1u);
+  (void)server.route(at_home0(1, 3700));  // crosses the boundary
+  EXPECT_EQ(server.slots_planned(), 2u);
+  (void)server.route(at_home0(1, 2 * 3600 + 7300));  // skips empty slots
+  EXPECT_GE(server.slots_planned(), 3u);
+}
+
+TEST(ScheduleServer, LearnsPlacementsFromTraffic) {
+  RouterFixture fixture;
+  NearestScheme scheme;
+  LastValueForecaster naive;
+  ScheduleServerConfig config;
+  config.slot_seconds = 3600;
+  config.warmup_slots = 1;
+  ScheduleServer server(fixture.hotspots, fixture.catalog, scheme, naive,
+                        config);
+  // Slot 0: cold start, nothing cached — request goes to the CDN but is
+  // observed.
+  EXPECT_EQ(server.route(at_home0(7, 0)), kCdnServer);
+  EXPECT_EQ(server.route(at_home0(7, 10)), kCdnServer);
+  // Slot 1: the forecast now contains video 7 at hotspot 0.
+  EXPECT_EQ(server.route(at_home0(7, 3700)), 0u);
+  EXPECT_GT(server.replicas_pushed(), 0u);
+}
+
+TEST(ScheduleServer, RejectsOutOfOrderRequests) {
+  RouterFixture fixture;
+  NearestScheme scheme;
+  LastValueForecaster naive;
+  ScheduleServer server(fixture.hotspots, fixture.catalog, scheme, naive);
+  (void)server.route(at_home0(1, 100));
+  EXPECT_THROW((void)server.route(at_home0(1, 50)), PreconditionError);
+}
+
+TEST(ScheduleServer, EndToEndWithRbcaerOnGeneratedTrace) {
+  WorldConfig config = WorldConfig::evaluation_region();
+  config.num_hotspots = 60;
+  config.num_videos = 2000;
+  World world = generate_world(config);
+  assign_uniform_capacities(world, 0.05 / 12.0, 0.03);  // hourly budgets
+  TraceConfig trace_config;
+  trace_config.num_requests = 40000;
+  trace_config.duration_hours = 48;
+  const auto trace = generate_trace(world, trace_config);
+
+  RbcaerScheme scheme;
+  MovingAverageForecaster ma(6);
+  ScheduleServerConfig server_config;
+  server_config.slot_seconds = 3600;
+  ScheduleServer server(world.hotspots(),
+                        VideoCatalog{config.num_videos}, scheme, ma,
+                        server_config);
+  std::size_t served = 0;
+  for (const Request& request : trace) {
+    if (server.route(request) != kCdnServer) ++served;
+  }
+  EXPECT_EQ(server.slots_planned(), 48u);
+  // Online routing with learned placements must serve a sizable share.
+  EXPECT_GT(static_cast<double>(served) / static_cast<double>(trace.size()),
+            0.25);
+  EXPECT_GT(server.replicas_pushed(), 0u);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,53 @@
+#include "core/scheme.h"
+
+#include <gtest/gtest.h>
+
+namespace ccdn {
+namespace {
+
+std::vector<Hotspot> two_hotspots() {
+  Hotspot a;
+  a.cache_capacity = 3;
+  Hotspot b;
+  b.cache_capacity = 1;
+  return {a, b};
+}
+
+TEST(SlotPlan, TotalReplicasSums) {
+  SlotPlan plan;
+  plan.placements = {{1, 2, 3}, {7}};
+  EXPECT_EQ(plan.total_replicas(), 4u);
+}
+
+TEST(SlotPlan, RespectsCachesHappyPath) {
+  SlotPlan plan;
+  plan.placements = {{1, 2, 3}, {7}};
+  EXPECT_TRUE(plan.respects_caches(two_hotspots()));
+}
+
+TEST(SlotPlan, DetectsOverfullCache) {
+  SlotPlan plan;
+  plan.placements = {{1, 2, 3}, {7, 8}};
+  EXPECT_FALSE(plan.respects_caches(two_hotspots()));
+}
+
+TEST(SlotPlan, DetectsUnsortedPlacement) {
+  SlotPlan plan;
+  plan.placements = {{3, 1}, {}};
+  EXPECT_FALSE(plan.respects_caches(two_hotspots()));
+}
+
+TEST(SlotPlan, DetectsDuplicatePlacement) {
+  SlotPlan plan;
+  plan.placements = {{1, 1}, {}};
+  EXPECT_FALSE(plan.respects_caches(two_hotspots()));
+}
+
+TEST(SlotPlan, DetectsSizeMismatch) {
+  SlotPlan plan;
+  plan.placements = {{1}};
+  EXPECT_FALSE(plan.respects_caches(two_hotspots()));
+}
+
+}  // namespace
+}  // namespace ccdn

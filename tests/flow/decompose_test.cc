@@ -1,0 +1,124 @@
+#include "flow/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "flow/dinic.h"
+#include "flow/mcmf.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+TEST(Decompose, SingleEdgeSinglePath) {
+  FlowNetwork net(2);
+  const EdgeId e = net.add_edge(0, 1, 5, 2.0);
+  net.push(e, 5);
+  const auto paths = decompose_flow(net, 0, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(paths[0].amount, 5);
+  EXPECT_DOUBLE_EQ(paths[0].unit_cost, 2.0);
+}
+
+TEST(Decompose, ZeroFlowNoPaths) {
+  FlowNetwork net(2);
+  (void)net.add_edge(0, 1, 5, 2.0);
+  EXPECT_TRUE(decompose_flow(net, 0, 1).empty());
+}
+
+TEST(Decompose, ParallelPathsSplit) {
+  FlowNetwork net(4);
+  const EdgeId a1 = net.add_edge(0, 1, 3, 1.0);
+  const EdgeId a2 = net.add_edge(1, 3, 3, 1.0);
+  const EdgeId b1 = net.add_edge(0, 2, 4, 2.0);
+  const EdgeId b2 = net.add_edge(2, 3, 4, 2.0);
+  net.push(a1, 3);
+  net.push(a2, 3);
+  net.push(b1, 4);
+  net.push(b2, 4);
+  const auto paths = decompose_flow(net, 0, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  std::int64_t total = 0;
+  for (const auto& path : paths) total += path.amount;
+  EXPECT_EQ(total, 7);
+}
+
+TEST(Decompose, PathFlowSumsMatchSolver) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    FlowNetwork net(10);
+    for (int i = 2; i < 6; ++i) {
+      (void)net.add_edge(0, static_cast<NodeId>(i), rng.uniform_int(1, 8),
+                         0.0);
+      for (int j = 6; j < 10; ++j) {
+        if (rng.chance(0.6)) {
+          (void)net.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                             rng.uniform_int(1, 6), rng.uniform(0.1, 3.0));
+        }
+      }
+    }
+    for (int j = 6; j < 10; ++j) {
+      (void)net.add_edge(static_cast<NodeId>(j), 1, rng.uniform_int(1, 8),
+                         0.0);
+    }
+    const auto result = MinCostMaxFlow::solve(net, 0, 1);
+    std::int64_t leftover = -1;
+    const auto paths = decompose_flow(net, 0, 1, &leftover);
+    std::int64_t total = 0;
+    double cost = 0.0;
+    for (const auto& path : paths) {
+      EXPECT_EQ(path.nodes.front(), 0u);
+      EXPECT_EQ(path.nodes.back(), 1u);
+      EXPECT_GT(path.amount, 0);
+      total += path.amount;
+      cost += path.unit_cost * static_cast<double>(path.amount);
+    }
+    EXPECT_EQ(total, result.flow) << "trial " << trial;
+    // An optimal min-cost flow contains no positive-flow cycles, so the
+    // decomposition must be exact in value and cost.
+    EXPECT_EQ(leftover, 0) << "trial " << trial;
+    EXPECT_NEAR(cost, result.cost, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Decompose, BoundedByEdgeCount) {
+  Rng rng(9);
+  FlowNetwork net(12);
+  std::size_t edges = 0;
+  for (int i = 2; i < 7; ++i) {
+    (void)net.add_edge(0, static_cast<NodeId>(i), 10, 0.0);
+    ++edges;
+    for (int j = 7; j < 12; ++j) {
+      (void)net.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), 5,
+                         rng.uniform(0.1, 1.0));
+      ++edges;
+    }
+  }
+  for (int j = 7; j < 12; ++j) {
+    (void)net.add_edge(static_cast<NodeId>(j), 1, 10, 0.0);
+    ++edges;
+  }
+  (void)Dinic::solve(net, 0, 1);
+  const auto paths = decompose_flow(net, 0, 1);
+  EXPECT_LE(paths.size(), edges);
+}
+
+TEST(Decompose, DetectsTamperedFlow) {
+  FlowNetwork net(3);
+  const EdgeId e = net.add_edge(0, 1, 5, 0.0);
+  (void)net.add_edge(1, 2, 5, 0.0);
+  net.push(e, 3);  // 3 units enter node 1, none leave: not conserved
+  EXPECT_THROW((void)decompose_flow(net, 0, 2), InvariantError);
+}
+
+TEST(Decompose, RejectsBadArguments) {
+  FlowNetwork net(2);
+  EXPECT_THROW((void)decompose_flow(net, 0, 0), PreconditionError);
+  EXPECT_THROW((void)decompose_flow(net, 0, 7), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,93 @@
+#include "flow/dinic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+TEST(Dinic, SingleEdge) {
+  FlowNetwork net(2);
+  (void)net.add_edge(0, 1, 7, 0.0);
+  EXPECT_EQ(Dinic::solve(net, 0, 1), 7);
+}
+
+TEST(Dinic, SeriesBottleneck) {
+  FlowNetwork net(3);
+  (void)net.add_edge(0, 1, 10, 0.0);
+  (void)net.add_edge(1, 2, 3, 0.0);
+  EXPECT_EQ(Dinic::solve(net, 0, 2), 3);
+}
+
+TEST(Dinic, ParallelPathsAdd) {
+  FlowNetwork net(4);
+  (void)net.add_edge(0, 1, 4, 0.0);
+  (void)net.add_edge(1, 3, 4, 0.0);
+  (void)net.add_edge(0, 2, 5, 0.0);
+  (void)net.add_edge(2, 3, 5, 0.0);
+  EXPECT_EQ(Dinic::solve(net, 0, 3), 9);
+}
+
+TEST(Dinic, ClassicTextbookInstance) {
+  // CLRS-style example with known max flow 23.
+  FlowNetwork net(6);
+  (void)net.add_edge(0, 1, 16, 0.0);
+  (void)net.add_edge(0, 2, 13, 0.0);
+  (void)net.add_edge(1, 2, 10, 0.0);
+  (void)net.add_edge(2, 1, 4, 0.0);
+  (void)net.add_edge(1, 3, 12, 0.0);
+  (void)net.add_edge(3, 2, 9, 0.0);
+  (void)net.add_edge(2, 4, 14, 0.0);
+  (void)net.add_edge(4, 3, 7, 0.0);
+  (void)net.add_edge(3, 5, 20, 0.0);
+  (void)net.add_edge(4, 5, 4, 0.0);
+  EXPECT_EQ(Dinic::solve(net, 0, 5), 23);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  FlowNetwork net(4);
+  (void)net.add_edge(0, 1, 5, 0.0);
+  (void)net.add_edge(2, 3, 5, 0.0);
+  EXPECT_EQ(Dinic::solve(net, 0, 3), 0);
+}
+
+TEST(Dinic, RequiresBenignArguments) {
+  FlowNetwork net(2);
+  EXPECT_THROW((void)Dinic::solve(net, 0, 0), PreconditionError);
+  EXPECT_THROW((void)Dinic::solve(net, 0, 9), PreconditionError);
+}
+
+TEST(Dinic, FlowConservationHolds) {
+  // Random bipartite-ish graph; verify conservation at interior nodes.
+  Rng rng(77);
+  FlowNetwork net(12);
+  std::vector<EdgeId> edges;
+  for (int i = 1; i <= 5; ++i) {
+    edges.push_back(net.add_edge(0, i, rng.uniform_int(1, 10), 0.0));
+  }
+  for (int i = 1; i <= 5; ++i) {
+    for (int j = 6; j <= 10; ++j) {
+      if (rng.chance(0.5)) {
+        edges.push_back(net.add_edge(i, j, rng.uniform_int(1, 6), 0.0));
+      }
+    }
+  }
+  for (int j = 6; j <= 10; ++j) {
+    edges.push_back(net.add_edge(j, 11, rng.uniform_int(1, 10), 0.0));
+  }
+  const std::int64_t flow = Dinic::solve(net, 0, 11);
+  EXPECT_GT(flow, 0);
+  std::vector<std::int64_t> balance(12, 0);
+  for (const EdgeId e : edges) {
+    balance[net.edge(e).from] -= net.flow(e);
+    balance[net.edge(e).to] += net.flow(e);
+  }
+  for (int node = 1; node <= 10; ++node) EXPECT_EQ(balance[node], 0);
+  EXPECT_EQ(balance[0], -flow);
+  EXPECT_EQ(balance[11], flow);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,81 @@
+#include "flow/network.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+TEST(FlowNetwork, ConstructionAndNodes) {
+  FlowNetwork net(3);
+  EXPECT_EQ(net.num_nodes(), 3u);
+  EXPECT_EQ(net.num_edges(), 0u);
+  EXPECT_EQ(net.add_node(), 3u);
+  EXPECT_EQ(net.num_nodes(), 4u);
+}
+
+TEST(FlowNetwork, AddEdgeCreatesResidualPair) {
+  FlowNetwork net(2);
+  const EdgeId e = net.add_edge(0, 1, 10, 2.5);
+  EXPECT_EQ(net.num_edges(), 1u);
+  EXPECT_EQ(net.edge(e).from, 0u);
+  EXPECT_EQ(net.edge(e).to, 1u);
+  EXPECT_EQ(net.edge(e).capacity, 10);
+  EXPECT_DOUBLE_EQ(net.edge(e).cost, 2.5);
+  const EdgeId rev = net.paired(e);
+  EXPECT_EQ(net.edge(rev).from, 1u);
+  EXPECT_EQ(net.edge(rev).to, 0u);
+  EXPECT_EQ(net.edge(rev).capacity, 0);
+  EXPECT_DOUBLE_EQ(net.edge(rev).cost, -2.5);
+}
+
+TEST(FlowNetwork, PushMovesCapacity) {
+  FlowNetwork net(2);
+  const EdgeId e = net.add_edge(0, 1, 10, 1.0);
+  net.push(e, 4);
+  EXPECT_EQ(net.edge(e).capacity, 6);
+  EXPECT_EQ(net.edge(net.paired(e)).capacity, 4);
+  EXPECT_EQ(net.flow(e), 4);
+}
+
+TEST(FlowNetwork, PushRejectsOverflow) {
+  FlowNetwork net(2);
+  const EdgeId e = net.add_edge(0, 1, 3, 1.0);
+  EXPECT_THROW(net.push(e, 4), PreconditionError);
+  EXPECT_THROW(net.push(e, -1), PreconditionError);
+}
+
+TEST(FlowNetwork, ResetFlows) {
+  FlowNetwork net(2);
+  const EdgeId e = net.add_edge(0, 1, 5, 1.0);
+  net.push(e, 5);
+  EXPECT_EQ(net.flow(e), 5);
+  net.reset_flows();
+  EXPECT_EQ(net.flow(e), 0);
+  EXPECT_EQ(net.edge(e).capacity, 5);
+}
+
+TEST(FlowNetwork, OutEdgesIncludeResiduals) {
+  FlowNetwork net(3);
+  (void)net.add_edge(0, 1, 1, 0.0);
+  (void)net.add_edge(1, 2, 1, 0.0);
+  EXPECT_EQ(net.out_edges(0).size(), 1u);
+  EXPECT_EQ(net.out_edges(1).size(), 2u);  // residual of 0->1 plus 1->2
+  EXPECT_EQ(net.out_edges(2).size(), 1u);  // residual of 1->2
+}
+
+TEST(FlowNetwork, RejectsBadEndpointsAndCapacity) {
+  FlowNetwork net(2);
+  EXPECT_THROW((void)net.add_edge(0, 5, 1, 0.0), PreconditionError);
+  EXPECT_THROW((void)net.add_edge(0, 1, -1, 0.0), PreconditionError);
+}
+
+TEST(FlowNetwork, FlowAccessorRequiresForwardEdge) {
+  FlowNetwork net(2);
+  const EdgeId e = net.add_edge(0, 1, 1, 0.0);
+  EXPECT_THROW((void)net.flow(net.paired(e)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,110 @@
+#include "geo/geo_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccdn {
+namespace {
+
+TEST(Distance, ZeroForSamePoint) {
+  const GeoPoint p{40.0, 116.5};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(equirect_km(p, p), 0.0);
+}
+
+TEST(Distance, OneDegreeLatitudeIsAbout111Km) {
+  const GeoPoint a{40.0, 116.0};
+  const GeoPoint b{41.0, 116.0};
+  EXPECT_NEAR(haversine_km(a, b), 111.2, 0.5);
+  EXPECT_NEAR(equirect_km(a, b), 111.2, 0.5);
+}
+
+TEST(Distance, LongitudeShrinksWithLatitude) {
+  const GeoPoint a_equator{0.0, 116.0};
+  const GeoPoint b_equator{0.0, 117.0};
+  const GeoPoint a_beijing{40.0, 116.0};
+  const GeoPoint b_beijing{40.0, 117.0};
+  const double at_equator = haversine_km(a_equator, b_equator);
+  const double at_beijing = haversine_km(a_beijing, b_beijing);
+  EXPECT_NEAR(at_beijing / at_equator, std::cos(40.0 * M_PI / 180.0), 0.01);
+}
+
+TEST(Distance, EquirectMatchesHaversineAtCityScale) {
+  // Points across the paper's 17 x 11 km evaluation region.
+  const GeoPoint a{40.00, 116.40};
+  const GeoPoint b{40.10, 116.60};
+  const double h = haversine_km(a, b);
+  const double e = equirect_km(a, b);
+  EXPECT_NEAR(e / h, 1.0, 1e-3);
+}
+
+TEST(Distance, Symmetry) {
+  const GeoPoint a{40.02, 116.41};
+  const GeoPoint b{40.07, 116.55};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+  EXPECT_DOUBLE_EQ(equirect_km(a, b), equirect_km(b, a));
+}
+
+TEST(Distance, TriangleInequality) {
+  const GeoPoint a{40.0, 116.4};
+  const GeoPoint b{40.05, 116.5};
+  const GeoPoint c{40.1, 116.6};
+  // The equirectangular approximation is not a true metric; allow a
+  // metre-scale slack at city distances.
+  EXPECT_LE(equirect_km(a, c), equirect_km(a, b) + equirect_km(b, c) + 1e-3);
+}
+
+TEST(BoundingBox, ContainsAndCenter) {
+  const BoundingBox box{{40.0, 116.4}, {40.1, 116.6}};
+  EXPECT_TRUE(box.contains({40.05, 116.5}));
+  EXPECT_TRUE(box.contains({40.0, 116.4}));  // inclusive edges
+  EXPECT_FALSE(box.contains({39.99, 116.5}));
+  EXPECT_FALSE(box.contains({40.05, 116.61}));
+  EXPECT_DOUBLE_EQ(box.center().lat, 40.05);
+  EXPECT_DOUBLE_EQ(box.center().lon, 116.5);
+}
+
+TEST(BoundingBox, EvaluationRegionDimensions) {
+  // The paper's rectangle is ~17 x 11 km.
+  const BoundingBox box{{40.00, 116.40}, {40.10, 116.60}};
+  EXPECT_NEAR(box.width_km(), 17.0, 0.3);
+  EXPECT_NEAR(box.height_km(), 11.1, 0.2);
+}
+
+TEST(Projection, RoundTrip) {
+  const Projection projection({40.05, 116.5});
+  const GeoPoint original{40.08, 116.43};
+  const auto xy = projection.to_xy(original);
+  const GeoPoint back = projection.to_geo(xy);
+  EXPECT_NEAR(back.lat, original.lat, 1e-9);
+  EXPECT_NEAR(back.lon, original.lon, 1e-9);
+}
+
+TEST(Projection, ReferenceMapsToOrigin) {
+  const GeoPoint reference{40.05, 116.5};
+  const Projection projection(reference);
+  const auto xy = projection.to_xy(reference);
+  EXPECT_DOUBLE_EQ(xy.x_km, 0.0);
+  EXPECT_DOUBLE_EQ(xy.y_km, 0.0);
+}
+
+TEST(Projection, DistancesPreservedAtCityScale) {
+  const Projection projection({40.05, 116.5});
+  const GeoPoint a{40.02, 116.45};
+  const GeoPoint b{40.09, 116.58};
+  const auto pa = projection.to_xy(a);
+  const auto pb = projection.to_xy(b);
+  const double planar = std::hypot(pa.x_km - pb.x_km, pa.y_km - pb.y_km);
+  EXPECT_NEAR(planar / equirect_km(a, b), 1.0, 1e-3);
+}
+
+TEST(Projection, AxesOrientation) {
+  const Projection projection({40.0, 116.5});
+  // North increases y; east increases x.
+  EXPECT_GT(projection.to_xy({40.01, 116.5}).y_km, 0.0);
+  EXPECT_GT(projection.to_xy({40.0, 116.51}).x_km, 0.0);
+}
+
+}  // namespace
+}  // namespace ccdn

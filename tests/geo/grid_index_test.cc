@@ -1,0 +1,148 @@
+#include "geo/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+std::vector<GeoPoint> random_points(Rng& rng, std::size_t n) {
+  std::vector<GeoPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(40.00, 40.10), rng.uniform(116.40, 116.60)});
+  }
+  return points;
+}
+
+std::size_t brute_nearest(const std::vector<GeoPoint>& points,
+                          const GeoPoint& query) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = distance_km(points[i], query);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> brute_radius(const std::vector<GeoPoint>& points,
+                                      const GeoPoint& query, double radius) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (distance_km(points[i], query) <= radius) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(GridIndex, RejectsEmptyAndBadCell) {
+  EXPECT_THROW(GridIndex({}, 1.0), PreconditionError);
+  EXPECT_THROW(GridIndex({{40.0, 116.5}}, 0.0), PreconditionError);
+}
+
+TEST(GridIndex, SinglePoint) {
+  const GridIndex index({{40.0, 116.5}}, 1.0);
+  EXPECT_EQ(index.nearest({41.0, 117.0}), 0u);
+  EXPECT_EQ(index.within_radius({40.0, 116.5}, 0.1),
+            (std::vector<std::size_t>{0}));
+}
+
+TEST(GridIndex, NearestOnKnownLayout) {
+  const std::vector<GeoPoint> points{
+      {40.00, 116.40}, {40.05, 116.50}, {40.10, 116.60}};
+  const GridIndex index(points, 1.0);
+  EXPECT_EQ(index.nearest({40.01, 116.41}), 0u);
+  EXPECT_EQ(index.nearest({40.05, 116.51}), 1u);
+  EXPECT_EQ(index.nearest({40.09, 116.60}), 2u);
+}
+
+class GridIndexProperty : public ::testing::TestWithParam<
+                              std::tuple<std::size_t, double>> {};
+
+TEST_P(GridIndexProperty, NearestMatchesBruteForce) {
+  const auto [n, cell] = GetParam();
+  Rng rng(n * 31 + 7);
+  const auto points = random_points(rng, n);
+  const GridIndex index(points, cell);
+  for (int q = 0; q < 50; ++q) {
+    const GeoPoint query{rng.uniform(39.98, 40.12),
+                         rng.uniform(116.38, 116.62)};
+    const std::size_t got = index.nearest(query);
+    const std::size_t want = brute_nearest(points, query);
+    // Equal distance ties may resolve differently; compare distances.
+    EXPECT_NEAR(distance_km(points[got], query),
+                distance_km(points[want], query), 1e-9);
+  }
+}
+
+TEST_P(GridIndexProperty, RadiusMatchesBruteForce) {
+  const auto [n, cell] = GetParam();
+  Rng rng(n * 131 + 3);
+  const auto points = random_points(rng, n);
+  const GridIndex index(points, cell);
+  for (const double radius : {0.2, 1.0, 3.0, 30.0}) {
+    for (int q = 0; q < 10; ++q) {
+      const GeoPoint query{rng.uniform(40.0, 40.1),
+                           rng.uniform(116.4, 116.6)};
+      EXPECT_EQ(index.within_radius(query, radius),
+                brute_radius(points, query, radius));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndCells, GridIndexProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 5, 50, 300),
+                       ::testing::Values(0.25, 0.5, 2.0)));
+
+TEST(GridIndex, KNearestOrderedByDistance) {
+  Rng rng(19);
+  const auto points = random_points(rng, 100);
+  const GridIndex index(points, 0.5);
+  const GeoPoint query{40.05, 116.5};
+  const auto got = index.k_nearest(query, 10);
+  ASSERT_EQ(got.size(), 10u);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(distance_km(points[got[i - 1]], query),
+              distance_km(points[got[i]], query) + 1e-12);
+  }
+  // First element agrees with nearest().
+  EXPECT_EQ(got.front(), index.nearest(query));
+}
+
+TEST(GridIndex, KNearestClampsToSize) {
+  Rng rng(23);
+  const auto points = random_points(rng, 5);
+  const GridIndex index(points, 0.5);
+  EXPECT_EQ(index.k_nearest({40.05, 116.5}, 50).size(), 5u);
+  EXPECT_TRUE(index.k_nearest({40.05, 116.5}, 0).empty());
+}
+
+TEST(GridIndex, WithinRadiusZeroRadius) {
+  const std::vector<GeoPoint> points{{40.0, 116.5}, {40.05, 116.55}};
+  const GridIndex index(points, 1.0);
+  EXPECT_EQ(index.within_radius({40.0, 116.5}, 0.0),
+            (std::vector<std::size_t>{0}));
+  EXPECT_THROW((void)index.within_radius({40.0, 116.5}, -1.0),
+               PreconditionError);
+}
+
+TEST(GridIndex, DuplicatePointsAllReturned) {
+  const std::vector<GeoPoint> points{{40.0, 116.5}, {40.0, 116.5},
+                                     {40.0, 116.5}};
+  const GridIndex index(points, 1.0);
+  EXPECT_EQ(index.within_radius({40.0, 116.5}, 0.01).size(), 3u);
+  EXPECT_EQ(index.nearest({40.0, 116.5}), 0u);  // lowest index tie-break
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,175 @@
+// End-to-end integration tests: world -> trace -> schemes -> metrics,
+// checking the paper's qualitative results hold on a reduced-scale replica
+// of the evaluation setup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/nearest_scheme.h"
+#include "core/random_scheme.h"
+#include "core/rbcaer_scheme.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+
+namespace ccdn {
+namespace {
+
+struct Scenario {
+  World world;
+  std::vector<Request> trace;
+
+  Scenario()
+      : world(generate_world([] {
+          WorldConfig config = WorldConfig::evaluation_region();
+          config.num_hotspots = 100;
+          config.num_videos = 4000;
+          return config;
+        }())),
+        trace(generate_trace(world, [] {
+          TraceConfig config;
+          config.num_requests = 60000;
+          return config;
+        }())) {}
+
+  SimulationReport run(RedirectionScheme& scheme, double service_fraction,
+                       double cache_fraction) {
+    World configured = world;
+    assign_uniform_capacities(configured, service_fraction, cache_fraction);
+    SimulationConfig sim;
+    sim.slot_seconds = 24 * 3600;
+    Simulator simulator(configured.hotspots(),
+                        VideoCatalog{configured.config().num_videos}, sim);
+    return simulator.run(scheme, trace);
+  }
+};
+
+TEST(Integration, PaperOrderingAtDefaultOperatingPoint) {
+  Scenario scenario;
+  NearestScheme nearest;
+  RandomScheme random_scheme(1.5);
+  RbcaerScheme rbcaer;
+  const auto nearest_report = scenario.run(nearest, 0.05, 0.03);
+  const auto random_report = scenario.run(random_scheme, 0.05, 0.03);
+  const auto rbcaer_report = scenario.run(rbcaer, 0.05, 0.03);
+
+  // Fig. 6 orderings at the 5%/3% operating point.
+  EXPECT_GT(rbcaer_report.serving_ratio(), nearest_report.serving_ratio());
+  EXPECT_LT(rbcaer_report.average_distance_km(),
+            nearest_report.average_distance_km());
+  EXPECT_LT(rbcaer_report.average_distance_km(),
+            random_report.average_distance_km());
+  EXPECT_LT(rbcaer_report.cdn_server_load(),
+            nearest_report.cdn_server_load());
+  EXPECT_LT(rbcaer_report.cdn_server_load(), random_report.cdn_server_load());
+  // Random over-replicates; RBCAer undercuts both baselines.
+  EXPECT_GT(random_report.replication_cost(),
+            nearest_report.replication_cost());
+  EXPECT_LT(rbcaer_report.replication_cost(),
+            random_report.replication_cost());
+}
+
+TEST(Integration, ServingRatioGrowsWithCapacity) {
+  Scenario scenario;
+  double previous = -1.0;
+  for (const double capacity : {0.02, 0.04, 0.06}) {
+    RbcaerScheme rbcaer;
+    const auto report = scenario.run(rbcaer, capacity, 0.03);
+    EXPECT_GT(report.serving_ratio(), previous);
+    previous = report.serving_ratio();
+  }
+}
+
+TEST(Integration, ServingRatioGrowsWithCache) {
+  Scenario scenario;
+  double previous = -1.0;
+  for (const double cache : {0.005, 0.01, 0.03}) {
+    NearestScheme nearest;
+    const auto report = scenario.run(nearest, 0.05, cache);
+    EXPECT_GT(report.serving_ratio(), previous);
+    previous = report.serving_ratio();
+  }
+}
+
+TEST(Integration, SweepDriverMatchesDirectRuns) {
+  Scenario scenario;
+  const std::vector<NamedSchemeFactory> schemes{
+      {"Nearest", [] { return std::make_unique<NearestScheme>(); }},
+  };
+  SweepConfig config;
+  config.swept_fractions = {0.05};
+  config.fixed_fraction = 0.03;
+  config.simulation.slot_seconds = 24 * 3600;
+  const auto points =
+      run_capacity_sweep(scenario.world, scenario.trace, schemes, config);
+  ASSERT_EQ(points.size(), 1u);
+  NearestScheme nearest;
+  const auto direct = scenario.run(nearest, 0.05, 0.03);
+  EXPECT_NEAR(points[0].serving_ratio, direct.serving_ratio(), 1e-12);
+  EXPECT_NEAR(points[0].cdn_server_load, direct.cdn_server_load(), 1e-12);
+  EXPECT_EQ(points[0].parameter, 0.05);
+  EXPECT_EQ(points[0].scheme, "Nearest");
+}
+
+TEST(Integration, CacheSweepUsesFixedCapacity) {
+  Scenario scenario;
+  const std::vector<NamedSchemeFactory> schemes{
+      {"Nearest", [] { return std::make_unique<NearestScheme>(); }},
+  };
+  SweepConfig config;
+  config.swept_fractions = {0.01, 0.03};
+  config.fixed_fraction = 0.05;
+  config.simulation.slot_seconds = 24 * 3600;
+  const auto points =
+      run_cache_sweep(scenario.world, scenario.trace, schemes, config);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_LT(points[0].serving_ratio, points[1].serving_ratio);
+}
+
+TEST(Integration, RbcaerAblationAggregationLowersReplication) {
+  Scenario scenario;
+  RbcaerConfig with_config;
+  RbcaerScheme with_aggregation(with_config);
+  RbcaerConfig without_config;
+  without_config.content_aggregation = false;
+  RbcaerScheme without_aggregation(without_config);
+  const auto with_report = scenario.run(with_aggregation, 0.05, 0.03);
+  const auto without_report = scenario.run(without_aggregation, 0.05, 0.03);
+  // Content aggregation must not hurt replication cost, and the serving
+  // ratio should stay comparable (within a couple of points).
+  EXPECT_LE(with_report.replication_cost(),
+            without_report.replication_cost() * 1.02);
+  EXPECT_GT(with_report.serving_ratio(),
+            without_report.serving_ratio() - 0.05);
+}
+
+TEST(Integration, SweepCsvExport) {
+  std::vector<SweepPoint> points(2);
+  points[0] = {0.05, "RBCAer", 0.75, 5.4, 2.8, 0.46};
+  points[1] = {0.05, "Nearest", 0.60, 8.1, 3.7, 0.66};
+  std::ostringstream out;
+  write_sweep_csv(out, points);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("parameter,scheme,serving_ratio"), std::string::npos);
+  EXPECT_NE(text.find("RBCAer"), std::string::npos);
+  EXPECT_NE(text.find("0.46"), std::string::npos);
+  // Header + 2 data rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  Scenario scenario;
+  RbcaerScheme a;
+  RbcaerScheme b;
+  const auto report_a = scenario.run(a, 0.05, 0.03);
+  const auto report_b = scenario.run(b, 0.05, 0.03);
+  EXPECT_DOUBLE_EQ(report_a.serving_ratio(), report_b.serving_ratio());
+  EXPECT_DOUBLE_EQ(report_a.average_distance_km(),
+                   report_b.average_distance_km());
+  EXPECT_EQ(report_a.total_replicas(), report_b.total_replicas());
+}
+
+}  // namespace
+}  // namespace ccdn

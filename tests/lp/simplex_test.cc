@@ -1,0 +1,197 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+TEST(Simplex, TrivialEmptyProblem) {
+  const LpProblem problem;
+  const auto solution = SimplexSolver().solve(problem);
+  EXPECT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(solution.objective, 0.0);
+}
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  ->  min -(3x + 2y).
+  LpProblem problem;
+  const auto x = problem.add_variable(-3.0);
+  const auto y = problem.add_variable(-2.0);
+  problem.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 4.0});
+  problem.add_constraint({{{x, 1.0}}, Relation::kLessEq, 2.0});
+  const auto solution = SimplexSolver().solve(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -(3.0 * 2 + 2.0 * 2), 1e-9);
+  EXPECT_NEAR(solution.values[x], 2.0, 1e-9);
+  EXPECT_NEAR(solution.values[y], 2.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 3, y >= 1.
+  LpProblem problem;
+  const auto x = problem.add_variable(1.0);
+  const auto y = problem.add_variable(2.0);
+  problem.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kEq, 3.0});
+  problem.add_constraint({{{y, 1.0}}, Relation::kGreaterEq, 1.0});
+  const auto solution = SimplexSolver().solve(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 2.0, 1e-9);
+  EXPECT_NEAR(solution.values[y], 1.0, 1e-9);
+  EXPECT_NEAR(solution.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem problem;
+  const auto x = problem.add_variable(1.0);
+  problem.add_constraint({{{x, 1.0}}, Relation::kLessEq, 1.0});
+  problem.add_constraint({{{x, 1.0}}, Relation::kGreaterEq, 2.0});
+  EXPECT_EQ(SimplexSolver().solve(problem).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem problem;
+  const auto x = problem.add_variable(-1.0);  // minimize -x, x free upward
+  problem.add_constraint({{{x, 1.0}}, Relation::kGreaterEq, 0.0});
+  EXPECT_EQ(SimplexSolver().solve(problem).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -2  (i.e. x >= 2).
+  LpProblem problem;
+  const auto x = problem.add_variable(1.0);
+  problem.add_constraint({{{x, -1.0}}, Relation::kLessEq, -2.0});
+  const auto solution = SimplexSolver().solve(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem problem;
+  const auto x = problem.add_variable(-1.0);
+  const auto y = problem.add_variable(-1.0);
+  problem.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 2.0});
+  problem.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 2.0});
+  problem.add_constraint({{{x, 2.0}, {y, 2.0}}, Relation::kLessEq, 4.0});
+  problem.add_constraint({{{x, 1.0}}, Relation::kLessEq, 2.0});
+  problem.add_constraint({{{y, 1.0}}, Relation::kLessEq, 2.0});
+  const auto solution = SimplexSolver().solve(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  LpProblem problem;
+  const auto x = problem.add_variable(1.0);
+  const auto y = problem.add_variable(1.0);
+  problem.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kEq, 2.0});
+  problem.add_constraint({{{x, 2.0}, {y, 2.0}}, Relation::kEq, 4.0});
+  const auto solution = SimplexSolver().solve(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 suppliers (cap 20, 30) x 2 consumers (demand 25 each), known optimum.
+  LpProblem problem;
+  // costs: s0->c0: 1, s0->c1: 4, s1->c0: 2, s1->c1: 1.
+  const auto x00 = problem.add_variable(1.0);
+  const auto x01 = problem.add_variable(4.0);
+  const auto x10 = problem.add_variable(2.0);
+  const auto x11 = problem.add_variable(1.0);
+  problem.add_constraint({{{x00, 1.0}, {x01, 1.0}}, Relation::kLessEq, 20.0});
+  problem.add_constraint({{{x10, 1.0}, {x11, 1.0}}, Relation::kLessEq, 30.0});
+  problem.add_constraint({{{x00, 1.0}, {x10, 1.0}}, Relation::kEq, 25.0});
+  problem.add_constraint({{{x01, 1.0}, {x11, 1.0}}, Relation::kEq, 25.0});
+  const auto solution = SimplexSolver().solve(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  // Optimal: x00=20, x10=5, x11=25 -> 20 + 10 + 25 = 55.
+  EXPECT_NEAR(solution.objective, 55.0, 1e-9);
+  EXPECT_LT(problem.max_violation(solution.values), 1e-9);
+}
+
+TEST(Simplex, DuplicateTermsAreMerged) {
+  LpProblem problem;
+  const auto x = problem.add_variable(1.0);
+  problem.add_constraint(
+      {{{x, 0.5}, {x, 0.5}}, Relation::kGreaterEq, 3.0});  // x >= 3
+  const auto solution = SimplexSolver().solve(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, IterationLimitReported) {
+  SimplexOptions options;
+  options.max_iterations = 1;
+  LpProblem problem;
+  const auto x = problem.add_variable(-1.0);
+  const auto y = problem.add_variable(-2.0);
+  problem.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kLessEq, 5.0});
+  problem.add_constraint({{{x, 1.0}}, Relation::kLessEq, 2.0});
+  problem.add_constraint({{{y, 1.0}}, Relation::kLessEq, 2.0});
+  const auto solution = SimplexSolver(options).solve(problem);
+  // Either it got lucky in one pivot or it reports the cap; both are legal,
+  // but the status must not be infeasible/unbounded.
+  EXPECT_TRUE(solution.status == LpStatus::kOptimal ||
+              solution.status == LpStatus::kIterationLimit);
+}
+
+class SimplexRandomFeasibility : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandomFeasibility, OptimumIsFeasibleAndUndercutsRandomPoints) {
+  Rng rng(GetParam());
+  // Random bounded LP: min c.x over Ax <= b with b > 0 (origin feasible)
+  // plus per-variable caps to guarantee boundedness.
+  LpProblem problem;
+  const int n = 4;
+  std::vector<std::uint32_t> vars;
+  for (int v = 0; v < n; ++v) {
+    vars.push_back(problem.add_variable(rng.uniform(-2.0, 2.0)));
+  }
+  for (int row = 0; row < 5; ++row) {
+    LpConstraint c;
+    for (int v = 0; v < n; ++v) {
+      c.terms.push_back({vars[v], rng.uniform(0.0, 1.0)});
+    }
+    c.relation = Relation::kLessEq;
+    c.rhs = rng.uniform(1.0, 10.0);
+    problem.add_constraint(std::move(c));
+  }
+  for (int v = 0; v < n; ++v) {
+    problem.add_constraint({{{vars[v], 1.0}}, Relation::kLessEq, 8.0});
+  }
+  const auto solution = SimplexSolver().solve(problem);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_LT(problem.max_violation(solution.values), 1e-7);
+  // No feasible random point may beat the reported optimum.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> candidate(n);
+    for (int v = 0; v < n; ++v) candidate[v] = rng.uniform(0.0, 8.0);
+    if (problem.max_violation(candidate) <= 0.0) {
+      EXPECT_GE(problem.objective_value(candidate),
+                solution.objective - 1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomFeasibility,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(LpProblem, AccessorsAndValidation) {
+  LpProblem problem;
+  const auto x = problem.add_variable(2.5, "width");
+  EXPECT_EQ(problem.variable_name(x), "width");
+  EXPECT_DOUBLE_EQ(problem.objective_coefficient(x), 2.5);
+  EXPECT_THROW(
+      problem.add_constraint({{{99, 1.0}}, Relation::kLessEq, 1.0}),
+      PreconditionError);
+  EXPECT_THROW((void)problem.objective_value({1.0, 2.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,181 @@
+#include "lp/u_relaxation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+/// Tiny instance: 4 requests, 2 hotspots, 3 videos.
+UInstance tiny_instance() {
+  UInstance instance;
+  Hotspot a;
+  a.location = {40.00, 116.40};
+  a.service_capacity = 2;
+  a.cache_capacity = 2;
+  Hotspot b;
+  b.location = {40.00, 116.45};
+  b.service_capacity = 2;
+  b.cache_capacity = 2;
+  instance.hotspots = {a, b};
+  instance.request_videos = {10, 10, 20, 30};
+  instance.request_locations = {
+      {40.00, 116.41}, {40.00, 116.41}, {40.00, 116.44}, {40.00, 116.44}};
+  return instance;
+}
+
+TEST(UVariableMap, IndexLayout) {
+  const UVariableMap vars(3, 2, {5, 9});
+  EXPECT_EQ(vars.total_variables(), 3 * 3 + 2 * 2);
+  // x variables come first, request-major.
+  EXPECT_EQ(vars.x(0, 0), 0u);
+  EXPECT_EQ(vars.x(0, 1), 1u);
+  EXPECT_EQ(vars.x_cdn(0), 2u);
+  EXPECT_EQ(vars.x(2, 1), 2u * 3 + 1);
+  // y variables after, video-major.
+  EXPECT_EQ(vars.y(5, 0), 9u);
+  EXPECT_EQ(vars.y(9, 1), 9u + 2 + 1);
+  EXPECT_THROW((void)vars.y(7, 0), PreconditionError);
+  EXPECT_THROW((void)vars.x(3, 0), PreconditionError);
+}
+
+TEST(UBuild, ConstraintAndVariableCounts) {
+  const UInstance instance = tiny_instance();
+  const ULp lp = build_u_relaxation(instance);
+  const std::size_t n = 4;
+  const std::size_t m = 2;
+  const std::size_t o = 3;  // distinct videos
+  EXPECT_EQ(lp.problem.num_variables(), n * (m + 1) + o * m);
+  // Eq.4 (n) + Eq.5 (n*m) + Eq.6 (m) + Eq.7 (m).
+  EXPECT_EQ(lp.problem.num_constraints(), n + n * m + m + m);
+}
+
+TEST(UBuild, ObjectiveUsesDistanceAndBeta) {
+  UInstance instance = tiny_instance();
+  instance.alpha = 2.0;
+  instance.beta = 3.0;
+  const ULp lp = build_u_relaxation(instance);
+  const double d = distance_km(instance.request_locations[0],
+                               instance.hotspots[0].location);
+  EXPECT_NEAR(lp.problem.objective_coefficient(lp.vars.x(0, 0)), 2.0 * d,
+              1e-12);
+  EXPECT_NEAR(lp.problem.objective_coefficient(lp.vars.x_cdn(0)),
+              2.0 * kCdnDistanceKm, 1e-12);
+  EXPECT_NEAR(lp.problem.objective_coefficient(lp.vars.y(10, 1)), 3.0, 1e-12);
+}
+
+TEST(USolve, TinyInstanceEndToEnd) {
+  const UInstance instance = tiny_instance();
+  const USchedule schedule = solve_u_instance(instance);
+  // Capacity feasible.
+  std::vector<int> served(instance.hotspots.size(), 0);
+  for (const auto assignment : schedule.assignment) {
+    if (assignment != kCdnServer) ++served[assignment];
+  }
+  for (std::size_t j = 0; j < instance.hotspots.size(); ++j) {
+    EXPECT_LE(served[j],
+              static_cast<int>(instance.hotspots[j].service_capacity));
+    EXPECT_LE(schedule.placements[j].size(),
+              instance.hotspots[j].cache_capacity);
+  }
+  // Placement precedes serving (Eq. 5).
+  for (std::size_t i = 0; i < schedule.assignment.size(); ++i) {
+    const auto j = schedule.assignment[i];
+    if (j == kCdnServer) continue;
+    EXPECT_TRUE(std::binary_search(schedule.placements[j].begin(),
+                                   schedule.placements[j].end(),
+                                   instance.request_videos[i]));
+  }
+  // With 4 requests and 2x2 capacity everything can be served locally.
+  EXPECT_EQ(served[0] + served[1], 4);
+}
+
+TEST(USolve, LpLowerBoundsRoundedObjective) {
+  const UInstance instance = tiny_instance();
+  const ULp lp = build_u_relaxation(instance);
+  const auto lp_solution = SimplexSolver().solve(lp.problem);
+  ASSERT_EQ(lp_solution.status, LpStatus::kOptimal);
+  const USchedule rounded =
+      round_u_solution(instance, lp.vars, lp_solution.values);
+  EXPECT_GE(rounded.objective, lp_solution.objective - 1e-6);
+}
+
+TEST(URound, RespectsCacheWhenTight) {
+  UInstance instance = tiny_instance();
+  // One hotspot, one cache slot, two distinct videos nearby.
+  instance.hotspots.resize(1);
+  instance.hotspots[0].cache_capacity = 1;
+  instance.hotspots[0].service_capacity = 10;
+  const USchedule schedule = solve_u_instance(instance);
+  EXPECT_LE(schedule.placements[0].size(), 1u);
+  // Whatever is cached serves its requests; the rest go to the CDN.
+  for (std::size_t i = 0; i < schedule.assignment.size(); ++i) {
+    if (schedule.assignment[i] == kCdnServer) continue;
+    EXPECT_EQ(schedule.placements[0][0], instance.request_videos[i]);
+  }
+}
+
+TEST(URound, ZeroCapacitySendsEverythingToCdn) {
+  UInstance instance = tiny_instance();
+  for (auto& h : instance.hotspots) h.service_capacity = 0;
+  const USchedule schedule = solve_u_instance(instance);
+  for (const auto assignment : schedule.assignment) {
+    EXPECT_EQ(assignment, kCdnServer);
+  }
+  EXPECT_NEAR(schedule.total_distance_km,
+              4 * instance.cdn_distance_km, 1e-9);
+}
+
+TEST(UBuild, RejectsMalformedInstance) {
+  UInstance instance = tiny_instance();
+  instance.request_videos.pop_back();
+  EXPECT_THROW((void)build_u_relaxation(instance), PreconditionError);
+  UInstance no_hotspots = tiny_instance();
+  no_hotspots.hotspots.clear();
+  EXPECT_THROW((void)build_u_relaxation(no_hotspots), PreconditionError);
+}
+
+TEST(USolve, RandomInstancesProduceFeasibleSchedules) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    UInstance instance;
+    const int m = 3;
+    for (int j = 0; j < m; ++j) {
+      Hotspot h;
+      h.location = {rng.uniform(40.0, 40.05), rng.uniform(116.4, 116.5)};
+      h.service_capacity = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+      h.cache_capacity = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+      instance.hotspots.push_back(h);
+    }
+    const int n = 10;
+    for (int i = 0; i < n; ++i) {
+      instance.request_videos.push_back(
+          static_cast<VideoId>(rng.uniform_int(0, 5)));
+      instance.request_locations.push_back(
+          {rng.uniform(40.0, 40.05), rng.uniform(116.4, 116.5)});
+    }
+    const USchedule schedule = solve_u_instance(instance);
+    std::vector<int> served(m, 0);
+    for (std::size_t i = 0; i < schedule.assignment.size(); ++i) {
+      const auto j = schedule.assignment[i];
+      if (j == kCdnServer) continue;
+      ++served[j];
+      EXPECT_TRUE(std::binary_search(schedule.placements[j].begin(),
+                                     schedule.placements[j].end(),
+                                     instance.request_videos[i]));
+    }
+    for (int j = 0; j < m; ++j) {
+      EXPECT_LE(served[j],
+                static_cast<int>(instance.hotspots[j].service_capacity));
+      EXPECT_LE(schedule.placements[j].size(),
+                instance.hotspots[j].cache_capacity);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,68 @@
+#include "model/topsets.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+TEST(TopK, PicksHighestCounts) {
+  const std::vector<VideoDemand> demands{{1, 5}, {2, 1}, {3, 9}, {4, 3}};
+  EXPECT_EQ(top_k_videos(demands, 2), (std::vector<VideoId>{1, 3}));
+}
+
+TEST(TopK, ResultSortedByIdNotCount) {
+  const std::vector<VideoDemand> demands{{9, 100}, {1, 50}};
+  EXPECT_EQ(top_k_videos(demands, 2), (std::vector<VideoId>{1, 9}));
+}
+
+TEST(TopK, ClampsToDistinctCount) {
+  const std::vector<VideoDemand> demands{{1, 2}, {2, 1}};
+  EXPECT_EQ(top_k_videos(demands, 10).size(), 2u);
+}
+
+TEST(TopK, ZeroK) {
+  const std::vector<VideoDemand> demands{{1, 2}};
+  EXPECT_TRUE(top_k_videos(demands, 0).empty());
+}
+
+TEST(TopK, TieBreaksByLowerVideoId) {
+  const std::vector<VideoDemand> demands{{5, 3}, {2, 3}, {8, 3}};
+  EXPECT_EQ(top_k_videos(demands, 2), (std::vector<VideoId>{2, 5}));
+}
+
+TEST(TopFraction, CeilsSetSize) {
+  // 5 distinct * 0.2 = 1 video; 6 * 0.2 = 1.2 -> 2 videos.
+  std::vector<VideoDemand> five;
+  for (VideoId v = 0; v < 5; ++v) five.push_back({v, v + 1});
+  EXPECT_EQ(top_fraction_videos(five, 0.2).size(), 1u);
+  std::vector<VideoDemand> six;
+  for (VideoId v = 0; v < 6; ++v) six.push_back({v, v + 1});
+  EXPECT_EQ(top_fraction_videos(six, 0.2).size(), 2u);
+}
+
+TEST(TopFraction, EmptyDemandGivesEmptySet) {
+  EXPECT_TRUE(top_fraction_videos({}, 0.2).empty());
+}
+
+TEST(TopFraction, RejectsBadFraction) {
+  const std::vector<VideoDemand> demands{{1, 1}};
+  EXPECT_THROW((void)top_fraction_videos(demands, 0.0), PreconditionError);
+  EXPECT_THROW((void)top_fraction_videos(demands, 1.1), PreconditionError);
+}
+
+TEST(TopSetsPerHotspot, CoversAllHotspots) {
+  std::vector<std::vector<VideoDemand>> per_hotspot(3);
+  per_hotspot[0] = {{1, 10}, {2, 1}, {3, 1}, {4, 1}, {5, 1}};
+  per_hotspot[2] = {{7, 2}};
+  const SlotDemand demand(std::move(per_hotspot));
+  const auto sets = top_sets_per_hotspot(demand, 0.2);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], (std::vector<VideoId>{1}));
+  EXPECT_TRUE(sets[1].empty());
+  EXPECT_EQ(sets[2], (std::vector<VideoId>{7}));
+}
+
+}  // namespace
+}  // namespace ccdn

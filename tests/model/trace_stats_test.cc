@@ -1,0 +1,78 @@
+#include "model/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+#include "trace/world.h"
+
+namespace ccdn {
+namespace {
+
+Request make(UserId user, VideoId video, std::int64_t ts) {
+  Request r;
+  r.user = user;
+  r.video = video;
+  r.timestamp = ts;
+  return r;
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const auto stats = compute_trace_stats({});
+  EXPECT_EQ(stats.num_requests, 0u);
+  EXPECT_EQ(stats.distinct_users, 0u);
+  EXPECT_EQ(stats.span_seconds(), 0);
+  EXPECT_DOUBLE_EQ(stats.top20_share, 0.0);
+}
+
+TEST(TraceStats, CountsDistincts) {
+  const std::vector<Request> trace{make(1, 10, 0), make(1, 11, 60),
+                                   make(2, 10, 120)};
+  const auto stats = compute_trace_stats(trace);
+  EXPECT_EQ(stats.num_requests, 3u);
+  EXPECT_EQ(stats.distinct_users, 2u);
+  EXPECT_EQ(stats.distinct_videos, 2u);
+  EXPECT_EQ(stats.span_seconds(), 120);
+}
+
+TEST(TraceStats, PerHourHistogram) {
+  const std::vector<Request> trace{
+      make(1, 1, 0),                 // hour 0
+      make(1, 1, 3599),              // hour 0
+      make(1, 1, 3600),              // hour 1
+      make(1, 1, 25 * 3600 + 10),    // wraps to hour 1
+  };
+  const auto stats = compute_trace_stats(trace);
+  EXPECT_EQ(stats.per_hour[0], 2u);
+  EXPECT_EQ(stats.per_hour[1], 2u);
+  EXPECT_EQ(stats.per_hour[2], 0u);
+}
+
+TEST(TraceStats, Top20ShareOfSkewedTrace) {
+  // 5 videos; video 0 takes 16 of 20 requests: the top-1 (=20% of 5)
+  // video carries 0.8 of the trace.
+  std::vector<Request> trace;
+  for (int i = 0; i < 16; ++i) trace.push_back(make(1, 0, i));
+  for (VideoId v = 1; v <= 4; ++v) trace.push_back(make(1, v, 100 + v));
+  const auto stats = compute_trace_stats(trace);
+  EXPECT_NEAR(stats.top20_share, 0.8, 1e-12);
+}
+
+TEST(TraceStats, GeneratedTraceMatchesCalibration) {
+  WorldConfig config = WorldConfig::evaluation_region();
+  config.num_hotspots = 40;
+  config.num_videos = 3000;
+  const World world = generate_world(config);
+  TraceConfig trace_config;
+  trace_config.num_requests = 50000;
+  const auto trace = generate_trace(world, trace_config);
+  const auto stats = compute_trace_stats(trace);
+  EXPECT_EQ(stats.num_requests, 50000u);
+  EXPECT_LE(stats.distinct_videos, 3000u);
+  EXPECT_GT(stats.distinct_users, 1000u);
+  // 80/20 calibration plus local skew: the head carries most requests.
+  EXPECT_GT(stats.top20_share, 0.6);
+  EXPECT_LT(stats.span_seconds(), 24 * 3600);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,159 @@
+#include "predict/forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+const std::vector<double> kConstant{5, 5, 5, 5, 5, 5};
+const std::vector<double> kLinear{1, 2, 3, 4, 5, 6};
+
+TEST(LastValue, PredictsBack) {
+  LastValueForecaster f;
+  EXPECT_DOUBLE_EQ(f.forecast(kLinear), 6.0);
+  EXPECT_DOUBLE_EQ(f.forecast({}), 0.0);
+}
+
+TEST(MovingAverage, WindowMean) {
+  MovingAverageForecaster f(3);
+  EXPECT_DOUBLE_EQ(f.forecast(kLinear), 5.0);  // mean of 4,5,6
+  EXPECT_DOUBLE_EQ(f.forecast(kConstant), 5.0);
+}
+
+TEST(MovingAverage, WindowLargerThanHistory) {
+  MovingAverageForecaster f(100);
+  EXPECT_DOUBLE_EQ(f.forecast(kLinear), 3.5);
+  EXPECT_DOUBLE_EQ(f.forecast({}), 0.0);
+}
+
+TEST(MovingAverage, RejectsZeroWindow) {
+  EXPECT_THROW(MovingAverageForecaster(0), PreconditionError);
+}
+
+TEST(ExponentialSmoothing, ConvergesOnConstant) {
+  ExponentialSmoothingForecaster f(0.5);
+  EXPECT_NEAR(f.forecast(kConstant), 5.0, 1e-9);
+}
+
+TEST(ExponentialSmoothing, AlphaOneIsLastValue) {
+  ExponentialSmoothingForecaster f(1.0);
+  EXPECT_DOUBLE_EQ(f.forecast(kLinear), 6.0);
+}
+
+TEST(ExponentialSmoothing, RejectsBadAlpha) {
+  EXPECT_THROW(ExponentialSmoothingForecaster(0.0), PreconditionError);
+  EXPECT_THROW(ExponentialSmoothingForecaster(1.5), PreconditionError);
+}
+
+TEST(Holt, TracksLinearTrend) {
+  HoltForecaster f(0.8, 0.8);
+  // A clean linear series should extrapolate close to the next value (7).
+  EXPECT_NEAR(f.forecast(kLinear), 7.0, 0.5);
+}
+
+TEST(Holt, ConstantSeries) {
+  HoltForecaster f(0.5, 0.5);
+  EXPECT_NEAR(f.forecast(kConstant), 5.0, 1e-6);
+}
+
+TEST(Holt, SingleObservation) {
+  HoltForecaster f(0.5, 0.5);
+  EXPECT_DOUBLE_EQ(f.forecast(std::vector<double>{3.0}), 3.0);
+}
+
+TEST(Ar1, RecoversAutoregression) {
+  // x[t] = 2 + 0.8 x[t-1], fixed point 10.
+  std::vector<double> series{4.0};
+  for (int t = 1; t < 50; ++t) series.push_back(2.0 + 0.8 * series.back());
+  Ar1Forecaster f;
+  const double expected = 2.0 + 0.8 * series.back();
+  EXPECT_NEAR(f.forecast(series), expected, 0.05);
+}
+
+TEST(Ar1, ConstantSeriesPredictsConstant) {
+  Ar1Forecaster f;
+  EXPECT_NEAR(f.forecast(kConstant), 5.0, 1e-6);
+}
+
+TEST(Ar1, ShortHistoryFallsBack) {
+  Ar1Forecaster f;
+  EXPECT_DOUBLE_EQ(f.forecast(std::vector<double>{3.0, 4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(f.forecast({}), 0.0);
+}
+
+TEST(SeasonalNaive, PredictsOnePeriodBack) {
+  SeasonalNaiveForecaster f(3);
+  // History [1 2 3 4 5]: one period (3) back from the next value is 3.
+  EXPECT_DOUBLE_EQ(f.forecast(std::vector<double>{1, 2, 3, 4, 5}), 3.0);
+}
+
+TEST(SeasonalNaive, ShortHistoryFallsBackToLastValue) {
+  SeasonalNaiveForecaster f(24);
+  EXPECT_DOUBLE_EQ(f.forecast(std::vector<double>{7, 9}), 9.0);
+  EXPECT_DOUBLE_EQ(f.forecast({}), 0.0);
+}
+
+TEST(SeasonalNaive, PerfectOnPeriodicSeries) {
+  SeasonalNaiveForecaster f(4);
+  std::vector<double> series;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (const double v : {1.0, 5.0, 9.0, 2.0}) series.push_back(v);
+  }
+  // Next value continues the cycle: position 20 % 4 = 0 -> 1.0.
+  EXPECT_DOUBLE_EQ(f.forecast(series), 1.0);
+}
+
+TEST(SeasonalNaive, RejectsZeroPeriod) {
+  EXPECT_THROW(SeasonalNaiveForecaster(0), PreconditionError);
+}
+
+TEST(Forecasters, NeverNegative) {
+  const std::vector<double> falling{10, 6, 2};
+  const LastValueForecaster last;
+  const MovingAverageForecaster ma(2);
+  const ExponentialSmoothingForecaster ses(0.7);
+  const HoltForecaster holt(0.9, 0.9);
+  const Ar1Forecaster ar1;
+  for (const Forecaster* f :
+       {static_cast<const Forecaster*>(&last),
+        static_cast<const Forecaster*>(&ma),
+        static_cast<const Forecaster*>(&ses),
+        static_cast<const Forecaster*>(&holt),
+        static_cast<const Forecaster*>(&ar1)}) {
+    EXPECT_GE(f->forecast(falling), 0.0) << f->name();
+  }
+}
+
+TEST(Forecasters, AccuracyOrderOnAr1Process) {
+  // On a noisy AR(1) process the AR(1) fit should beat the naive forecast
+  // on average (one-step-ahead squared error).
+  Rng rng(5);
+  double mse_ar1 = 0.0;
+  double mse_naive = 0.0;
+  int samples = 0;
+  const Ar1Forecaster ar1;
+  const LastValueForecaster naive;
+  for (int run = 0; run < 20; ++run) {
+    std::vector<double> series{10.0};
+    for (int t = 1; t < 60; ++t) {
+      series.push_back(5.0 + 0.5 * series.back() + rng.normal(0.0, 1.0));
+    }
+    for (std::size_t t = 30; t + 1 < series.size(); ++t) {
+      const std::span<const double> history(series.data(), t + 1);
+      const double actual = series[t + 1];
+      mse_ar1 += std::pow(ar1.forecast(history) - actual, 2);
+      mse_naive += std::pow(naive.forecast(history) - actual, 2);
+      ++samples;
+    }
+  }
+  EXPECT_LT(mse_ar1 / samples, mse_naive / samples);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,178 @@
+#include "sim/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "trace/generator.h"
+#include "trace/world.h"
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+struct SmallTrace {
+  World world;
+  std::vector<Request> trace;
+  GridIndex index;
+
+  SmallTrace()
+      : world(generate_world([] {
+          WorldConfig config = WorldConfig::evaluation_region();
+          config.num_hotspots = 60;
+          config.num_videos = 2000;
+          return config;
+        }())),
+        trace(generate_trace(world, [] {
+          TraceConfig config;
+          config.num_requests = 30000;
+          return config;
+        }())),
+        index(world.hotspot_locations(), 0.5) {}
+};
+
+TEST(Measurement, NearestWorkloadsSumToTraceSize) {
+  SmallTrace fixture;
+  const auto workloads = nearest_workloads(fixture.index, fixture.trace);
+  EXPECT_EQ(std::accumulate(workloads.begin(), workloads.end(), 0u),
+            fixture.trace.size());
+}
+
+TEST(Measurement, NearestWorkloadsAreSkewed) {
+  SmallTrace fixture;
+  const auto workloads = nearest_workloads(fixture.index, fixture.trace);
+  std::vector<std::uint32_t> sorted = workloads;
+  std::sort(sorted.begin(), sorted.end());
+  const auto median = sorted[sorted.size() / 2];
+  const auto p99 = sorted[sorted.size() * 99 / 100];
+  // The paper's motivating observation: heavy skew under Nearest routing.
+  EXPECT_GT(p99, 3 * std::max<std::uint32_t>(1, median));
+}
+
+TEST(Measurement, RandomRoutingReducesVariance) {
+  SmallTrace fixture;
+  Rng rng(11);
+  const auto nearest = nearest_workloads(fixture.index, fixture.trace);
+  const auto random =
+      random_radius_workloads(fixture.index, fixture.trace, 5.0, rng);
+  EXPECT_EQ(std::accumulate(random.begin(), random.end(), 0u),
+            fixture.trace.size());
+  const auto variance = [](const std::vector<std::uint32_t>& loads) {
+    const double mean = std::accumulate(loads.begin(), loads.end(), 0.0) /
+                        static_cast<double>(loads.size());
+    double var = 0.0;
+    for (const auto load : loads) {
+      var += (load - mean) * (load - mean);
+    }
+    return var / static_cast<double>(loads.size());
+  };
+  EXPECT_LT(variance(random), variance(nearest));
+}
+
+TEST(Measurement, RandomRoutingRaisesReplicationCost) {
+  // The §II-A observation: serving distant users makes hotspots cache
+  // more distinct videos (the paper reports +10% at 1 km, +23% at 5 km).
+  SmallTrace fixture;
+  Rng rng(13);
+  const auto nearest = route_nearest(fixture.index, fixture.trace);
+  const auto random1 =
+      route_random_radius(fixture.index, fixture.trace, 1.0, rng);
+  const auto random5 =
+      route_random_radius(fixture.index, fixture.trace, 5.0, rng);
+  const auto nearest_cost = nearest.total_replication_cost();
+  const auto random1_cost = random1.total_replication_cost();
+  const auto random5_cost = random5.total_replication_cost();
+  EXPECT_GT(random1_cost, nearest_cost);
+  EXPECT_GT(random5_cost, random1_cost);
+}
+
+TEST(Measurement, WorkloadCorrelationsInRange) {
+  SmallTrace fixture;
+  Rng rng(17);
+  const auto correlations = workload_correlations(
+      fixture.index, fixture.trace, 5.0, 3600, 500, rng);
+  EXPECT_FALSE(correlations.empty());
+  for (const double c : correlations) {
+    EXPECT_GE(c, -1.0 - 1e-9);
+    EXPECT_LE(c, 1.0 + 1e-9);
+  }
+}
+
+TEST(Measurement, WorkloadCorrelationsMostlyWeak) {
+  // Paper Fig. 3a: the majority of nearby pairs are weakly correlated.
+  SmallTrace fixture;
+  Rng rng(19);
+  const auto correlations = workload_correlations(
+      fixture.index, fixture.trace, 5.0, 3600, 2000, rng);
+  ASSERT_GT(correlations.size(), 50u);
+  std::size_t weak = 0;
+  for (const double c : correlations) {
+    if (c < 0.6) ++weak;
+  }
+  EXPECT_GT(static_cast<double>(weak) / static_cast<double>(correlations.size()),
+            0.4);
+}
+
+TEST(Measurement, MaxPairsCapsOutput) {
+  SmallTrace fixture;
+  Rng rng(23);
+  const auto correlations = workload_correlations(
+      fixture.index, fixture.trace, 5.0, 3600, 10, rng);
+  EXPECT_LE(correlations.size(), 10u);
+}
+
+TEST(Measurement, ContentSimilaritiesInUnitInterval) {
+  SmallTrace fixture;
+  Rng rng(29);
+  const auto sims = content_similarities(fixture.world.hotspot_locations(),
+                                         fixture.trace, 1.0, 5.0, 0.2, 1000,
+                                         rng);
+  EXPECT_FALSE(sims.empty());
+  for (const double s : sims) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(Measurement, SmallerSampleRatioRaisesSimilarity) {
+  // Sampling fewer hotspots means each covers a bigger region whose demand
+  // averages over many micro-communities, so the similarity distribution
+  // shifts up (paper Fig. 3b). Needs a world with more communities than
+  // sampled hotspots, like the city-scale measurement setting.
+  WorldConfig config = WorldConfig::evaluation_region();
+  config.num_hotspots = 60;
+  config.num_videos = 2000;
+  config.num_zones = 40;
+  const World world = generate_world(config);
+  TraceConfig trace_config;
+  trace_config.num_requests = 30000;
+  const auto trace = generate_trace(world, trace_config);
+  Rng rng_full(31);
+  Rng rng_small(31);
+  const auto full = content_similarities(world.hotspot_locations(), trace,
+                                         1.0, 5.0, 0.2, 2000, rng_full);
+  const auto sampled = content_similarities(world.hotspot_locations(), trace,
+                                            0.15, 5.0, 0.2, 2000, rng_small);
+  const auto mean = [](const std::vector<double>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+  };
+  ASSERT_FALSE(full.empty());
+  ASSERT_FALSE(sampled.empty());
+  EXPECT_GT(mean(sampled), mean(full));
+}
+
+TEST(Measurement, RejectsBadArguments) {
+  SmallTrace fixture;
+  Rng rng(37);
+  EXPECT_THROW((void)content_similarities(fixture.world.hotspot_locations(),
+                                          fixture.trace, 0.0, 5.0, 0.2, 10,
+                                          rng),
+               PreconditionError);
+  EXPECT_THROW((void)route_random_radius(fixture.index, fixture.trace, 0.0,
+                                         rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,152 @@
+#include "sim/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "core/nearest_scheme.h"
+#include "core/rbcaer_scheme.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+std::vector<Hotspot> one_hotspot(std::uint32_t service) {
+  Hotspot h;
+  h.location = {40.05, 116.5};
+  h.service_capacity = service;
+  h.cache_capacity = 10;
+  return {h};
+}
+
+Session session_for(VideoId video, std::int64_t start,
+                    std::int64_t duration) {
+  Session s;
+  s.request.video = video;
+  s.request.location = {40.05, 116.5};
+  s.request.timestamp = start;
+  s.duration_seconds = duration;
+  return s;
+}
+
+TEST(AttachDurations, ShapeAndDeterminism) {
+  std::vector<Request> requests(2000);
+  const auto a = attach_durations(requests, 12.0, 0.9, 7);
+  const auto b = attach_durations(requests, 12.0, 0.9, 7);
+  ASSERT_EQ(a.size(), requests.size());
+  std::vector<double> durations;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].duration_seconds, b[i].duration_seconds);
+    EXPECT_GE(a[i].duration_seconds, 30);
+    EXPECT_LE(a[i].duration_seconds, 4 * 3600);
+    durations.push_back(static_cast<double>(a[i].duration_seconds));
+  }
+  std::sort(durations.begin(), durations.end());
+  // Median near the configured 12 minutes.
+  EXPECT_NEAR(durations[durations.size() / 2], 12.0 * 60.0, 90.0);
+}
+
+TEST(AttachDurations, RejectsBadParameters) {
+  const std::vector<Request> requests(1);
+  EXPECT_THROW((void)attach_durations(requests, 0.0), PreconditionError);
+  EXPECT_THROW((void)attach_durations(requests, 10.0, -1.0),
+               PreconditionError);
+}
+
+TEST(Streaming, ConcurrencyLimitRejectsOverlap) {
+  // One stream: two overlapping sessions -> second rejected; a later
+  // session after the first ends is served.
+  const auto hotspots = one_hotspot(/*service=*/4);
+  StreamingConfig config;
+  config.concurrency_factor = 0.25;  // 4 * 0.25 = 1 stream
+  std::vector<Session> sessions{
+      session_for(1, 0, 600),
+      session_for(1, 100, 600),  // overlaps -> busy
+      session_for(1, 700, 600),  // first ended at 600 -> served
+  };
+  NearestScheme scheme;
+  const auto report =
+      run_streaming(hotspots, VideoCatalog{10}, scheme, sessions, config);
+  EXPECT_EQ(report.served_sessions, 2u);
+  EXPECT_EQ(report.rejected_busy, 1u);
+  EXPECT_EQ(report.peak_concurrency, 1u);
+}
+
+TEST(Streaming, BackToBackSessionsShareOneStream) {
+  const auto hotspots = one_hotspot(4);
+  StreamingConfig config;
+  config.concurrency_factor = 0.25;
+  std::vector<Session> sessions;
+  for (int i = 0; i < 5; ++i) {
+    sessions.push_back(session_for(1, i * 1000, 900));
+  }
+  NearestScheme scheme;
+  const auto report =
+      run_streaming(hotspots, VideoCatalog{10}, scheme, sessions, config);
+  EXPECT_EQ(report.served_sessions, 5u);
+  EXPECT_EQ(report.rejected_busy, 0u);
+}
+
+TEST(Streaming, PlacementMissGoesToCdn) {
+  std::vector<Hotspot> hotspots = one_hotspot(4);
+  hotspots[0].cache_capacity = 1;
+  std::vector<Session> sessions{session_for(1, 0, 60),
+                                session_for(2, 10, 60)};
+  NearestScheme scheme;  // caches only the top-1 video
+  const auto report =
+      run_streaming(hotspots, VideoCatalog{10}, scheme, sessions);
+  EXPECT_EQ(report.served_sessions, 1u);
+  EXPECT_EQ(report.rejected_placement, 1u);
+  EXPECT_NEAR(report.average_distance_km(), kCdnDistanceKm / 2.0, 1e-6);
+}
+
+TEST(Streaming, RequiresSortedSessions) {
+  const auto hotspots = one_hotspot(4);
+  std::vector<Session> sessions{session_for(1, 100, 60),
+                                session_for(1, 0, 60)};
+  NearestScheme scheme;
+  EXPECT_THROW(
+      (void)run_streaming(hotspots, VideoCatalog{10}, scheme, sessions),
+      PreconditionError);
+}
+
+TEST(Streaming, RbcaerBeatsNearestOnSessions) {
+  WorldConfig config = WorldConfig::evaluation_region();
+  config.num_hotspots = 80;
+  config.num_videos = 3000;
+  World world = generate_world(config);
+  assign_uniform_capacities(world, 0.05, 0.03);
+  TraceConfig trace_config;
+  trace_config.num_requests = 40000;
+  const auto trace = generate_trace(world, trace_config);
+  const auto sessions = attach_durations(trace);
+
+  StreamingConfig streaming_config;
+  streaming_config.slot_seconds = 3600;
+  NearestScheme nearest;
+  RbcaerScheme rbcaer;
+  const auto nearest_report =
+      run_streaming(world.hotspots(), VideoCatalog{config.num_videos},
+                    nearest, sessions, streaming_config);
+  const auto rbcaer_report =
+      run_streaming(world.hotspots(), VideoCatalog{config.num_videos},
+                    rbcaer, sessions, streaming_config);
+  EXPECT_EQ(nearest_report.total_sessions, sessions.size());
+  // The paper's ordering survives session-level admission.
+  EXPECT_GT(rbcaer_report.serving_ratio(), nearest_report.serving_ratio());
+  EXPECT_LT(rbcaer_report.average_distance_km(),
+            nearest_report.average_distance_km());
+}
+
+TEST(Streaming, RejectsBadConfig) {
+  const auto hotspots = one_hotspot(4);
+  NearestScheme scheme;
+  StreamingConfig config;
+  config.concurrency_factor = 0.0;
+  EXPECT_THROW((void)run_streaming(hotspots, VideoCatalog{10}, scheme, {},
+                                   config),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn

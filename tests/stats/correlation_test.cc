@@ -1,0 +1,142 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceReturnsZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 1, 4, 3, 5};
+  // Hand-computed: cov = 8/5, sd_x = sqrt(2), sd_y = sqrt(2).
+  EXPECT_NEAR(pearson_correlation(x, y), 0.8, 1e-12);
+}
+
+TEST(Pearson, RejectsBadInput) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1};
+  EXPECT_THROW((void)pearson_correlation(x, y), PreconditionError);
+  const std::vector<double> one{1};
+  EXPECT_THROW((void)pearson_correlation(one, one), PreconditionError);
+}
+
+TEST(AverageRanks, NoTies) {
+  const std::vector<double> v{30, 10, 20};
+  EXPECT_EQ(average_ranks(v), (std::vector<double>{3, 1, 2}));
+}
+
+TEST(AverageRanks, TiesShareMeanRank) {
+  const std::vector<double> v{10, 20, 20, 30};
+  EXPECT_EQ(average_ranks(v), (std::vector<double>{1, 2.5, 2.5, 4}));
+}
+
+TEST(AverageRanks, AllEqual) {
+  const std::vector<double> v{5, 5, 5};
+  EXPECT_EQ(average_ranks(v), (std::vector<double>{2, 2, 2}));
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 8, 27, 64, 125};  // x^3: nonlinear, monotone
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson_correlation(x, y), 1.0);  // Pearson is not 1 here
+}
+
+TEST(Spearman, KnownWithTies) {
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{1, 3, 2, 4};
+  // Ranks x: 1, 2.5, 2.5, 4; ranks y: 1, 3, 2, 4.
+  const double r = spearman_correlation(x, y);
+  EXPECT_GT(r, 0.9);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(Spearman, InvariantToMonotoneTransform) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(rng.uniform(0.0, 10.0));
+    y.push_back(rng.uniform(0.0, 10.0));
+  }
+  const double base = spearman_correlation(x, y);
+  std::vector<double> x_cubed;
+  for (const double v : x) x_cubed.push_back(v * v * v);
+  EXPECT_NEAR(spearman_correlation(x_cubed, y), base, 1e-9);
+}
+
+TEST(Jaccard, Identical) {
+  const std::vector<std::uint32_t> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, a), 1.0);
+}
+
+TEST(Jaccard, Disjoint) {
+  const std::vector<std::uint32_t> a{1, 2};
+  const std::vector<std::uint32_t> b{3, 4};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  const std::vector<std::uint32_t> a{1, 2, 3, 4};
+  const std::vector<std::uint32_t> b{3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 2.0 / 6.0);
+}
+
+TEST(Jaccard, BothEmpty) {
+  const std::vector<std::uint32_t> empty;
+  EXPECT_DOUBLE_EQ(jaccard_similarity(empty, empty), 0.0);
+}
+
+TEST(Jaccard, OneEmpty) {
+  const std::vector<std::uint32_t> a{1};
+  const std::vector<std::uint32_t> empty;
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, empty), 0.0);
+}
+
+TEST(Jaccard, RequiresSortedInput) {
+  const std::vector<std::uint32_t> unsorted{3, 1};
+  const std::vector<std::uint32_t> ok{1, 2};
+  EXPECT_THROW((void)jaccard_similarity(unsorted, ok), PreconditionError);
+}
+
+TEST(Jaccard, SymmetryProperty) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint32_t> a;
+    std::vector<std::uint32_t> b;
+    for (std::uint32_t v = 0; v < 50; ++v) {
+      if (rng.chance(0.4)) a.push_back(v);
+      if (rng.chance(0.4)) b.push_back(v);
+    }
+    EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), jaccard_similarity(b, a));
+    const double s = jaccard_similarity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,87 @@
+#include "stats/empirical_cdf.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+TEST(EmpiricalCdf, RejectsEmptySample) {
+  EXPECT_THROW(EmpiricalCdf({}), PreconditionError);
+}
+
+TEST(EmpiricalCdf, SingleSample) {
+  const EmpiricalCdf cdf({7.0});
+  EXPECT_DOUBLE_EQ(cdf.median(), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 7.0);
+}
+
+TEST(EmpiricalCdf, QuantilesInterpolate) {
+  const EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.125), 1.5);  // interpolated
+}
+
+TEST(EmpiricalCdf, UnsortedInputIsSorted) {
+  const EmpiricalCdf cdf({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+}
+
+TEST(EmpiricalCdf, QuantileRejectsOutOfRange) {
+  const EmpiricalCdf cdf({1.0, 2.0});
+  EXPECT_THROW((void)cdf.quantile(-0.1), PreconditionError);
+  EXPECT_THROW((void)cdf.quantile(1.1), PreconditionError);
+}
+
+TEST(EmpiricalCdf, FractionAtMost) {
+  const EmpiricalCdf cdf({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, SeriesIsMonotone) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.normal(0.0, 1.0));
+  const EmpiricalCdf cdf(std::move(samples));
+  const auto series = cdf.series(50);
+  ASSERT_EQ(series.size(), 50u);
+  EXPECT_DOUBLE_EQ(series.front().first, cdf.min());
+  EXPECT_DOUBLE_EQ(series.back().first, cdf.max());
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].first, series[i].first);
+    EXPECT_LE(series[i - 1].second, series[i].second);
+  }
+}
+
+TEST(EmpiricalCdf, SeriesNeedsTwoPoints) {
+  const EmpiricalCdf cdf({1.0, 2.0});
+  EXPECT_THROW((void)cdf.series(1), PreconditionError);
+}
+
+TEST(EmpiricalCdf, QuantileMonotoneProperty) {
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.uniform(0.0, 100.0));
+  const EmpiricalCdf cdf(std::move(samples));
+  for (int step = 0; step < 20; ++step) {
+    const double q = 0.05 * step;
+    EXPECT_LE(cdf.quantile(q), cdf.quantile(std::min(1.0, q + 0.05)));
+  }
+}
+
+}  // namespace
+}  // namespace ccdn

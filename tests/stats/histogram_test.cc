@@ -1,0 +1,62 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.9);
+  h.add(5.0);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // right edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinCenters) {
+  const Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW((void)h.bin_center(5), PreconditionError);
+}
+
+TEST(Histogram, NormalizedSumsToOne) {
+  Histogram h(0.0, 4.0, 4);
+  for (const double v : {0.5, 1.5, 1.5, 3.5}) h.add(v);
+  const auto norm = h.normalized();
+  double sum = 0.0;
+  for (const double x : norm) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(norm[1], 0.5);
+}
+
+TEST(Histogram, NormalizedEmptyIsZeros) {
+  const Histogram h(0.0, 1.0, 3);
+  for (const double x : h.normalized()) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+}  // namespace
+}  // namespace ccdn

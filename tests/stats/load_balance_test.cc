@@ -1,0 +1,85 @@
+#include "stats/load_balance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+const std::vector<double> kEven{5, 5, 5, 5};
+const std::vector<double> kOneTakesAll{0, 0, 0, 20};
+
+TEST(Gini, EvenIsZero) {
+  EXPECT_NEAR(gini_coefficient(kEven), 0.0, 1e-12);
+}
+
+TEST(Gini, ConcentratedApproachesOne) {
+  // For one non-zero among n, Gini = (n-1)/n.
+  EXPECT_NEAR(gini_coefficient(kOneTakesAll), 0.75, 1e-12);
+}
+
+TEST(Gini, KnownValue) {
+  // {1, 3}: Gini = (2*1*1 + 2*2*3)/(2*4) - 3/2 = 14/8 - 12/8 = 0.25.
+  EXPECT_NEAR(gini_coefficient(std::vector<double>{1, 3}), 0.25, 1e-12);
+}
+
+TEST(Gini, ScaleInvariant) {
+  Rng rng(3);
+  std::vector<double> base;
+  std::vector<double> scaled;
+  for (int i = 0; i < 50; ++i) {
+    const double v = rng.uniform(0.0, 10.0);
+    base.push_back(v);
+    scaled.push_back(7.0 * v);
+  }
+  EXPECT_NEAR(gini_coefficient(base), gini_coefficient(scaled), 1e-12);
+}
+
+TEST(Gini, AllZerosIsZero) {
+  EXPECT_DOUBLE_EQ(gini_coefficient(std::vector<double>{0, 0, 0}), 0.0);
+}
+
+TEST(Gini, RejectsBadInput) {
+  EXPECT_THROW((void)gini_coefficient({}), PreconditionError);
+  EXPECT_THROW((void)gini_coefficient(std::vector<double>{1, -1}),
+               PreconditionError);
+}
+
+TEST(Cv, EvenIsZero) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(kEven), 0.0);
+}
+
+TEST(Cv, KnownValue) {
+  // {0, 10}: mean 5, stddev 5 -> CV 1.
+  EXPECT_NEAR(coefficient_of_variation(std::vector<double>{0, 10}), 1.0,
+              1e-12);
+}
+
+TEST(Jain, EvenIsOne) {
+  EXPECT_NEAR(jains_fairness_index(kEven), 1.0, 1e-12);
+}
+
+TEST(Jain, OneTakesAllIsOneOverN) {
+  EXPECT_NEAR(jains_fairness_index(kOneTakesAll), 0.25, 1e-12);
+}
+
+TEST(Jain, AllZerosIsVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(jains_fairness_index(std::vector<double>{0, 0}), 1.0);
+}
+
+TEST(Indices, AgreeOnOrdering) {
+  // A more skewed distribution must look worse under all three indices.
+  const std::vector<double> mild{4, 5, 6, 5};
+  const std::vector<double> severe{1, 1, 2, 16};
+  EXPECT_LT(gini_coefficient(mild), gini_coefficient(severe));
+  EXPECT_LT(coefficient_of_variation(mild),
+            coefficient_of_variation(severe));
+  EXPECT_GT(jains_fairness_index(mild), jains_fairness_index(severe));
+}
+
+}  // namespace
+}  // namespace ccdn

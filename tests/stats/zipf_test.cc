@@ -1,0 +1,115 @@
+#include "stats/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  const ZipfDistribution zipf(100, 1.0);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) sum += zipf.probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, ProbabilitiesDecreaseWithRank) {
+  const ZipfDistribution zipf(50, 0.8);
+  for (std::size_t k = 1; k < zipf.size(); ++k) {
+    EXPECT_GT(zipf.probability(k - 1), zipf.probability(k));
+  }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfDistribution zipf(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.probability(k), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, KnownRatios) {
+  const ZipfDistribution zipf(3, 1.0);
+  // Weights 1, 1/2, 1/3 -> total 11/6.
+  EXPECT_NEAR(zipf.probability(0), 6.0 / 11.0, 1e-12);
+  EXPECT_NEAR(zipf.probability(1), 3.0 / 11.0, 1e-12);
+  EXPECT_NEAR(zipf.probability(2), 2.0 / 11.0, 1e-12);
+}
+
+TEST(Zipf, CumulativeEndsAtOne) {
+  const ZipfDistribution zipf(37, 1.3);
+  EXPECT_DOUBLE_EQ(zipf.cumulative(36), 1.0);
+  EXPECT_NEAR(zipf.cumulative(0), zipf.probability(0), 1e-12);
+}
+
+TEST(Zipf, SamplingMatchesProbabilities) {
+  const ZipfDistribution zipf(20, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(20, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    const double observed = static_cast<double>(counts[k]) / kN;
+    EXPECT_NEAR(observed, zipf.probability(k), 0.01);
+  }
+}
+
+TEST(Zipf, SampleStaysInRange) {
+  const ZipfDistribution zipf(7, 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+TEST(Zipf, RejectsBadConstruction) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), PreconditionError);
+  EXPECT_THROW(ZipfDistribution(5, -0.1), PreconditionError);
+}
+
+TEST(ZipfCalibration, Achieves8020) {
+  const std::size_t n = 15190;  // the paper's catalog size
+  const double exponent = calibrate_zipf_exponent(n, 0.2, 0.8);
+  const ZipfDistribution zipf(n, exponent);
+  const auto head =
+      static_cast<std::size_t>(std::ceil(0.2 * static_cast<double>(n)));
+  EXPECT_NEAR(zipf.cumulative(head - 1), 0.8, 1e-3);
+}
+
+TEST(ZipfCalibration, MonotoneInHeadMass) {
+  const double light = calibrate_zipf_exponent(1000, 0.2, 0.5);
+  const double heavy = calibrate_zipf_exponent(1000, 0.2, 0.9);
+  EXPECT_LT(light, heavy);
+}
+
+TEST(ZipfCalibration, RejectsBadTargets) {
+  EXPECT_THROW((void)calibrate_zipf_exponent(1, 0.2, 0.8), PreconditionError);
+  EXPECT_THROW((void)calibrate_zipf_exponent(10, 0.0, 0.8),
+               PreconditionError);
+  EXPECT_THROW((void)calibrate_zipf_exponent(10, 0.2, 1.0),
+               PreconditionError);
+  // Head mass below the uniform share is unreachable with exponent >= 0.
+  EXPECT_THROW((void)calibrate_zipf_exponent(10, 0.5, 0.2),
+               PreconditionError);
+}
+
+class ZipfCalibrationSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(ZipfCalibrationSweep, HitsTargetAcrossSizesAndMasses) {
+  const auto [n, mass] = GetParam();
+  const double exponent = calibrate_zipf_exponent(n, 0.2, mass);
+  const ZipfDistribution zipf(n, exponent);
+  const auto head =
+      static_cast<std::size_t>(std::ceil(0.2 * static_cast<double>(n)));
+  EXPECT_NEAR(zipf.cumulative(head - 1), mass, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndMasses, ZipfCalibrationSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(100, 1000, 15190),
+                       ::testing::Values(0.5, 0.7, 0.8, 0.9)));
+
+}  // namespace
+}  // namespace ccdn

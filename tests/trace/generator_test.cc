@@ -1,0 +1,170 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+WorldConfig small_world_config() {
+  WorldConfig config = WorldConfig::evaluation_region();
+  config.num_hotspots = 40;
+  config.num_videos = 2000;
+  config.num_zones = 6;
+  return config;
+}
+
+TraceConfig small_trace_config() {
+  TraceConfig config;
+  config.num_requests = 20000;
+  return config;
+}
+
+TEST(Generator, ProducesRequestedCount) {
+  const World world = generate_world(small_world_config());
+  const auto trace = generate_trace(world, small_trace_config());
+  EXPECT_EQ(trace.size(), 20000u);
+}
+
+TEST(Generator, SortedByTimestampWithinSpan) {
+  const World world = generate_world(small_world_config());
+  const TraceConfig config = small_trace_config();
+  const auto trace = generate_trace(world, config);
+  EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end(),
+                             [](const Request& a, const Request& b) {
+                               return a.timestamp < b.timestamp;
+                             }));
+  for (const auto& r : trace) {
+    EXPECT_GE(r.timestamp, 0);
+    EXPECT_LT(r.timestamp,
+              static_cast<std::int64_t>(config.duration_hours) * 3600);
+  }
+}
+
+TEST(Generator, LocationsInsideRegion) {
+  const World world = generate_world(small_world_config());
+  const auto trace = generate_trace(world, small_trace_config());
+  for (const auto& r : trace) {
+    EXPECT_TRUE(world.config().region.contains(r.location));
+  }
+}
+
+TEST(Generator, VideosAndUsersInRange) {
+  const World world = generate_world(small_world_config());
+  const auto trace = generate_trace(world, small_trace_config());
+  for (const auto& r : trace) {
+    EXPECT_LT(r.video, world.config().num_videos);
+    EXPECT_LT(r.user, world.config().num_users);
+  }
+}
+
+TEST(Generator, DeterministicInSeeds) {
+  const World world = generate_world(small_world_config());
+  const auto a = generate_trace(world, small_trace_config());
+  const auto b = generate_trace(world, small_trace_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].video, b[i].video);
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+    EXPECT_EQ(a[i].user, b[i].user);
+  }
+}
+
+TEST(Generator, TraceSeedChangesOutput) {
+  const World world = generate_world(small_world_config());
+  TraceConfig config = small_trace_config();
+  const auto a = generate_trace(world, config);
+  config.seed = 999;
+  const auto b = generate_trace(world, config);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].video != b[i].video) ++differing;
+  }
+  EXPECT_GT(differing, a.size() / 10);
+}
+
+TEST(Generator, PopularityIsHeavyTailed) {
+  const World world = generate_world(small_world_config());
+  const auto trace = generate_trace(world, small_trace_config());
+  std::unordered_map<VideoId, std::size_t> counts;
+  for (const auto& r : trace) ++counts[r.video];
+  std::vector<std::size_t> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [_, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Top 20% of distinct videos should hold well over half the requests
+  // (80/20-rule calibration plus local skew).
+  const std::size_t head = sorted.size() / 5;
+  std::size_t head_mass = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    total += sorted[i];
+    if (i < head) head_mass += sorted[i];
+  }
+  EXPECT_GT(static_cast<double>(head_mass) / static_cast<double>(total), 0.6);
+}
+
+TEST(Generator, DiurnalVariationExists) {
+  const World world = generate_world(small_world_config());
+  const auto trace = generate_trace(world, small_trace_config());
+  std::array<std::size_t, 24> per_hour{};
+  for (const auto& r : trace) ++per_hour[(r.timestamp / 3600) % 24];
+  const auto [min_it, max_it] =
+      std::minmax_element(per_hour.begin(), per_hour.end());
+  // Peak hour should clearly dominate the quietest hour.
+  EXPECT_GT(*max_it, *min_it * 2);
+}
+
+TEST(Generator, DemandIsSpatiallyClustered) {
+  const World world = generate_world(small_world_config());
+  const auto trace = generate_trace(world, small_trace_config());
+  // Split the region into a 4x4 grid of cells and check the busiest cell
+  // has far more requests than the uniform share.
+  std::array<std::size_t, 16> cells{};
+  const auto& region = world.config().region;
+  for (const auto& r : trace) {
+    const auto col = std::min<std::size_t>(
+        3, static_cast<std::size_t>((r.location.lon - region.min.lon) /
+                                    (region.max.lon - region.min.lon) * 4));
+    const auto row = std::min<std::size_t>(
+        3, static_cast<std::size_t>((r.location.lat - region.min.lat) /
+                                    (region.max.lat - region.min.lat) * 4));
+    ++cells[row * 4 + col];
+  }
+  const std::size_t busiest = *std::max_element(cells.begin(), cells.end());
+  EXPECT_GT(busiest, trace.size() / 16 * 2);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  const World world = generate_world(small_world_config());
+  TraceConfig config;
+  config.num_requests = 0;
+  EXPECT_THROW((void)generate_trace(world, config), PreconditionError);
+  config = TraceConfig{};
+  config.duration_hours = 0;
+  EXPECT_THROW((void)generate_trace(world, config), PreconditionError);
+  config = TraceConfig{};
+  config.local_skew = 1.5;
+  EXPECT_THROW((void)generate_trace(world, config), PreconditionError);
+}
+
+TEST(Generator, PureGlobalSkewStillWorks) {
+  const World world = generate_world(small_world_config());
+  TraceConfig config = small_trace_config();
+  config.num_requests = 1000;
+  config.local_skew = 0.0;
+  config.hot_skew = 0.0;
+  const auto trace = generate_trace(world, config);
+  EXPECT_EQ(trace.size(), 1000u);
+  std::unordered_set<VideoId> distinct;
+  for (const auto& r : trace) distinct.insert(r.video);
+  EXPECT_GT(distinct.size(), 200u);  // global law spreads wide
+}
+
+}  // namespace
+}  // namespace ccdn

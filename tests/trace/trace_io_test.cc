@@ -1,0 +1,88 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.h"
+#include "trace/world.h"
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesFields) {
+  std::vector<Request> requests(3);
+  requests[0] = {7, 42, 100, {40.05, 116.5}};
+  requests[1] = {8, 43, 200, {40.06123456, 116.5987654}};
+  requests[2] = {9, 44, 300, {40.0, 116.4}};
+
+  std::stringstream buffer;
+  write_trace_csv(buffer, requests);
+  const auto loaded = read_trace_csv(buffer);
+
+  ASSERT_EQ(loaded.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(loaded[i].user, requests[i].user);
+    EXPECT_EQ(loaded[i].video, requests[i].video);
+    EXPECT_EQ(loaded[i].timestamp, requests[i].timestamp);
+    EXPECT_DOUBLE_EQ(loaded[i].location.lat, requests[i].location.lat);
+    EXPECT_DOUBLE_EQ(loaded[i].location.lon, requests[i].location.lon);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  write_trace_csv(buffer, {});
+  EXPECT_TRUE(read_trace_csv(buffer).empty());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::istringstream in("1,2,3,4,5\n");
+  EXPECT_THROW((void)read_trace_csv(in), ParseError);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::istringstream in("user,timestamp,video,lat,lon\n1,2,3\n");
+  EXPECT_THROW((void)read_trace_csv(in), ParseError);
+}
+
+TEST(TraceIo, RejectsMalformedNumbers) {
+  std::istringstream in("user,timestamp,video,lat,lon\n1,2,x,4.0,5.0\n");
+  EXPECT_THROW((void)read_trace_csv(in), ParseError);
+}
+
+TEST(TraceIo, GeneratedTraceRoundTrips) {
+  WorldConfig config = WorldConfig::evaluation_region();
+  config.num_hotspots = 20;
+  config.num_videos = 500;
+  const World world = generate_world(config);
+  TraceConfig trace_config;
+  trace_config.num_requests = 2000;
+  const auto trace = generate_trace(world, trace_config);
+
+  std::stringstream buffer;
+  write_trace_csv(buffer, trace);
+  const auto loaded = read_trace_csv(buffer);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); i += 97) {
+    EXPECT_EQ(loaded[i].video, trace[i].video);
+    EXPECT_EQ(loaded[i].timestamp, trace[i].timestamp);
+    EXPECT_DOUBLE_EQ(loaded[i].location.lat, trace[i].location.lat);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ccdn_trace_test.csv";
+  std::vector<Request> requests(2);
+  requests[0] = {1, 2, 3, {40.0, 116.5}};
+  requests[1] = {4, 5, 6, {40.1, 116.6}};
+  write_trace_csv(path, requests);
+  const auto loaded = read_trace_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].user, 4u);
+  EXPECT_THROW((void)read_trace_csv("/nonexistent/path.csv"), Error);
+}
+
+}  // namespace
+}  // namespace ccdn

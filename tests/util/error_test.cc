@@ -1,0 +1,42 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ccdn {
+namespace {
+
+TEST(Contracts, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(CCDN_REQUIRE(1 + 1 == 2, "math"));
+}
+
+TEST(Contracts, RequireThrowsPreconditionError) {
+  EXPECT_THROW(CCDN_REQUIRE(false, "nope"), PreconditionError);
+}
+
+TEST(Contracts, EnsureThrowsInvariantError) {
+  EXPECT_THROW(CCDN_ENSURE(false, "bug"), InvariantError);
+}
+
+TEST(Contracts, MessageContainsExpressionAndContext) {
+  try {
+    CCDN_REQUIRE(2 < 1, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("2 < 1"), std::string::npos);
+    EXPECT_NE(message.find("custom context"), std::string::npos);
+    EXPECT_NE(message.find("error_test.cc"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ErrorHierarchy) {
+  // All library errors are catchable as ccdn::Error and std::exception.
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw SolverError("x"), Error);
+  EXPECT_THROW(throw InvariantError("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,88 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+TEST(Flags, EqualsForm) {
+  const Flags flags({"--alpha=1.5", "--name=run1"});
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(flags.get_string("name", ""), "run1");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags flags({"--count", "7", "--label", "x"});
+  EXPECT_EQ(flags.get_int("count", 0), 7);
+  EXPECT_EQ(flags.get_string("label", ""), "x");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const Flags flags({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(Flags, BareFlagFollowedByFlag) {
+  const Flags flags({"--verbose", "--count=3"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_int("count", 0), 3);
+}
+
+TEST(Flags, Defaults) {
+  const Flags flags({});
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(flags.get_string("missing", "d"), "d");
+  EXPECT_FALSE(flags.get_bool("missing", false));
+}
+
+TEST(Flags, Positional) {
+  const Flags flags({"input.csv", "--n=1", "output.csv"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(Flags, BoolParsing) {
+  const Flags flags({"--a=true", "--b=0", "--c=yes", "--d=false"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_FALSE(flags.get_bool("d", true));
+}
+
+TEST(Flags, BadBoolThrows) {
+  const Flags flags({"--a=maybe"});
+  EXPECT_THROW((void)flags.get_bool("a", false), ParseError);
+}
+
+TEST(Flags, BadIntThrows) {
+  const Flags flags({"--n=abc"});
+  EXPECT_THROW((void)flags.get_int("n", 0), ParseError);
+}
+
+TEST(Flags, UnusedTracksUnreadFlags) {
+  const Flags flags({"--used=1", "--typo=2"});
+  (void)flags.get_int("used", 0);
+  EXPECT_EQ(flags.unused(), (std::vector<std::string>{"typo"}));
+}
+
+TEST(Flags, ArgcArgvConstructor) {
+  const char* argv[] = {"prog", "--x=5", "pos"};
+  const Flags flags(3, argv);
+  EXPECT_EQ(flags.get_int("x", 0), 5);
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"pos"}));
+}
+
+TEST(Flags, BareDoubleDashThrows) {
+  EXPECT_THROW(Flags({"--"}), ParseError);
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags flags({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,59 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/log.h"
+
+namespace ccdn {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch stopwatch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = stopwatch.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous bound for loaded CI machines
+  EXPECT_NEAR(stopwatch.elapsed_millis(), elapsed * 1e3,
+              stopwatch.elapsed_millis());
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch stopwatch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stopwatch.reset();
+  EXPECT_LT(stopwatch.elapsed_seconds(), 0.015);
+}
+
+TEST(Stopwatch, MonotoneNonDecreasing) {
+  Stopwatch stopwatch;
+  double previous = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = stopwatch.elapsed_seconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold lines are dropped without crashing.
+  CCDN_LOG_DEBUG << "suppressed " << 42;
+  CCDN_LOG_INFO << "suppressed too";
+  CCDN_LOG_ERROR << "emitted to stderr";
+  set_log_level(original);
+  EXPECT_EQ(log_level(), original);
+}
+
+TEST(Log, StreamAcceptsMixedTypes) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);  // keep test output clean
+  CCDN_LOG_INFO << "text " << 1 << ' ' << 2.5 << ' ' << true;
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace ccdn

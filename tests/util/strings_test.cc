@@ -1,0 +1,81 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+TEST(Split, Basic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Split, SingleField) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Split, EmptyInput) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-flag", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(ParseInt, ValidInputs) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int("  99 "), 99);
+  EXPECT_EQ(parse_int("0"), 0);
+}
+
+TEST(ParseInt, InvalidInputs) {
+  EXPECT_THROW((void)parse_int("abc"), ParseError);
+  EXPECT_THROW((void)parse_int("12x"), ParseError);
+  EXPECT_THROW((void)parse_int(""), ParseError);
+  EXPECT_THROW((void)parse_int("1.5"), ParseError);
+}
+
+TEST(ParseDouble, ValidInputs) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double(" 7 "), 7.0);
+}
+
+TEST(ParseDouble, InvalidInputs) {
+  EXPECT_THROW((void)parse_double("x"), ParseError);
+  EXPECT_THROW((void)parse_double("1.2.3"), ParseError);
+  EXPECT_THROW((void)parse_double(""), ParseError);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_THROW((void)format_fixed(1.0, -1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn
