@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_rbcaer.cc" "bench/CMakeFiles/ablation_rbcaer.dir/ablation_rbcaer.cc.o" "gcc" "bench/CMakeFiles/ablation_rbcaer.dir/ablation_rbcaer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ccdn_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ccdn_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ccdn_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ccdn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/ccdn_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccdn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ccdn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ccdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccdn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

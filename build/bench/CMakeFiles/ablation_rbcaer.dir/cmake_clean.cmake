@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rbcaer.dir/ablation_rbcaer.cc.o"
+  "CMakeFiles/ablation_rbcaer.dir/ablation_rbcaer.cc.o.d"
+  "ablation_rbcaer"
+  "ablation_rbcaer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rbcaer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

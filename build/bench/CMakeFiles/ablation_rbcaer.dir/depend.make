@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_rbcaer.
+# This may be replaced when dependencies are built.

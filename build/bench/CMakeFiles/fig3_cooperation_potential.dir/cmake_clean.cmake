@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cooperation_potential.dir/fig3_cooperation_potential.cc.o"
+  "CMakeFiles/fig3_cooperation_potential.dir/fig3_cooperation_potential.cc.o.d"
+  "fig3_cooperation_potential"
+  "fig3_cooperation_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cooperation_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

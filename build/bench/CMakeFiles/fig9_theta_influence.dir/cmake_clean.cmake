@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_theta_influence.dir/fig9_theta_influence.cc.o"
+  "CMakeFiles/fig9_theta_influence.dir/fig9_theta_influence.cc.o.d"
+  "fig9_theta_influence"
+  "fig9_theta_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_theta_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_scalability.dir/hierarchical_scalability.cc.o"
+  "CMakeFiles/hierarchical_scalability.dir/hierarchical_scalability.cc.o.d"
+  "hierarchical_scalability"
+  "hierarchical_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

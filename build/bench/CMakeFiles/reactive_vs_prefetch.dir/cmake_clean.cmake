@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactive_vs_prefetch.dir/reactive_vs_prefetch.cc.o"
+  "CMakeFiles/reactive_vs_prefetch.dir/reactive_vs_prefetch.cc.o.d"
+  "reactive_vs_prefetch"
+  "reactive_vs_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactive_vs_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_churn.dir/robustness_churn.cc.o"
+  "CMakeFiles/robustness_churn.dir/robustness_churn.cc.o.d"
+  "robustness_churn"
+  "robustness_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

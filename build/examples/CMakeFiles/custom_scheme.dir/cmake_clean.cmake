@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_scheme.dir/custom_scheme.cpp.o"
+  "CMakeFiles/custom_scheme.dir/custom_scheme.cpp.o.d"
+  "custom_scheme"
+  "custom_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_daemon.dir/scheduler_daemon.cpp.o"
+  "CMakeFiles/scheduler_daemon.dir/scheduler_daemon.cpp.o.d"
+  "scheduler_daemon"
+  "scheduler_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_sessions.dir/streaming_sessions.cpp.o"
+  "CMakeFiles/streaming_sessions.dir/streaming_sessions.cpp.o.d"
+  "streaming_sessions"
+  "streaming_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

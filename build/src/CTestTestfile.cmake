@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("geo")
+subdirs("model")
+subdirs("trace")
+subdirs("flow")
+subdirs("predict")
+subdirs("cache")
+subdirs("lp")
+subdirs("cluster")
+subdirs("core")
+subdirs("sim")

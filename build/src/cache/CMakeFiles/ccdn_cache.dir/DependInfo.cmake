@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/policies.cc" "src/cache/CMakeFiles/ccdn_cache.dir/policies.cc.o" "gcc" "src/cache/CMakeFiles/ccdn_cache.dir/policies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ccdn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ccdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccdn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

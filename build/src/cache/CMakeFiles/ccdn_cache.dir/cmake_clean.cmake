@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_cache.dir/policies.cc.o"
+  "CMakeFiles/ccdn_cache.dir/policies.cc.o.d"
+  "libccdn_cache.a"
+  "libccdn_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_cluster.dir/content_distance.cc.o"
+  "CMakeFiles/ccdn_cluster.dir/content_distance.cc.o.d"
+  "CMakeFiles/ccdn_cluster.dir/hierarchical.cc.o"
+  "CMakeFiles/ccdn_cluster.dir/hierarchical.cc.o.d"
+  "libccdn_cluster.a"
+  "libccdn_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance_graph.cc" "src/core/CMakeFiles/ccdn_core.dir/balance_graph.cc.o" "gcc" "src/core/CMakeFiles/ccdn_core.dir/balance_graph.cc.o.d"
+  "/root/repo/src/core/lp_scheme.cc" "src/core/CMakeFiles/ccdn_core.dir/lp_scheme.cc.o" "gcc" "src/core/CMakeFiles/ccdn_core.dir/lp_scheme.cc.o.d"
+  "/root/repo/src/core/nearest_scheme.cc" "src/core/CMakeFiles/ccdn_core.dir/nearest_scheme.cc.o" "gcc" "src/core/CMakeFiles/ccdn_core.dir/nearest_scheme.cc.o.d"
+  "/root/repo/src/core/random_scheme.cc" "src/core/CMakeFiles/ccdn_core.dir/random_scheme.cc.o" "gcc" "src/core/CMakeFiles/ccdn_core.dir/random_scheme.cc.o.d"
+  "/root/repo/src/core/rbcaer_scheme.cc" "src/core/CMakeFiles/ccdn_core.dir/rbcaer_scheme.cc.o" "gcc" "src/core/CMakeFiles/ccdn_core.dir/rbcaer_scheme.cc.o.d"
+  "/root/repo/src/core/replication.cc" "src/core/CMakeFiles/ccdn_core.dir/replication.cc.o" "gcc" "src/core/CMakeFiles/ccdn_core.dir/replication.cc.o.d"
+  "/root/repo/src/core/schedule_server.cc" "src/core/CMakeFiles/ccdn_core.dir/schedule_server.cc.o" "gcc" "src/core/CMakeFiles/ccdn_core.dir/schedule_server.cc.o.d"
+  "/root/repo/src/core/scheme.cc" "src/core/CMakeFiles/ccdn_core.dir/scheme.cc.o" "gcc" "src/core/CMakeFiles/ccdn_core.dir/scheme.cc.o.d"
+  "/root/repo/src/core/virtual_rbcaer_scheme.cc" "src/core/CMakeFiles/ccdn_core.dir/virtual_rbcaer_scheme.cc.o" "gcc" "src/core/CMakeFiles/ccdn_core.dir/virtual_rbcaer_scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ccdn_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ccdn_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ccdn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ccdn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/ccdn_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccdn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccdn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ccdn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_core.dir/balance_graph.cc.o"
+  "CMakeFiles/ccdn_core.dir/balance_graph.cc.o.d"
+  "CMakeFiles/ccdn_core.dir/lp_scheme.cc.o"
+  "CMakeFiles/ccdn_core.dir/lp_scheme.cc.o.d"
+  "CMakeFiles/ccdn_core.dir/nearest_scheme.cc.o"
+  "CMakeFiles/ccdn_core.dir/nearest_scheme.cc.o.d"
+  "CMakeFiles/ccdn_core.dir/random_scheme.cc.o"
+  "CMakeFiles/ccdn_core.dir/random_scheme.cc.o.d"
+  "CMakeFiles/ccdn_core.dir/rbcaer_scheme.cc.o"
+  "CMakeFiles/ccdn_core.dir/rbcaer_scheme.cc.o.d"
+  "CMakeFiles/ccdn_core.dir/replication.cc.o"
+  "CMakeFiles/ccdn_core.dir/replication.cc.o.d"
+  "CMakeFiles/ccdn_core.dir/schedule_server.cc.o"
+  "CMakeFiles/ccdn_core.dir/schedule_server.cc.o.d"
+  "CMakeFiles/ccdn_core.dir/scheme.cc.o"
+  "CMakeFiles/ccdn_core.dir/scheme.cc.o.d"
+  "CMakeFiles/ccdn_core.dir/virtual_rbcaer_scheme.cc.o"
+  "CMakeFiles/ccdn_core.dir/virtual_rbcaer_scheme.cc.o.d"
+  "libccdn_core.a"
+  "libccdn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

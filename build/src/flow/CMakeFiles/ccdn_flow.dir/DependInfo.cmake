@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/decompose.cc" "src/flow/CMakeFiles/ccdn_flow.dir/decompose.cc.o" "gcc" "src/flow/CMakeFiles/ccdn_flow.dir/decompose.cc.o.d"
+  "/root/repo/src/flow/dinic.cc" "src/flow/CMakeFiles/ccdn_flow.dir/dinic.cc.o" "gcc" "src/flow/CMakeFiles/ccdn_flow.dir/dinic.cc.o.d"
+  "/root/repo/src/flow/mcmf.cc" "src/flow/CMakeFiles/ccdn_flow.dir/mcmf.cc.o" "gcc" "src/flow/CMakeFiles/ccdn_flow.dir/mcmf.cc.o.d"
+  "/root/repo/src/flow/network.cc" "src/flow/CMakeFiles/ccdn_flow.dir/network.cc.o" "gcc" "src/flow/CMakeFiles/ccdn_flow.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

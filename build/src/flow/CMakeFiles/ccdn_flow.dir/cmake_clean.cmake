@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_flow.dir/decompose.cc.o"
+  "CMakeFiles/ccdn_flow.dir/decompose.cc.o.d"
+  "CMakeFiles/ccdn_flow.dir/dinic.cc.o"
+  "CMakeFiles/ccdn_flow.dir/dinic.cc.o.d"
+  "CMakeFiles/ccdn_flow.dir/mcmf.cc.o"
+  "CMakeFiles/ccdn_flow.dir/mcmf.cc.o.d"
+  "CMakeFiles/ccdn_flow.dir/network.cc.o"
+  "CMakeFiles/ccdn_flow.dir/network.cc.o.d"
+  "libccdn_flow.a"
+  "libccdn_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_geo.dir/geo_point.cc.o"
+  "CMakeFiles/ccdn_geo.dir/geo_point.cc.o.d"
+  "CMakeFiles/ccdn_geo.dir/grid_index.cc.o"
+  "CMakeFiles/ccdn_geo.dir/grid_index.cc.o.d"
+  "libccdn_geo.a"
+  "libccdn_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

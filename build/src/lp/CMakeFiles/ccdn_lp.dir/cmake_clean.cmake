@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_lp.dir/problem.cc.o"
+  "CMakeFiles/ccdn_lp.dir/problem.cc.o.d"
+  "CMakeFiles/ccdn_lp.dir/simplex.cc.o"
+  "CMakeFiles/ccdn_lp.dir/simplex.cc.o.d"
+  "CMakeFiles/ccdn_lp.dir/u_relaxation.cc.o"
+  "CMakeFiles/ccdn_lp.dir/u_relaxation.cc.o.d"
+  "libccdn_lp.a"
+  "libccdn_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

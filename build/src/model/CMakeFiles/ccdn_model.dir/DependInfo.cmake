@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/demand.cc" "src/model/CMakeFiles/ccdn_model.dir/demand.cc.o" "gcc" "src/model/CMakeFiles/ccdn_model.dir/demand.cc.o.d"
+  "/root/repo/src/model/timeslots.cc" "src/model/CMakeFiles/ccdn_model.dir/timeslots.cc.o" "gcc" "src/model/CMakeFiles/ccdn_model.dir/timeslots.cc.o.d"
+  "/root/repo/src/model/topsets.cc" "src/model/CMakeFiles/ccdn_model.dir/topsets.cc.o" "gcc" "src/model/CMakeFiles/ccdn_model.dir/topsets.cc.o.d"
+  "/root/repo/src/model/trace_stats.cc" "src/model/CMakeFiles/ccdn_model.dir/trace_stats.cc.o" "gcc" "src/model/CMakeFiles/ccdn_model.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/ccdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccdn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

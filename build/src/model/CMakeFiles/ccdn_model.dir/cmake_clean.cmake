@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_model.dir/demand.cc.o"
+  "CMakeFiles/ccdn_model.dir/demand.cc.o.d"
+  "CMakeFiles/ccdn_model.dir/timeslots.cc.o"
+  "CMakeFiles/ccdn_model.dir/timeslots.cc.o.d"
+  "CMakeFiles/ccdn_model.dir/topsets.cc.o"
+  "CMakeFiles/ccdn_model.dir/topsets.cc.o.d"
+  "CMakeFiles/ccdn_model.dir/trace_stats.cc.o"
+  "CMakeFiles/ccdn_model.dir/trace_stats.cc.o.d"
+  "libccdn_model.a"
+  "libccdn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

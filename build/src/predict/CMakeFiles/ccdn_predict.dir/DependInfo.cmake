@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/demand_predictor.cc" "src/predict/CMakeFiles/ccdn_predict.dir/demand_predictor.cc.o" "gcc" "src/predict/CMakeFiles/ccdn_predict.dir/demand_predictor.cc.o.d"
+  "/root/repo/src/predict/forecaster.cc" "src/predict/CMakeFiles/ccdn_predict.dir/forecaster.cc.o" "gcc" "src/predict/CMakeFiles/ccdn_predict.dir/forecaster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ccdn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ccdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccdn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

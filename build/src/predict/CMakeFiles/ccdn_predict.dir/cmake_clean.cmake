@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_predict.dir/demand_predictor.cc.o"
+  "CMakeFiles/ccdn_predict.dir/demand_predictor.cc.o.d"
+  "CMakeFiles/ccdn_predict.dir/forecaster.cc.o"
+  "CMakeFiles/ccdn_predict.dir/forecaster.cc.o.d"
+  "libccdn_predict.a"
+  "libccdn_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_sim.dir/experiment.cc.o"
+  "CMakeFiles/ccdn_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/ccdn_sim.dir/measurement.cc.o"
+  "CMakeFiles/ccdn_sim.dir/measurement.cc.o.d"
+  "CMakeFiles/ccdn_sim.dir/predictive.cc.o"
+  "CMakeFiles/ccdn_sim.dir/predictive.cc.o.d"
+  "CMakeFiles/ccdn_sim.dir/reactive.cc.o"
+  "CMakeFiles/ccdn_sim.dir/reactive.cc.o.d"
+  "CMakeFiles/ccdn_sim.dir/simulator.cc.o"
+  "CMakeFiles/ccdn_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ccdn_sim.dir/streaming.cc.o"
+  "CMakeFiles/ccdn_sim.dir/streaming.cc.o.d"
+  "libccdn_sim.a"
+  "libccdn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

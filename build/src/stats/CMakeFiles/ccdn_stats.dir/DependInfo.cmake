@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/ccdn_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/ccdn_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/empirical_cdf.cc" "src/stats/CMakeFiles/ccdn_stats.dir/empirical_cdf.cc.o" "gcc" "src/stats/CMakeFiles/ccdn_stats.dir/empirical_cdf.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/ccdn_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/ccdn_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/load_balance.cc" "src/stats/CMakeFiles/ccdn_stats.dir/load_balance.cc.o" "gcc" "src/stats/CMakeFiles/ccdn_stats.dir/load_balance.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/ccdn_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/ccdn_stats.dir/summary.cc.o.d"
+  "/root/repo/src/stats/zipf.cc" "src/stats/CMakeFiles/ccdn_stats.dir/zipf.cc.o" "gcc" "src/stats/CMakeFiles/ccdn_stats.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_stats.dir/correlation.cc.o"
+  "CMakeFiles/ccdn_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/ccdn_stats.dir/empirical_cdf.cc.o"
+  "CMakeFiles/ccdn_stats.dir/empirical_cdf.cc.o.d"
+  "CMakeFiles/ccdn_stats.dir/histogram.cc.o"
+  "CMakeFiles/ccdn_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ccdn_stats.dir/load_balance.cc.o"
+  "CMakeFiles/ccdn_stats.dir/load_balance.cc.o.d"
+  "CMakeFiles/ccdn_stats.dir/summary.cc.o"
+  "CMakeFiles/ccdn_stats.dir/summary.cc.o.d"
+  "CMakeFiles/ccdn_stats.dir/zipf.cc.o"
+  "CMakeFiles/ccdn_stats.dir/zipf.cc.o.d"
+  "libccdn_stats.a"
+  "libccdn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

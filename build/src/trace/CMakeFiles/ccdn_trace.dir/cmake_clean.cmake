@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_trace.dir/generator.cc.o"
+  "CMakeFiles/ccdn_trace.dir/generator.cc.o.d"
+  "CMakeFiles/ccdn_trace.dir/trace_io.cc.o"
+  "CMakeFiles/ccdn_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/ccdn_trace.dir/world.cc.o"
+  "CMakeFiles/ccdn_trace.dir/world.cc.o.d"
+  "libccdn_trace.a"
+  "libccdn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_util.dir/csv.cc.o"
+  "CMakeFiles/ccdn_util.dir/csv.cc.o.d"
+  "CMakeFiles/ccdn_util.dir/flags.cc.o"
+  "CMakeFiles/ccdn_util.dir/flags.cc.o.d"
+  "CMakeFiles/ccdn_util.dir/log.cc.o"
+  "CMakeFiles/ccdn_util.dir/log.cc.o.d"
+  "CMakeFiles/ccdn_util.dir/rng.cc.o"
+  "CMakeFiles/ccdn_util.dir/rng.cc.o.d"
+  "CMakeFiles/ccdn_util.dir/strings.cc.o"
+  "CMakeFiles/ccdn_util.dir/strings.cc.o.d"
+  "libccdn_util.a"
+  "libccdn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

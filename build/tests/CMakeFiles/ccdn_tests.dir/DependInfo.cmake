@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/policies_test.cc" "tests/CMakeFiles/ccdn_tests.dir/cache/policies_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/cache/policies_test.cc.o.d"
+  "/root/repo/tests/cluster/content_distance_test.cc" "tests/CMakeFiles/ccdn_tests.dir/cluster/content_distance_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/cluster/content_distance_test.cc.o.d"
+  "/root/repo/tests/cluster/hierarchical_test.cc" "tests/CMakeFiles/ccdn_tests.dir/cluster/hierarchical_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/cluster/hierarchical_test.cc.o.d"
+  "/root/repo/tests/core/balance_graph_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/balance_graph_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/balance_graph_test.cc.o.d"
+  "/root/repo/tests/core/lp_scheme_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/lp_scheme_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/lp_scheme_test.cc.o.d"
+  "/root/repo/tests/core/nearest_scheme_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/nearest_scheme_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/nearest_scheme_test.cc.o.d"
+  "/root/repo/tests/core/random_scheme_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/random_scheme_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/random_scheme_test.cc.o.d"
+  "/root/repo/tests/core/rbcaer_scheme_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/rbcaer_scheme_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/rbcaer_scheme_test.cc.o.d"
+  "/root/repo/tests/core/rbcaer_stress_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/rbcaer_stress_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/rbcaer_stress_test.cc.o.d"
+  "/root/repo/tests/core/replication_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/replication_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/replication_test.cc.o.d"
+  "/root/repo/tests/core/schedule_server_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/schedule_server_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/schedule_server_test.cc.o.d"
+  "/root/repo/tests/core/scheme_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/scheme_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/scheme_test.cc.o.d"
+  "/root/repo/tests/core/virtual_rbcaer_test.cc" "tests/CMakeFiles/ccdn_tests.dir/core/virtual_rbcaer_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/core/virtual_rbcaer_test.cc.o.d"
+  "/root/repo/tests/cross_validation_test.cc" "tests/CMakeFiles/ccdn_tests.dir/cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/cross_validation_test.cc.o.d"
+  "/root/repo/tests/flow/decompose_test.cc" "tests/CMakeFiles/ccdn_tests.dir/flow/decompose_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/flow/decompose_test.cc.o.d"
+  "/root/repo/tests/flow/dinic_test.cc" "tests/CMakeFiles/ccdn_tests.dir/flow/dinic_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/flow/dinic_test.cc.o.d"
+  "/root/repo/tests/flow/mcmf_test.cc" "tests/CMakeFiles/ccdn_tests.dir/flow/mcmf_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/flow/mcmf_test.cc.o.d"
+  "/root/repo/tests/flow/network_test.cc" "tests/CMakeFiles/ccdn_tests.dir/flow/network_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/flow/network_test.cc.o.d"
+  "/root/repo/tests/geo/geo_point_test.cc" "tests/CMakeFiles/ccdn_tests.dir/geo/geo_point_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/geo/geo_point_test.cc.o.d"
+  "/root/repo/tests/geo/grid_index_test.cc" "tests/CMakeFiles/ccdn_tests.dir/geo/grid_index_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/geo/grid_index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/ccdn_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/lp/simplex_test.cc" "tests/CMakeFiles/ccdn_tests.dir/lp/simplex_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/lp/simplex_test.cc.o.d"
+  "/root/repo/tests/lp/u_relaxation_test.cc" "tests/CMakeFiles/ccdn_tests.dir/lp/u_relaxation_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/lp/u_relaxation_test.cc.o.d"
+  "/root/repo/tests/model/demand_test.cc" "tests/CMakeFiles/ccdn_tests.dir/model/demand_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/model/demand_test.cc.o.d"
+  "/root/repo/tests/model/timeslots_test.cc" "tests/CMakeFiles/ccdn_tests.dir/model/timeslots_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/model/timeslots_test.cc.o.d"
+  "/root/repo/tests/model/topsets_test.cc" "tests/CMakeFiles/ccdn_tests.dir/model/topsets_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/model/topsets_test.cc.o.d"
+  "/root/repo/tests/model/trace_stats_test.cc" "tests/CMakeFiles/ccdn_tests.dir/model/trace_stats_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/model/trace_stats_test.cc.o.d"
+  "/root/repo/tests/predict/demand_predictor_test.cc" "tests/CMakeFiles/ccdn_tests.dir/predict/demand_predictor_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/predict/demand_predictor_test.cc.o.d"
+  "/root/repo/tests/predict/forecaster_test.cc" "tests/CMakeFiles/ccdn_tests.dir/predict/forecaster_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/predict/forecaster_test.cc.o.d"
+  "/root/repo/tests/scheme_matrix_test.cc" "tests/CMakeFiles/ccdn_tests.dir/scheme_matrix_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/scheme_matrix_test.cc.o.d"
+  "/root/repo/tests/sim/measurement_test.cc" "tests/CMakeFiles/ccdn_tests.dir/sim/measurement_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/sim/measurement_test.cc.o.d"
+  "/root/repo/tests/sim/predictive_test.cc" "tests/CMakeFiles/ccdn_tests.dir/sim/predictive_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/sim/predictive_test.cc.o.d"
+  "/root/repo/tests/sim/reactive_test.cc" "tests/CMakeFiles/ccdn_tests.dir/sim/reactive_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/sim/reactive_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/ccdn_tests.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/sim/simulator_test.cc.o.d"
+  "/root/repo/tests/sim/streaming_test.cc" "tests/CMakeFiles/ccdn_tests.dir/sim/streaming_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/sim/streaming_test.cc.o.d"
+  "/root/repo/tests/stats/correlation_test.cc" "tests/CMakeFiles/ccdn_tests.dir/stats/correlation_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/stats/correlation_test.cc.o.d"
+  "/root/repo/tests/stats/empirical_cdf_test.cc" "tests/CMakeFiles/ccdn_tests.dir/stats/empirical_cdf_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/stats/empirical_cdf_test.cc.o.d"
+  "/root/repo/tests/stats/histogram_test.cc" "tests/CMakeFiles/ccdn_tests.dir/stats/histogram_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/stats/histogram_test.cc.o.d"
+  "/root/repo/tests/stats/load_balance_test.cc" "tests/CMakeFiles/ccdn_tests.dir/stats/load_balance_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/stats/load_balance_test.cc.o.d"
+  "/root/repo/tests/stats/summary_test.cc" "tests/CMakeFiles/ccdn_tests.dir/stats/summary_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/stats/summary_test.cc.o.d"
+  "/root/repo/tests/stats/zipf_test.cc" "tests/CMakeFiles/ccdn_tests.dir/stats/zipf_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/stats/zipf_test.cc.o.d"
+  "/root/repo/tests/trace/generator_test.cc" "tests/CMakeFiles/ccdn_tests.dir/trace/generator_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/trace/generator_test.cc.o.d"
+  "/root/repo/tests/trace/trace_io_test.cc" "tests/CMakeFiles/ccdn_tests.dir/trace/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/trace/trace_io_test.cc.o.d"
+  "/root/repo/tests/trace/world_test.cc" "tests/CMakeFiles/ccdn_tests.dir/trace/world_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/trace/world_test.cc.o.d"
+  "/root/repo/tests/util/csv_test.cc" "tests/CMakeFiles/ccdn_tests.dir/util/csv_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/util/csv_test.cc.o.d"
+  "/root/repo/tests/util/error_test.cc" "tests/CMakeFiles/ccdn_tests.dir/util/error_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/util/error_test.cc.o.d"
+  "/root/repo/tests/util/flags_test.cc" "tests/CMakeFiles/ccdn_tests.dir/util/flags_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/util/flags_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/ccdn_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/stopwatch_test.cc" "tests/CMakeFiles/ccdn_tests.dir/util/stopwatch_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/util/stopwatch_test.cc.o.d"
+  "/root/repo/tests/util/strings_test.cc" "tests/CMakeFiles/ccdn_tests.dir/util/strings_test.cc.o" "gcc" "tests/CMakeFiles/ccdn_tests.dir/util/strings_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ccdn_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ccdn_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ccdn_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ccdn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/ccdn_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccdn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ccdn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ccdn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccdn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

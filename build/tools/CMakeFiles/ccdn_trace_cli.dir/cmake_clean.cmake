@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccdn_trace_cli.dir/ccdn_trace.cc.o"
+  "CMakeFiles/ccdn_trace_cli.dir/ccdn_trace.cc.o.d"
+  "ccdn-trace"
+  "ccdn-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccdn_trace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
