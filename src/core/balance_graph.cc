@@ -55,6 +55,35 @@ std::vector<CandidateEdge> candidate_edges(std::span<const Hotspot> hotspots,
   return edges;
 }
 
+std::vector<CandidateEdge> candidate_edges(std::span<const Hotspot> hotspots,
+                                           const HotspotPartition& partition,
+                                           double radius_km,
+                                           const GridIndex& index) {
+  CCDN_REQUIRE(radius_km >= 0.0, "negative radius");
+  CCDN_REQUIRE(index.size() == hotspots.size(),
+               "index/hotspot count mismatch");
+  std::vector<std::uint8_t> is_receiver(hotspots.size(), 0);
+  for (const auto j : partition.underutilized) is_receiver[j] = 1;
+  std::vector<CandidateEdge> edges;
+  // The grid filters on its planar projection, which can disagree with
+  // distance_km by a fraction of a percent at city scale; query slightly
+  // wide and keep the exact d < radius_km cut so the result matches the
+  // pair scan bit for bit.
+  const double query_radius = radius_km * 1.001 + 1e-6;
+  for (const auto i : partition.overloaded) {
+    for (const std::size_t j :
+         index.within_radius(hotspots[i].location, query_radius)) {
+      if (!is_receiver[j]) continue;
+      const double d =
+          distance_km(hotspots[i].location, hotspots[j].location);
+      if (d < radius_km) {
+        edges.push_back({i, static_cast<std::uint32_t>(j), d});
+      }
+    }
+  }
+  return edges;
+}
+
 namespace {
 
 /// Shared scaffolding: nodes for source, sink, and every hotspot that has

@@ -19,6 +19,7 @@
 
 #include "flow/mcmf.h"
 #include "flow/network.h"
+#include "geo/grid_index.h"
 #include "model/types.h"
 
 namespace ccdn {
@@ -48,6 +49,14 @@ struct CandidateEdge {
 [[nodiscard]] std::vector<CandidateEdge> candidate_edges(
     std::span<const Hotspot> hotspots, const HotspotPartition& partition,
     double radius_km);
+
+/// Same result, computed with a radius query per overloaded hotspot against
+/// `index` (a GridIndex over the hotspot locations, same order) instead of
+/// the O(|Hs|·|Ht|) pair scan. Edges come back in the same order as the
+/// scan: by partition.overloaded order, then ascending receiver index.
+[[nodiscard]] std::vector<CandidateEdge> candidate_edges(
+    std::span<const Hotspot> hotspots, const HotspotPartition& partition,
+    double radius_km, const GridIndex& index);
 
 /// A constructed balancing graph plus the bookkeeping needed to read
 /// per-(i,j) flows back out after MCMF.

@@ -33,6 +33,10 @@ class LpScheme final : public RedirectionScheme {
                                    std::span<const Request> requests,
                                    const SlotDemand& demand) override;
 
+  [[nodiscard]] SchemePtr clone() const override {
+    return std::make_unique<LpScheme>(options_);
+  }
+
   /// Last slot's LP iteration count (diagnostics for Fig. 8).
   [[nodiscard]] std::size_t last_lp_iterations() const noexcept {
     return last_iterations_;

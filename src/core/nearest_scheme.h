@@ -17,6 +17,10 @@ class NearestScheme final : public RedirectionScheme {
   [[nodiscard]] SlotPlan plan_slot(const SchemeContext& context,
                                    std::span<const Request> requests,
                                    const SlotDemand& demand) override;
+
+  [[nodiscard]] SchemePtr clone() const override {
+    return std::make_unique<NearestScheme>();
+  }
 };
 
 }  // namespace ccdn

@@ -9,6 +9,7 @@
 #include "geo/geo_point.h"
 #include "model/topsets.h"
 #include "util/error.h"
+#include "util/stopwatch.h"
 
 namespace ccdn {
 
@@ -33,6 +34,8 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
                "demand/hotspot count mismatch");
   const std::size_t m = context.hotspots.size();
   diagnostics_ = {};
+  stage_timings_ = {};
+  Stopwatch stage_clock;
 
   // --- Partition and movable slack. ---
   std::vector<std::uint32_t> loads(m);
@@ -55,6 +58,7 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
     cluster_of = clustering.labels;
     diagnostics_.num_clusters = clustering.num_clusters;
   }
+  stage_timings_.partition_s = stage_clock.elapsed_seconds();
 
   // --- Algorithm 1: θ sweep over Gc, then residual pass over Gd. ---
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> f_total;
@@ -70,21 +74,30 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
   };
 
   if (has_work) {
-    const std::vector<CandidateEdge> candidates = candidate_edges(
-        context.hotspots, partition, config_.theta2_km);
+    stage_clock.reset();
+    // Radius query per overloaded hotspot via the shared spatial index,
+    // instead of scanning every (overloaded, under-utilized) pair.
+    const std::vector<CandidateEdge> candidates =
+        candidate_edges(context.hotspots, partition, config_.theta2_km,
+                        context.hotspot_index);
+    stage_timings_.graph_s += stage_clock.elapsed_seconds();
     constexpr double kThetaEps = 1e-9;
     double theta = config_.theta1_km;
     while (theta <= config_.theta2_km + kThetaEps &&
            diagnostics_.moved < diagnostics_.max_movable) {
+      stage_clock.reset();
       BalanceGraph graph =
           config_.content_aggregation
               ? build_gc(partition, candidates, theta, cluster_of,
                          config_.guide)
               : build_gd(partition, candidates, theta);
+      stage_timings_.graph_s += stage_clock.elapsed_seconds();
       diagnostics_.guide_nodes += graph.num_guide_nodes;
       ++diagnostics_.theta_iterations;
+      stage_clock.reset();
       (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
                                   config_.mcmf_strategy);
+      stage_timings_.mcmf_s += stage_clock.elapsed_seconds();
       absorb(extract_flows(graph));
       theta += config_.delta_km;
     }
@@ -92,10 +105,14 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
       // Residual pass on the plain distance graph at θ2 (Algorithm 1,
       // line 12); anything beyond that stays with its home hotspot and
       // overflows to the CDN at admission (line 14).
+      stage_clock.reset();
       BalanceGraph graph =
           build_gd(partition, candidates, config_.theta2_km);
+      stage_timings_.graph_s += stage_clock.elapsed_seconds();
+      stage_clock.reset();
       (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
                                   config_.mcmf_strategy);
+      stage_timings_.mcmf_s += stage_clock.elapsed_seconds();
       absorb(extract_flows(graph));
     }
   }
@@ -107,6 +124,7 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
   }
 
   // --- Procedure 1: redirections + placements under B_peak. ---
+  stage_clock.reset();
   const auto budget = static_cast<std::size_t>(std::llround(
       config_.bpeak_multiplier * static_cast<double>(demand.num_requests())));
   ReplicationResult replication = content_aggregation_replication(
@@ -123,6 +141,7 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
   if (config_.miss_redirection) {
     redirect_local_misses(context, requests, plan);
   }
+  stage_timings_.replication_s = stage_clock.elapsed_seconds();
   return plan;
 }
 

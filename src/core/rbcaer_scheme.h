@@ -59,6 +59,16 @@ class RbcaerScheme final : public RedirectionScheme {
                                    std::span<const Request> requests,
                                    const SlotDemand& demand) override;
 
+  /// Planning is a pure function of the slot inputs, so clones produce the
+  /// same plans and the simulator may fan slots out across threads.
+  [[nodiscard]] SchemePtr clone() const override {
+    return std::make_unique<RbcaerScheme>(config_);
+  }
+
+  [[nodiscard]] const StageTimings* last_stage_timings() const override {
+    return &stage_timings_;
+  }
+
   /// Introspection for tests, benches, and the θ-influence experiment.
   struct Diagnostics {
     std::int64_t max_movable = 0;   // maxflow in Algorithm 1
@@ -83,6 +93,7 @@ class RbcaerScheme final : public RedirectionScheme {
 
   RbcaerConfig config_;
   mutable Diagnostics diagnostics_;
+  StageTimings stage_timings_;
 };
 
 }  // namespace ccdn

@@ -100,9 +100,16 @@ ReplicationResult content_aggregation_replication(
     cache_left[h] = hotspots[h].cache_capacity;
   }
   std::size_t budget_used = 0;
+  // B_peak applies to every replica pushed this slot, whether it is placed
+  // to absorb redirected flow or during the final local fill; a denial in
+  // either phase marks the budget as exhausted.
   const auto try_place = [&](std::uint32_t h, VideoId v) {
     if (placed[h].count(v)) return true;
     if (cache_left[h] == 0) return false;
+    if (budget_used >= replica_budget) {
+      result.budget_exhausted = true;
+      return false;
+    }
     placed[h].insert(v);
     --cache_left[h];
     ++result.replicas;
@@ -176,7 +183,9 @@ ReplicationResult content_aggregation_replication(
       continue;
     }
     if (!try_place(j, v)) {
-      dead_pairs.insert(pair_key(j, v));  // cache at j full, v absent
+      // Cache at j full or budget exhausted, v absent; neither recovers
+      // within this slot, so the pair can never place.
+      dead_pairs.insert(pair_key(j, v));
       continue;
     }
     // Commit: move every sender's redirectable share of v to j.

@@ -43,7 +43,8 @@ struct ReplicationResult {
   std::int64_t total_redirected = 0;
   /// Total replicas placed (Ω2 for the slot).
   std::size_t replicas = 0;
-  /// True when the B_peak budget stopped the final fill.
+  /// True when the B_peak budget denied at least one placement, in the
+  /// redirect phase or the final fill. Implies replicas == replica_budget.
   bool budget_exhausted = false;
 };
 

@@ -20,6 +20,34 @@
 
 namespace ccdn {
 
+/// Per-slot wall-clock breakdown of the scheduling pipeline. The demand and
+/// admit stages are timed by the simulator; the planning stages are filled
+/// in by schemes that support introspection (see
+/// RedirectionScheme::last_stage_timings). All values are seconds.
+struct StageTimings {
+  double demand_s = 0.0;       // request aggregation into SlotDemand
+  double partition_s = 0.0;    // H_s/H_t split + content clustering
+  double graph_s = 0.0;        // Gd/Gc construction (all θ iterations)
+  double mcmf_s = 0.0;         // min-cost max-flow solves
+  double replication_s = 0.0;  // Procedure 1 + assignment materialization
+  double admit_s = 0.0;        // capacity/placement admission
+
+  StageTimings& operator+=(const StageTimings& other) noexcept {
+    demand_s += other.demand_s;
+    partition_s += other.partition_s;
+    graph_s += other.graph_s;
+    mcmf_s += other.mcmf_s;
+    replication_s += other.replication_s;
+    admit_s += other.admit_s;
+    return *this;
+  }
+
+  [[nodiscard]] double total_s() const noexcept {
+    return demand_s + partition_s + graph_s + mcmf_s + replication_s +
+           admit_s;
+  }
+};
+
 /// Immutable per-run context shared by all slots.
 struct SchemeContext {
   const std::vector<Hotspot>& hotspots;
@@ -52,6 +80,9 @@ struct SlotPlan {
     const std::vector<std::vector<VideoId>>& previous,
     const std::vector<std::vector<VideoId>>& current);
 
+class RedirectionScheme;
+using SchemePtr = std::unique_ptr<RedirectionScheme>;
+
 class RedirectionScheme {
  public:
   virtual ~RedirectionScheme() = default;
@@ -63,8 +94,19 @@ class RedirectionScheme {
   [[nodiscard]] virtual SlotPlan plan_slot(const SchemeContext& context,
                                            std::span<const Request> requests,
                                            const SlotDemand& demand) = 0;
-};
 
-using SchemePtr = std::unique_ptr<RedirectionScheme>;
+  /// Independent copy for concurrent planning. Schemes whose plan_slot is a
+  /// pure function of (context, requests, demand) return a fresh instance;
+  /// schemes with cross-slot state (e.g. the Random baseline's RNG draws)
+  /// keep the default nullptr, which makes the parallel simulator fall back
+  /// to sequential planning so results never depend on thread interleaving.
+  [[nodiscard]] virtual SchemePtr clone() const { return nullptr; }
+
+  /// Stage breakdown of the most recent plan_slot call, or nullptr for
+  /// schemes that do not record one.
+  [[nodiscard]] virtual const StageTimings* last_stage_timings() const {
+    return nullptr;
+  }
+};
 
 }  // namespace ccdn

@@ -66,6 +66,10 @@ class VirtualRbcaerScheme final : public RedirectionScheme {
                                    std::span<const Request> requests,
                                    const SlotDemand& demand) override;
 
+  [[nodiscard]] SchemePtr clone() const override {
+    return std::make_unique<VirtualRbcaerScheme>(config_);
+  }
+
   struct Diagnostics {
     std::size_t num_regions = 0;
     std::int64_t region_max_movable = 0;

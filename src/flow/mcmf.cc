@@ -83,8 +83,13 @@ bool dijkstra(const FlowNetwork& net, NodeId source, NodeId sink,
     for (const EdgeId e : net.out_edges(node)) {
       const auto& edge = net.edge(e);
       if (edge.capacity <= 0 || state.reached[edge.to]) continue;
-      const double reduced =
-          std::max(0.0, edge.cost + potential[node] - potential[edge.to]);
+      double reduced = edge.cost + potential[node] - potential[edge.to];
+      // Valid potentials keep every residual reduced cost non-negative; a
+      // real violation means the potential update went wrong and Dijkstra's
+      // greedy settling would silently return suboptimal (non-min-cost)
+      // paths, so fail loudly instead of clamping it away.
+      CCDN_ENSURE(reduced >= -kEps, "negative reduced cost: stale potentials");
+      reduced = std::max(0.0, reduced);  // absorb float noise within kEps
       const double candidate = d + reduced;
       if (candidate + kEps < state.dist[edge.to]) {
         state.dist[edge.to] = candidate;
@@ -151,8 +156,22 @@ McmfResult MinCostMaxFlow::solve_up_to(FlowNetwork& net, NodeId source,
     }
     if (!found) break;
     if (strategy == McmfStrategy::kDijkstraPotentials) {
+      // Nodes the search did not reach have no residual path from the
+      // source *this* iteration, but augmentation can create one later.
+      // Leaving their potentials untouched would let reduced costs of
+      // edges into them go negative; offsetting by the largest finite
+      // distance keeps every residual edge's reduced cost non-negative
+      // (edges among unreached nodes shift uniformly, edges from unreached
+      // to reached only gain slack, and reached→unreached residual edges
+      // cannot exist at this point).
+      double max_reached = 0.0;
       for (std::size_t v = 0; v < net.num_nodes(); ++v) {
-        if (state.reached[v]) potential[v] += state.dist[v];
+        if (state.reached[v]) {
+          max_reached = std::max(max_reached, state.dist[v]);
+        }
+      }
+      for (std::size_t v = 0; v < net.num_nodes(); ++v) {
+        potential[v] += state.reached[v] ? state.dist[v] : max_reached;
       }
     }
     const std::int64_t room = flow_limit - result.flow;

@@ -1,23 +1,35 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <future>
+#include <utility>
 
 #include "geo/geo_point.h"
 #include "util/rng.h"
 #include "util/error.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace ccdn {
 
 void SimulationReport::add_slot(SlotMetrics metrics,
-                                std::vector<std::uint32_t> hotspot_loads) {
+                                std::vector<std::uint32_t> hotspot_loads,
+                                StageTimings timings) {
   requests_ += metrics.requests;
   served_ += metrics.served;
   replicas_ += metrics.replicas;
   distance_sum_km_ += metrics.distance_sum_km;
   slots_.push_back(metrics);
+  stage_timings_.push_back(timings);
   if (!hotspot_loads.empty()) {
     hotspot_loads_.push_back(std::move(hotspot_loads));
   }
+}
+
+StageTimings SimulationReport::total_stage_timings() const noexcept {
+  StageTimings total;
+  for (const auto& t : stage_timings_) total += t;
+  return total;
 }
 
 double SimulationReport::serving_ratio() const noexcept {
@@ -113,6 +125,18 @@ SlotMetrics admit_slot(const std::vector<Hotspot>& hotspots,
   return metrics;
 }
 
+namespace {
+
+/// Everything one slot produces before the ordered reduction.
+struct SlotResult {
+  SlotPlan plan;
+  SlotMetrics metrics;
+  std::vector<std::uint32_t> served_at;
+  StageTimings timings;
+};
+
+}  // namespace
+
 SimulationReport Simulator::run(RedirectionScheme& scheme,
                                 std::span<const Request> requests) const {
   SimulationReport report(catalog_.num_videos, config_.cdn_distance_km);
@@ -124,34 +148,90 @@ SimulationReport Simulator::run(RedirectionScheme& scheme,
   CCDN_REQUIRE(config_.offline_probability >= 0.0 &&
                    config_.offline_probability < 1.0,
                "offline probability outside [0,1)");
-  Rng churn_rng(config_.churn_seed);
-  std::vector<std::uint8_t> available;
-  std::vector<std::vector<VideoId>> previous_placements;
-  for (const SlotRange& range : slots) {
-    const auto slot_requests = requests.subspan(range.begin, range.size());
-    const SlotDemand demand(slot_requests, index_);
-    SlotPlan plan = scheme.plan_slot(context, slot_requests, demand);
-    std::span<const std::uint8_t> availability;
-    if (config_.offline_probability > 0.0) {
-      available.assign(hotspots_.size(), 1);
+
+  // Churn masks are drawn sequentially up front, in the same slot order and
+  // with the same per-slot draw count as the classic loop, so availability
+  // is identical no matter how slots are later scheduled across threads.
+  std::vector<std::vector<std::uint8_t>> availability(slots.size());
+  if (config_.offline_probability > 0.0) {
+    Rng churn_rng(config_.churn_seed);
+    for (auto& mask : availability) {
+      mask.assign(hotspots_.size(), 1);
       for (std::size_t h = 0; h < hotspots_.size(); ++h) {
-        if (churn_rng.chance(config_.offline_probability)) {
-          available[h] = 0;
-        }
+        if (churn_rng.chance(config_.offline_probability)) mask[h] = 0;
       }
-      availability = available;
     }
-    std::vector<std::uint32_t> served_at;
-    SlotMetrics metrics =
-        admit_slot(hotspots_, plan, slot_requests, config_.cdn_distance_km,
-                   config_.record_hotspot_loads ? &served_at : nullptr,
-                   availability);
+  }
+
+  // Plan + admit one slot. Safe to run concurrently for distinct slots as
+  // long as each invocation gets its own scheme instance.
+  const auto process_slot = [&](RedirectionScheme& slot_scheme,
+                                std::size_t slot_index) {
+    const SlotRange& range = slots[slot_index];
+    const auto slot_requests = requests.subspan(range.begin, range.size());
+    SlotResult result;
+    Stopwatch clock;
+    const SlotDemand demand(slot_requests, index_);
+    result.timings.demand_s = clock.elapsed_seconds();
+    result.plan = slot_scheme.plan_slot(context, slot_requests, demand);
+    if (const StageTimings* plan_timings = slot_scheme.last_stage_timings()) {
+      result.timings.partition_s = plan_timings->partition_s;
+      result.timings.graph_s = plan_timings->graph_s;
+      result.timings.mcmf_s = plan_timings->mcmf_s;
+      result.timings.replication_s = plan_timings->replication_s;
+    }
+    clock.reset();
+    result.metrics = admit_slot(
+        hotspots_, result.plan, slot_requests, config_.cdn_distance_km,
+        config_.record_hotspot_loads ? &result.served_at : nullptr,
+        availability.empty() ? std::span<const std::uint8_t>{}
+                             : availability[slot_index]);
+    result.timings.admit_s = clock.elapsed_seconds();
+    return result;
+  };
+
+  // Placement-delta charging chains slot i to slot i-1, so it lives in this
+  // ordered reduction over already-computed plans, not in the fan-out.
+  std::vector<std::vector<VideoId>> previous_placements;
+  const auto reduce_slot = [&](SlotResult result) {
     if (config_.charge_placement_deltas) {
-      metrics.replicas =
-          count_new_replicas(previous_placements, plan.placements);
-      previous_placements = std::move(plan.placements);
+      result.metrics.replicas =
+          count_new_replicas(previous_placements, result.plan.placements);
+      previous_placements = std::move(result.plan.placements);
     }
-    report.add_slot(metrics, std::move(served_at));
+    report.add_slot(result.metrics, std::move(result.served_at),
+                    result.timings);
+  };
+
+  const std::size_t num_threads = config_.num_threads == 0
+                                      ? ThreadPool::default_threads()
+                                      : config_.num_threads;
+  if (num_threads > 1 && slots.size() > 1) {
+    if (SchemePtr probe = scheme.clone()) {
+      // Parallel pipeline: every slot plans against its own clone; the
+      // main thread consumes results in slot order.
+      std::vector<std::future<SlotResult>> futures;
+      futures.reserve(slots.size());
+      std::vector<SchemePtr> clones;
+      clones.reserve(slots.size());
+      clones.push_back(std::move(probe));
+      for (std::size_t i = 1; i < slots.size(); ++i) {
+        clones.push_back(scheme.clone());
+      }
+      ThreadPool pool(std::min(num_threads, slots.size()));
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        futures.push_back(pool.submit([&process_slot, &clones, i] {
+          return process_slot(*clones[i], i);
+        }));
+      }
+      for (auto& future : futures) reduce_slot(future.get());
+      return report;
+    }
+    // Stateful scheme: planning order is part of its semantics, so fall
+    // through to the sequential path.
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    reduce_slot(process_slot(scheme, i));
   }
   return report;
 }

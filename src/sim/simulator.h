@@ -39,6 +39,15 @@ struct SimulationConfig {
   /// is the pessimistic deployment case. 0 disables churn.
   double offline_probability = 0.0;
   std::uint64_t churn_seed = 4242;
+  /// Worker threads for the slot-scheduling pipeline. 1 (default) runs the
+  /// classic sequential loop; 0 means "use all hardware threads". With N > 1
+  /// independent slots are planned and admitted concurrently on a fixed
+  /// thread pool and reduced back in slot order, so the report is
+  /// bit-identical to the sequential run (churn masks are pre-drawn
+  /// sequentially; placement deltas are charged in the ordered reduction).
+  /// Schemes with cross-slot state (clone() == nullptr, e.g. Random) fall
+  /// back to the sequential path regardless of this setting.
+  std::size_t num_threads = 1;
 };
 
 struct SlotMetrics {
@@ -58,7 +67,8 @@ class SimulationReport {
       : num_videos_(num_videos), cdn_distance_km_(cdn_distance_km) {}
 
   void add_slot(SlotMetrics metrics,
-                std::vector<std::uint32_t> hotspot_loads = {});
+                std::vector<std::uint32_t> hotspot_loads = {},
+                StageTimings timings = {});
 
   [[nodiscard]] std::size_t total_requests() const noexcept { return requests_; }
   [[nodiscard]] std::size_t served_by_hotspots() const noexcept {
@@ -83,6 +93,15 @@ class SimulationReport {
       const noexcept {
     return hotspot_loads_;
   }
+  /// Per-slot stage timing breakdown (parallel to slots()). Wall-clock
+  /// measurements — the only report field that is *not* deterministic
+  /// across runs or thread counts.
+  [[nodiscard]] const std::vector<StageTimings>& stage_timings()
+      const noexcept {
+    return stage_timings_;
+  }
+  /// Sum of the per-slot stage timings.
+  [[nodiscard]] StageTimings total_stage_timings() const noexcept;
 
  private:
   std::uint32_t num_videos_;
@@ -93,6 +112,7 @@ class SimulationReport {
   double distance_sum_km_ = 0.0;
   std::vector<SlotMetrics> slots_;
   std::vector<std::vector<std::uint32_t>> hotspot_loads_;
+  std::vector<StageTimings> stage_timings_;
 };
 
 /// Admit one slot's plan against the physical constraints (placement must

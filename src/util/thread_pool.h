@@ -1,0 +1,61 @@
+// Small fixed-size thread pool for the parallel slot-scheduling pipeline.
+//
+// Tasks are type-erased closures executed FIFO by a fixed set of worker
+// threads; `submit` returns a std::future for the task's result. The pool
+// is intentionally minimal (no work stealing, no priorities): the simulator
+// fans out whole timeslots, which are coarse enough that a single mutex-
+// guarded queue is nowhere near the bottleneck.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ccdn {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Number of threads to use when the caller asks for "all of them":
+  /// hardware concurrency, or 1 when the runtime cannot report it.
+  [[nodiscard]] static std::size_t default_threads() noexcept;
+
+  /// Enqueue a callable; returns a future for its result. Exceptions thrown
+  /// by the task are captured in the future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stop_ = false;
+};
+
+}  // namespace ccdn

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace ccdn {
 namespace {
@@ -108,6 +109,83 @@ TEST(Replication, BudgetStopsFinalFill) {
   EXPECT_TRUE(result.budget_exhausted);
   // Highest-demand videos placed first.
   EXPECT_EQ(result.placements[0], (std::vector<VideoId>{1, 2}));
+}
+
+TEST(Replication, RedirectPhaseRespectsBudget) {
+  // Sender 0 overflows demand for two videos toward receiver 1; without a
+  // budget check the redirect phase would place both. Budget 1 must stop
+  // the second placement and flag exhaustion.
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{1, 6}, {2, 5}}, {}});
+  const auto hotspots = hotspots_with({2, 20}, {5, 5});
+  const std::vector<FlowEntry> flows{{0, 1, 11}};
+  const auto result =
+      content_aggregation_replication(demand, hotspots, flows, 1);
+  EXPECT_EQ(result.replicas, 1u);
+  EXPECT_TRUE(result.budget_exhausted);
+  // The higher-e_u video wins the single replica.
+  EXPECT_EQ(result.placements[1], (std::vector<VideoId>{1}));
+  EXPECT_EQ(redirected_to(result, 0, 1, 1), 6);
+  EXPECT_EQ(redirected_to(result, 0, 2, 1), 0);
+}
+
+TEST(Replication, ZeroBudgetPlacesNothingInEitherPhase) {
+  SlotDemand demand(std::vector<std::vector<VideoDemand>>{
+      {{1, 6}, {2, 5}}, {{3, 4}}, {}});
+  const auto hotspots = hotspots_with({2, 2, 20}, {5, 5, 5});
+  const std::vector<FlowEntry> flows{{0, 2, 4}, {1, 2, 2}};
+  const auto result =
+      content_aggregation_replication(demand, hotspots, flows, 0);
+  EXPECT_EQ(result.replicas, 0u);
+  EXPECT_EQ(result.total_redirected, 0);
+  EXPECT_TRUE(result.budget_exhausted);
+  for (const auto& placement : result.placements) {
+    EXPECT_TRUE(placement.empty());
+  }
+}
+
+TEST(Replication, BudgetInvariantOnRandomInstances) {
+  // Whatever the demand/flow mix, replicas never exceed the budget, and an
+  // exhausted budget means it was spent to the last unit.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 2654435761ULL + 3);
+    const std::size_t m = 2 + rng.index(5);
+    std::vector<std::vector<VideoDemand>> per_hotspot(m);
+    for (auto& videos : per_hotspot) {
+      const std::size_t count = rng.index(6);
+      for (std::size_t k = 0; k < count; ++k) {
+        videos.push_back(
+            {static_cast<VideoId>(1 + rng.index(8)),
+             static_cast<std::uint32_t>(rng.uniform_int(1, 9))});
+      }
+    }
+    std::vector<std::uint32_t> service(m), cache(m);
+    for (std::size_t h = 0; h < m; ++h) {
+      service[h] = static_cast<std::uint32_t>(rng.uniform_int(0, 12));
+      cache[h] = static_cast<std::uint32_t>(rng.uniform_int(0, 4));
+    }
+    std::vector<FlowEntry> flows;
+    const std::size_t num_flows = rng.index(2 * m);
+    for (std::size_t k = 0; k < num_flows; ++k) {
+      const auto from = static_cast<std::uint32_t>(rng.index(m));
+      auto to = static_cast<std::uint32_t>(rng.index(m));
+      if (to == from) to = (to + 1) % static_cast<std::uint32_t>(m);
+      flows.push_back({from, to, rng.uniform_int(1, 6)});
+    }
+    const auto budget = static_cast<std::size_t>(rng.uniform_int(0, 5));
+    SlotDemand demand(per_hotspot);
+    const auto result = content_aggregation_replication(
+        demand, hotspots_with(service, cache), flows, budget);
+    EXPECT_LE(result.replicas, budget) << "seed " << seed;
+    if (result.budget_exhausted) {
+      EXPECT_EQ(result.replicas, budget) << "seed " << seed;
+    }
+    std::size_t placed_total = 0;
+    for (const auto& placement : result.placements) {
+      placed_total += placement.size();
+    }
+    EXPECT_EQ(placed_total, result.replicas) << "seed " << seed;
+  }
 }
 
 TEST(Replication, ServiceCapacityCapsFill) {
