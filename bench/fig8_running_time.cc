@@ -162,7 +162,8 @@ int main(int argc, char** argv) {
                                        : 0.0);
   };
   stage_row("demand aggregation", stages.demand_s);
-  stage_row("partition+clustering", stages.partition_s);
+  stage_row("partition", stages.partition_s);
+  stage_row("Gc build (Jd+cluster)", stages.gc_build_s);
   stage_row("Gd/Gc build", stages.graph_s);
   stage_row("MCMF", stages.mcmf_s);
   stage_row("replication", stages.replication_s);

@@ -7,20 +7,130 @@
 // clustering is O(N²) in hotspots; the virtual variant clusters K regions
 // instead, which is what makes city-scale (5K hotspot) scheduling cheap.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "cluster/content_distance.h"
+#include "cluster/topset_bitmap.h"
 #include "core/nearest_scheme.h"
 #include "core/rbcaer_scheme.h"
 #include "core/virtual_rbcaer_scheme.h"
 #include "model/demand.h"
+#include "model/topsets.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
 #include "trace/world.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace ccdn;
+
+/// One row of the Jd-build comparison (Part 0).
+struct GcBuildRow {
+  std::size_t hotspots = 0;
+  std::size_t pairs = 0;
+  std::size_t universe = 0;
+  std::size_t threads = 0;
+  double scalar_s = 0.0;           // seed path: serial sorted-merge
+  double bitmap_s = 0.0;           // TopsetBitmap kernel, serial
+  double bitmap_parallel_s = 0.0;  // TopsetBitmap, row-striped on the pool
+  bool identical = false;          // all three matrices bitwise equal
+};
+
+/// Part 0 — the PR 2 tentpole measurement: Jd matrix construction with the
+/// scalar sorted-merge kernel (the seed path) vs the word-parallel
+/// TopsetBitmap kernel, serial and row-striped. All three must produce
+/// bitwise-identical condensed matrices.
+std::vector<GcBuildRow> gc_build_table() {
+  std::printf("-- Jd matrix build: scalar vs bitset Jaccard kernel --\n");
+  std::printf("%-10s %10s %12s %12s %14s %10s %10s\n", "hotspots", "universe",
+              "scalar (s)", "bitmap (s)", "parallel (s)", "kernel_x",
+              "total_x");
+  std::vector<GcBuildRow> rows;
+  ThreadPool pool(ThreadPool::default_threads());
+  for (const std::size_t hotspots : {310u, 1000u, 2000u}) {
+    WorldConfig config = WorldConfig::city_scale();
+    config.num_hotspots = hotspots;
+    World world = generate_world(config);
+    TraceConfig trace_config;
+    trace_config.num_requests = hotspots * 700;
+    const auto trace = generate_trace(world, trace_config);
+    const GridIndex index(world.hotspot_locations(), 0.5);
+    const SlotDemand demand(trace, index);
+    const auto top_sets = top_sets_per_hotspot(demand, 0.2);
+
+    GcBuildRow row;
+    row.hotspots = hotspots;
+    row.pairs = hotspots * (hotspots - 1) / 2;
+    row.threads = pool.size();
+    Stopwatch clock;
+    const DistanceMatrix scalar =
+        content_distance_matrix(top_sets, {.use_bitmap = false});
+    row.scalar_s = clock.elapsed_seconds();
+    clock.reset();
+    const DistanceMatrix bitmap =
+        content_distance_matrix(top_sets, {.use_bitmap = true});
+    row.bitmap_s = clock.elapsed_seconds();
+    clock.reset();
+    const DistanceMatrix parallel = content_distance_matrix(
+        top_sets, {.use_bitmap = true, .pool = &pool});
+    row.bitmap_parallel_s = clock.elapsed_seconds();
+    {
+      const TopsetBitmap probe(top_sets);
+      row.universe = probe.universe_size();
+    }
+    row.identical = true;
+    const auto a = scalar.condensed();
+    const auto b = bitmap.condensed();
+    const auto c = parallel.condensed();
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      if (a[s] != b[s] || a[s] != c[s]) {
+        row.identical = false;
+        break;
+      }
+    }
+    std::printf("%-10zu %10zu %12.3f %12.3f %14.3f %9.1fx %9.1fx%s\n",
+                row.hotspots, row.universe, row.scalar_s, row.bitmap_s,
+                row.bitmap_parallel_s, row.scalar_s / row.bitmap_s,
+                row.scalar_s / row.bitmap_parallel_s,
+                row.identical ? "" : "  (MISMATCH!)");
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// Machine-readable perf trajectory for cross-PR tracking; same shape as a
+/// google-benchmark --benchmark_out file's "benchmarks" array.
+void write_gc_json(const std::string& path,
+                   const std::vector<GcBuildRow>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"gc_build\",\n  \"unit\": \"s\",\n"
+                    "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GcBuildRow& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"jd_matrix/H=%zu\", \"hotspots\": %zu, "
+        "\"pairs\": %zu, \"universe\": %zu, \"threads\": %zu, "
+        "\"scalar_s\": %.6f, \"bitmap_s\": %.6f, "
+        "\"bitmap_parallel_s\": %.6f, \"kernel_speedup\": %.2f, "
+        "\"total_speedup\": %.2f, \"identical\": %s}%s\n",
+        r.hotspots, r.hotspots, r.pairs, r.universe, r.threads, r.scalar_s,
+        r.bitmap_s, r.bitmap_parallel_s, r.scalar_s / r.bitmap_s,
+        r.scalar_s / r.bitmap_parallel_s, r.identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("(wrote %s)\n\n", path.c_str());
+}
 
 void quality_table() {
   World world = generate_world(WorldConfig::evaluation_region());
@@ -99,6 +209,8 @@ void scaling_table(std::size_t max_flat_hotspots) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   std::printf("=== hierarchical RBCAer: virtual region-hotspots ===\n\n");
+  write_gc_json(flags.get_string("json_out", "BENCH_gc.json"),
+                gc_build_table());
   quality_table();
   scaling_table(static_cast<std::size_t>(
       flags.get_int("max_flat_hotspots", 5000)));

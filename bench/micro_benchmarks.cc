@@ -3,8 +3,13 @@
 // (backs the paper's §V-D scalability discussion).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "cluster/content_distance.h"
 #include "cluster/hierarchical.h"
+#include "cluster/topset_bitmap.h"
 #include "core/balance_graph.h"
 #include "core/rbcaer_scheme.h"
 #include "flow/dinic.h"
@@ -91,6 +96,59 @@ void BM_HierarchicalClustering(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HierarchicalClustering)->Arg(100)->Arg(310)->Arg(600);
+
+/// Zipf-skewed synthetic top-sets shaped like a city-scale slot (shared
+/// popular head + sparse tails), cached per hotspot count.
+const std::vector<std::vector<VideoId>>& synthetic_top_sets(std::size_t n) {
+  static std::vector<std::pair<std::size_t, std::vector<std::vector<VideoId>>>>
+      cache;
+  for (const auto& [key, sets] : cache) {
+    if (key == n) return sets;
+  }
+  Rng rng(11);
+  const ZipfDistribution zipf(8000, 0.8);
+  std::vector<std::vector<VideoId>> sets(n);
+  for (auto& set : sets) {
+    const std::size_t size = rng.index(100);
+    while (set.size() < size) {
+      const auto v = static_cast<VideoId>(zipf.sample(rng));
+      if (!std::binary_search(set.begin(), set.end(), v)) {
+        set.insert(std::lower_bound(set.begin(), set.end(), v), v);
+      }
+    }
+  }
+  cache.emplace_back(n, std::move(sets));
+  return cache.back().second;
+}
+
+void BM_ContentDistanceScalar(benchmark::State& state) {
+  const auto& sets = synthetic_top_sets(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        content_distance_matrix(sets, {.use_bitmap = false}));
+  }
+}
+BENCHMARK(BM_ContentDistanceScalar)->Arg(310)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ContentDistanceBitmap(benchmark::State& state) {
+  const auto& sets = synthetic_top_sets(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        content_distance_matrix(sets, {.use_bitmap = true}));
+  }
+}
+BENCHMARK(BM_ContentDistanceBitmap)->Arg(310)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopsetBitmapPack(benchmark::State& state) {
+  const auto& sets = synthetic_top_sets(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopsetBitmap(sets));
+  }
+}
+BENCHMARK(BM_TopsetBitmapPack)->Arg(310)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GridIndexNearest(benchmark::State& state) {
   Rng rng(4);
@@ -189,4 +247,27 @@ BENCHMARK(BM_TopSets)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default machine-readable JSON dump (BENCH_micro.json
+// in the working directory) so the perf trajectory is tracked across PRs.
+// Pass your own --benchmark_out=... to override.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

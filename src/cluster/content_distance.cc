@@ -1,17 +1,73 @@
 #include "cluster/content_distance.h"
 
+#include <future>
+#include <optional>
+#include <utility>
+
+#include "cluster/topset_bitmap.h"
 #include "stats/correlation.h"
+#include "util/thread_pool.h"
 
 namespace ccdn {
 
-DistanceMatrix content_distance_matrix(
-    std::span<const std::vector<VideoId>> top_sets) {
-  DistanceMatrix matrix(top_sets.size());
-  for (std::size_t i = 0; i < top_sets.size(); ++i) {
-    for (std::size_t j = i + 1; j < top_sets.size(); ++j) {
-      const double similarity = jaccard_similarity(top_sets[i], top_sets[j]);
-      matrix.set(i, j, 1.0 - similarity);
+namespace {
+
+/// Fill condensed rows [row_begin, row_end): row i is the contiguous slice
+/// of out starting at i*n - i*(i+1)/2 + ... — disjoint per stripe.
+template <typename Kernel>
+void fill_rows(std::span<double> out, std::size_t n, std::size_t row_begin,
+               std::size_t row_end, const Kernel& jaccard) {
+  std::size_t cursor = row_begin * n - row_begin * (row_begin + 1) / 2;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      out[cursor++] = 1.0 - jaccard(i, j);
     }
+  }
+}
+
+template <typename Kernel>
+void fill_matrix(std::span<double> out, std::size_t n, ThreadPool* pool,
+                 const Kernel& jaccard) {
+  if (pool == nullptr || pool->size() < 2 || n < 2) {
+    fill_rows(out, n, 0, n, jaccard);
+    return;
+  }
+  // Row i holds n-1-i pairs, so equal row counts would skew the stripes;
+  // cut contiguous row ranges at roughly equal pair counts instead.
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  const std::size_t target = (total_pairs + pool->size() - 1) / pool->size();
+  std::vector<std::future<void>> stripes;
+  std::size_t row_begin = 0;
+  while (row_begin < n) {
+    std::size_t row_end = row_begin;
+    std::size_t pairs = 0;
+    while (row_end < n && pairs < target) pairs += n - 1 - row_end++;
+    stripes.push_back(pool->submit([out, n, row_begin, row_end, &jaccard] {
+      fill_rows(out, n, row_begin, row_end, jaccard);
+    }));
+    row_begin = row_end;
+  }
+  for (auto& stripe : stripes) stripe.get();
+}
+
+}  // namespace
+
+DistanceMatrix content_distance_matrix(
+    std::span<const std::vector<VideoId>> top_sets,
+    const ContentDistanceOptions& options) {
+  const std::size_t n = top_sets.size();
+  DistanceMatrix matrix(n);
+  if (options.use_bitmap) {
+    const TopsetBitmap bitmap(top_sets);
+    fill_matrix(matrix.condensed(), n, options.pool,
+                [&bitmap](std::size_t i, std::size_t j) {
+                  return bitmap.jaccard(i, j);
+                });
+  } else {
+    fill_matrix(matrix.condensed(), n, options.pool,
+                [top_sets](std::size_t i, std::size_t j) {
+                  return jaccard_similarity(top_sets[i], top_sets[j]);
+                });
   }
   return matrix;
 }

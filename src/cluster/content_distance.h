@@ -11,10 +11,26 @@
 
 namespace ccdn {
 
+class ThreadPool;
+
+struct ContentDistanceOptions {
+  /// Compute Jaccard with the word-parallel TopsetBitmap kernel (default)
+  /// or the scalar sorted-merge path. Both produce bit-identical matrices;
+  /// the scalar path is kept as the differential-test oracle and as an
+  /// ablation knob (RbcaerConfig::bitmap_jaccard).
+  bool use_bitmap = true;
+  /// When non-null, the condensed matrix is filled row-striped on this
+  /// pool: stripes are contiguous row ranges balanced by pair count, each
+  /// writing a disjoint slice of the condensed buffer, so the result is
+  /// bit-identical for any thread count.
+  ThreadPool* pool = nullptr;
+};
+
 /// Build the pairwise Jd matrix from per-hotspot content sets (each sorted
 /// ascending by video id). Hotspots with empty sets are at distance 1 from
 /// everything (no overlap evidence).
 [[nodiscard]] DistanceMatrix content_distance_matrix(
-    std::span<const std::vector<VideoId>> top_sets);
+    std::span<const std::vector<VideoId>> top_sets,
+    const ContentDistanceOptions& options = {});
 
 }  // namespace ccdn

@@ -12,7 +12,9 @@ DistanceMatrix::DistanceMatrix(std::size_t n)
     : n_(n), data_(n < 2 ? 0 : n * (n - 1) / 2, 0.0) {}
 
 std::size_t DistanceMatrix::slot(std::size_t i, std::size_t j) const {
-  CCDN_REQUIRE(i < n_ && j < n_ && i != j, "bad index pair");
+  // Debug-only: at() sits inside the clustering inner loops, so a thrown
+  // check per read would dominate release-mode profiles.
+  CCDN_ASSERT(i < n_ && j < n_ && i != j, "bad index pair");
   if (i > j) std::swap(i, j);
   // Condensed index of (i, j), i < j.
   return i * n_ - i * (i + 1) / 2 + (j - i - 1);
@@ -56,14 +58,16 @@ ClusteringResult hierarchical_cluster(const DistanceMatrix& distances,
   ClusteringResult result;
   if (n == 0) return result;
 
-  // Working distance matrix over active clusters, full square for O(1)
-  // updates (n is hotspot-count scale, a few hundred to a few thousand).
-  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      dist[i][j] = dist[j][i] = distances.at(i, j);
-    }
-  }
+  // Working distances over active clusters: one contiguous condensed
+  // buffer (seeded by copying the input triangle wholesale) addressed with
+  // index arithmetic, instead of an n² vector-of-vectors — half the
+  // memory, and row sweeps stay in cache at hotspot-count scale.
+  const auto input = distances.condensed();
+  std::vector<double> dist(input.begin(), input.end());
+  const auto cond = [n](std::size_t i, std::size_t j) {
+    if (i > j) std::swap(i, j);
+    return i * n - i * (i + 1) / 2 + (j - i - 1);
+  };
 
   std::vector<bool> active(n, true);
   std::vector<std::size_t> cluster_size(n, 1);
@@ -79,8 +83,9 @@ ClusteringResult hierarchical_cluster(const DistanceMatrix& distances,
     nn_dist[i] = kInf;
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i || !active[j]) continue;
-      if (dist[i][j] < nn_dist[i]) {
-        nn_dist[i] = dist[i][j];
+      const double d = dist[cond(i, j)];
+      if (d < nn_dist[i]) {
+        nn_dist[i] = d;
         nn[i] = j;
       }
     }
@@ -108,9 +113,9 @@ ClusteringResult hierarchical_cluster(const DistanceMatrix& distances,
     // Merge b into a.
     for (std::size_t k = 0; k < n; ++k) {
       if (!active[k] || k == a || k == b) continue;
-      const double d = merged_distance(linkage, dist[a][k], dist[b][k],
-                                       cluster_size[a], cluster_size[b]);
-      dist[a][k] = dist[k][a] = d;
+      dist[cond(a, k)] =
+          merged_distance(linkage, dist[cond(a, k)], dist[cond(b, k)],
+                          cluster_size[a], cluster_size[b]);
     }
     active[b] = false;
     cluster_size[a] += cluster_size[b];
@@ -123,9 +128,9 @@ ClusteringResult hierarchical_cluster(const DistanceMatrix& distances,
       if (!active[k] || k == a) continue;
       if (nn[k] == a || nn[k] == b) {
         recompute_nn(k);
-      } else if (dist[k][a] < nn_dist[k]) {
+      } else if (dist[cond(k, a)] < nn_dist[k]) {
         nn[k] = a;
-        nn_dist[k] = dist[k][a];
+        nn_dist[k] = dist[cond(k, a)];
       }
     }
   }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace ccdn {
@@ -22,6 +23,16 @@ class DistanceMatrix {
 
   [[nodiscard]] double at(std::size_t i, std::size_t j) const;
   void set(std::size_t i, std::size_t j, double distance);
+
+  /// Raw condensed upper triangle, row-major: entry (i, j) with i < j lives
+  /// at i*n - i*(i+1)/2 + (j-i-1), so row i's entries (i, i+1..n-1) are a
+  /// contiguous slice of length n-1-i. Bulk producers (the parallel Jd
+  /// build) write disjoint row slices directly; consumers memcpy the whole
+  /// triangle instead of going through at() per pair.
+  [[nodiscard]] std::span<const double> condensed() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::span<double> condensed() noexcept { return data_; }
 
  private:
   [[nodiscard]] std::size_t slot(std::size_t i, std::size_t j) const;

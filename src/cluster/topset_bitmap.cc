@@ -1,0 +1,90 @@
+#include "cluster/topset_bitmap.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+TopsetBitmap::TopsetBitmap(std::span<const std::vector<VideoId>> top_sets)
+    : n_(top_sets.size()) {
+  // Gather every id occurrence; sortedness (the jaccard_similarity
+  // precondition) is checked once per set here instead of once per pair.
+  std::vector<VideoId> occurrences;
+  std::size_t total = 0;
+  for (const auto& set : top_sets) total += set.size();
+  occurrences.reserve(total);
+  for (const auto& set : top_sets) {
+    CCDN_REQUIRE(std::is_sorted(set.begin(), set.end()), "top set not sorted");
+    occurrences.insert(occurrences.end(), set.begin(), set.end());
+  }
+  std::sort(occurrences.begin(), occurrences.end());
+
+  // Run-length the occurrences into (id, count); `ids` stays sorted by id
+  // for the pack-time lookups below.
+  std::vector<VideoId> ids;
+  std::vector<std::uint32_t> counts;
+  for (std::size_t i = 0; i < occurrences.size();) {
+    std::size_t j = i;
+    while (j < occurrences.size() && occurrences[j] == occurrences[i]) ++j;
+    ids.push_back(occurrences[i]);
+    counts.push_back(static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+  universe_ = ids.size();
+  words_ = (universe_ + 63) / 64;
+
+  // Rank ids by (count desc, id asc): the shared popular head lands in the
+  // lowest words. Deterministic — the key is a strict total order.
+  std::vector<std::uint32_t> by_frequency(universe_);
+  for (std::uint32_t i = 0; i < universe_; ++i) by_frequency[i] = i;
+  std::sort(by_frequency.begin(), by_frequency.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (counts[a] != counts[b]) return counts[a] > counts[b];
+              return ids[a] < ids[b];
+            });
+  std::vector<std::uint32_t> rank_of(universe_);
+  for (std::uint32_t r = 0; r < universe_; ++r) rank_of[by_frequency[r]] = r;
+
+  bits_.assign(n_ * words_, 0);
+  cardinality_.resize(n_);
+  nonzero_begin_.assign(n_ + 1, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    cardinality_[i] = static_cast<std::uint32_t>(top_sets[i].size());
+    std::uint64_t* row = bits_.data() + i * words_;
+    for (const VideoId v : top_sets[i]) {
+      const auto it = std::lower_bound(ids.begin(), ids.end(), v);
+      const auto rank = rank_of[static_cast<std::size_t>(it - ids.begin())];
+      const std::uint64_t bit = std::uint64_t{1} << (rank % 64);
+      CCDN_REQUIRE((row[rank / 64] & bit) == 0, "duplicate id in top set");
+      row[rank / 64] |= bit;
+    }
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      if (row[w] != 0) nonzero_.push_back(w);
+    }
+    nonzero_begin_[i + 1] = static_cast<std::uint32_t>(nonzero_.size());
+  }
+}
+
+double TopsetBitmap::jaccard(std::size_t i, std::size_t j) const {
+  CCDN_ASSERT(i < n_ && j < n_, "set index out of range");
+  // Iterate the sparser row's nonzero words, gathering from the other row.
+  if (nonzero_begin_[i + 1] - nonzero_begin_[i] >
+      nonzero_begin_[j + 1] - nonzero_begin_[j]) {
+    std::swap(i, j);
+  }
+  const std::uint64_t* a = bits_.data() + i * words_;
+  const std::uint64_t* b = bits_.data() + j * words_;
+  std::uint64_t intersection = 0;
+  for (std::uint32_t k = nonzero_begin_[i]; k < nonzero_begin_[i + 1]; ++k) {
+    const std::uint32_t w = nonzero_[k];
+    intersection += static_cast<std::uint64_t>(std::popcount(a[w] & b[w]));
+  }
+  const std::uint64_t union_size =
+      cardinality_[i] + cardinality_[j] - intersection;
+  if (union_size == 0) return 0.0;  // two empty sets, as in the scalar path
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+}  // namespace ccdn

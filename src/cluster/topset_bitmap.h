@@ -1,0 +1,65 @@
+// Word-parallel content-similarity kernel for the Gc pipeline.
+//
+// The Jd matrix (paper Eq. 13) needs Jaccard(V_i, V_j) over every hotspot
+// pair — H² evaluations per slot. The scalar path walks two sorted id
+// vectors element by element (and re-validates sortedness per pair).
+// TopsetBitmap instead packs every top-set into 64-bit blocks over a
+// compact universe so one AND+popcount processes 64 candidate ids at once:
+//
+//  1. *Universe remap.* Only ids that appear in some top-set matter. They
+//     are remapped to a dense range [0, U), ordered by descending
+//     occurrence count across sets (ties by ascending id). Zipf-skewed
+//     workloads share a popular head, so frequency ordering packs the ids
+//     most likely to be in any given set into the lowest words, which
+//     keeps each set's nonzero-word list short.
+//  2. *Block layout.* Set i owns the row bits_[i*words .. (i+1)*words);
+//     bit d of the row is id rank d. Rows are contiguous, so a pairwise
+//     sweep over j streams row j linearly through the cache.
+//  3. *Sparse-gather intersection.* |V_i ∩ V_j| = Σ popcount(a[w] & b[w]),
+//     iterating only the nonzero words of the *smaller* set — O(min
+//     nonzero words) per pair instead of O(|V_i|+|V_j|) element steps.
+//     The union comes from the precomputed cardinalities, and sortedness
+//     of the input sets is validated once per set at pack time, not once
+//     per pair.
+//
+// The computed similarity is bit-identical to jaccard_similarity: both
+// divide the same exact integer intersection/union counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/types.h"
+
+namespace ccdn {
+
+class TopsetBitmap {
+ public:
+  /// Pack `top_sets` (each sorted ascending by video id, duplicates
+  /// forbidden). O(total ids · log universe).
+  explicit TopsetBitmap(std::span<const std::vector<VideoId>> top_sets);
+
+  [[nodiscard]] std::size_t num_sets() const noexcept { return n_; }
+  /// Distinct ids across all sets.
+  [[nodiscard]] std::size_t universe_size() const noexcept {
+    return universe_;
+  }
+  /// 64-bit blocks per packed set row.
+  [[nodiscard]] std::size_t words_per_set() const noexcept { return words_; }
+
+  /// Jaccard(V_i, V_j); exactly the value jaccard_similarity returns on the
+  /// original sorted sets (0.0 when both sets are empty).
+  [[nodiscard]] double jaccard(std::size_t i, std::size_t j) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t universe_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;          // n_ rows x words_ blocks
+  std::vector<std::uint32_t> cardinality_;   // |V_i|
+  std::vector<std::uint32_t> nonzero_;       // concatenated nonzero-word lists
+  std::vector<std::uint32_t> nonzero_begin_; // n_+1 offsets into nonzero_
+};
+
+}  // namespace ccdn

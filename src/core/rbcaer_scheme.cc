@@ -27,6 +27,16 @@ std::string RbcaerScheme::name() const {
   return config_.content_aggregation ? "RBCAer" : "RBCAer(no-aggregation)";
 }
 
+ThreadPool* RbcaerScheme::jd_pool() {
+  if (config_.jd_threads == 1) return nullptr;
+  if (!jd_pool_) {
+    jd_pool_ = std::make_unique<ThreadPool>(config_.jd_threads == 0
+                                                ? ThreadPool::default_threads()
+                                                : config_.jd_threads);
+  }
+  return jd_pool_.get();
+}
+
 SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
                                  std::span<const Request> requests,
                                  const SlotDemand& demand) {
@@ -46,19 +56,23 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
       HotspotPartition::from_loads(context.hotspots, loads);
   diagnostics_.max_movable = partition.max_movable();
 
+  stage_timings_.partition_s = stage_clock.elapsed_seconds();
+
   // --- Content clustering (only needed when aggregation is on and there
   // is anything to move). ---
   std::vector<std::uint32_t> cluster_of(m, 0);
   const bool has_work = diagnostics_.max_movable > 0;
   if (config_.content_aggregation && has_work) {
+    stage_clock.reset();
     const auto top_sets = top_sets_per_hotspot(demand, config_.top_fraction);
-    const DistanceMatrix jd = content_distance_matrix(top_sets);
+    const DistanceMatrix jd = content_distance_matrix(
+        top_sets, {.use_bitmap = config_.bitmap_jaccard, .pool = jd_pool()});
     const ClusteringResult clustering = hierarchical_cluster(
         jd, config_.linkage, config_.content_cluster_threshold);
     cluster_of = clustering.labels;
     diagnostics_.num_clusters = clustering.num_clusters;
+    stage_timings_.gc_build_s = stage_clock.elapsed_seconds();
   }
-  stage_timings_.partition_s = stage_clock.elapsed_seconds();
 
   // --- Algorithm 1: θ sweep over Gc, then residual pass over Gd. ---
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> f_total;

@@ -15,12 +15,14 @@
 //      placements under the cache sizes and the replication budget B_peak.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "cluster/hierarchical.h"
 #include "core/balance_graph.h"
 #include "core/scheme.h"
 #include "flow/mcmf.h"
+#include "util/thread_pool.h"
 
 namespace ccdn {
 
@@ -38,6 +40,16 @@ struct RbcaerConfig {
   double bpeak_multiplier = 1.0;
   /// Ablation switch: false solves plain Gd only (no guide nodes).
   bool content_aggregation = true;
+  /// Jd kernel: word-parallel bitset Jaccard (TopsetBitmap, default) or
+  /// the scalar sorted-merge oracle. Both are bit-identical; the scalar
+  /// path exists for differential testing and as a portability fallback.
+  bool bitmap_jaccard = true;
+  /// Worker threads for the row-striped Jd matrix build. 1 (default) keeps
+  /// the build serial — the simulator already fans whole slots out across
+  /// threads, so intra-slot parallelism would oversubscribe there. Set to
+  /// 0 (all hardware threads) or an explicit count for single-slot /
+  /// large-H planning, e.g. the scalability benches.
+  std::size_t jd_threads = 1;
   /// Paper §III system model: "if the requested video is present in the
   /// suitable content hotspots, the request is scheduled to be served
   /// immediately". After the balancing redirections, requests whose home
@@ -91,9 +103,16 @@ class RbcaerScheme final : public RedirectionScheme {
                              std::span<const Request> requests,
                              SlotPlan& plan) const;
 
+  /// Pool for the Jd matrix build, lazily created on first use when
+  /// config_.jd_threads != 1; nullptr means build serially. Clones start
+  /// without a pool and create their own, so parallel-slot planning stays
+  /// isolated per clone.
+  [[nodiscard]] ThreadPool* jd_pool();
+
   RbcaerConfig config_;
   mutable Diagnostics diagnostics_;
   StageTimings stage_timings_;
+  std::unique_ptr<ThreadPool> jd_pool_;
 };
 
 }  // namespace ccdn

@@ -26,7 +26,8 @@ namespace ccdn {
 /// RedirectionScheme::last_stage_timings). All values are seconds.
 struct StageTimings {
   double demand_s = 0.0;       // request aggregation into SlotDemand
-  double partition_s = 0.0;    // H_s/H_t split + content clustering
+  double partition_s = 0.0;    // H_s/H_t split
+  double gc_build_s = 0.0;     // content clustering: top sets + Jd + cut
   double graph_s = 0.0;        // Gd/Gc construction (all θ iterations)
   double mcmf_s = 0.0;         // min-cost max-flow solves
   double replication_s = 0.0;  // Procedure 1 + assignment materialization
@@ -35,6 +36,7 @@ struct StageTimings {
   StageTimings& operator+=(const StageTimings& other) noexcept {
     demand_s += other.demand_s;
     partition_s += other.partition_s;
+    gc_build_s += other.gc_build_s;
     graph_s += other.graph_s;
     mcmf_s += other.mcmf_s;
     replication_s += other.replication_s;
@@ -43,8 +45,8 @@ struct StageTimings {
   }
 
   [[nodiscard]] double total_s() const noexcept {
-    return demand_s + partition_s + graph_s + mcmf_s + replication_s +
-           admit_s;
+    return demand_s + partition_s + gc_build_s + graph_s + mcmf_s +
+           replication_s + admit_s;
   }
 };
 

@@ -114,8 +114,9 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
   std::vector<std::uint32_t> cluster_of(num_regions, 0);
   if (rc.content_aggregation && diagnostics_.region_max_movable > 0) {
     const auto top_sets = top_sets_per_hotspot(regional, rc.top_fraction);
-    cluster_of = hierarchical_cluster(content_distance_matrix(top_sets),
-                                      rc.linkage,
+    const DistanceMatrix jd = content_distance_matrix(
+        top_sets, {.use_bitmap = rc.bitmap_jaccard});
+    cluster_of = hierarchical_cluster(jd, rc.linkage,
                                       rc.content_cluster_threshold)
                      .labels;
   }

@@ -11,17 +11,22 @@ std::vector<VideoId> top_k_videos(std::span<const VideoDemand> demands,
                                   std::size_t k) {
   k = std::min(k, demands.size());
   if (k == 0) return {};
-  std::vector<VideoDemand> sorted(demands.begin(), demands.end());
-  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                   sorted.end(),
-                   [](const VideoDemand& a, const VideoDemand& b) {
-                     if (a.count != b.count) return a.count > b.count;
-                     return a.video < b.video;
-                   });
-  sorted.resize(k);
   std::vector<VideoId> ids;
   ids.reserve(k);
-  for (const auto& d : sorted) ids.push_back(d.video);
+  if (k == demands.size()) {
+    // Everything qualifies: skip the demand copy and the selection.
+    for (const auto& d : demands) ids.push_back(d.video);
+  } else {
+    std::vector<VideoDemand> sorted(demands.begin(), demands.end());
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     sorted.end(),
+                     [](const VideoDemand& a, const VideoDemand& b) {
+                       if (a.count != b.count) return a.count > b.count;
+                       return a.video < b.video;
+                     });
+    for (std::size_t i = 0; i < k; ++i) ids.push_back(sorted[i].video);
+  }
   std::sort(ids.begin(), ids.end());
   return ids;
 }

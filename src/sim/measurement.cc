@@ -4,6 +4,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "cluster/topset_bitmap.h"
 #include "model/demand.h"
 #include "model/timeslots.h"
 #include "model/topsets.h"
@@ -166,9 +167,11 @@ std::vector<double> content_similarities(
       }
     }
   }
+  // Word-parallel kernel; bit-identical to jaccard_similarity per pair.
+  const TopsetBitmap bitmap(top_sets);
   similarities.reserve(pairs.size());
   for (const auto& [i, j] : pairs) {
-    similarities.push_back(jaccard_similarity(top_sets[i], top_sets[j]));
+    similarities.push_back(bitmap.jaccard(i, j));
   }
   return similarities;
 }

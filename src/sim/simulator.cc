@@ -176,6 +176,7 @@ SimulationReport Simulator::run(RedirectionScheme& scheme,
     result.plan = slot_scheme.plan_slot(context, slot_requests, demand);
     if (const StageTimings* plan_timings = slot_scheme.last_stage_timings()) {
       result.timings.partition_s = plan_timings->partition_s;
+      result.timings.gc_build_s = plan_timings->gc_build_s;
       result.timings.graph_s = plan_timings->graph_s;
       result.timings.mcmf_s = plan_timings->mcmf_s;
       result.timings.replication_s = plan_timings->replication_s;

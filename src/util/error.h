@@ -74,3 +74,24 @@ namespace detail {
       ::ccdn::detail::throw_invariant(#expr, __FILE__, __LINE__, msg); \
     }                                                                 \
   } while (false)
+
+namespace ccdn {
+
+/// True when CCDN_ASSERT compiles to a real check (NDEBUG not defined).
+/// Tests that exercise assert-only contracts gate on this.
+#ifdef NDEBUG
+inline constexpr bool kCheckedBuild = false;
+#else
+inline constexpr bool kCheckedBuild = true;
+#endif
+
+}  // namespace ccdn
+
+/// Debug-only precondition for hot paths: a CCDN_REQUIRE in checked
+/// (NDEBUG-off) builds, compiled out entirely in release builds. Use where
+/// a per-call check would sit inside a performance-critical inner loop.
+#ifdef NDEBUG
+#define CCDN_ASSERT(expr, msg) ((void)0)
+#else
+#define CCDN_ASSERT(expr, msg) CCDN_REQUIRE(expr, msg)
+#endif

@@ -32,6 +32,22 @@ TEST(TopK, TieBreaksByLowerVideoId) {
   EXPECT_EQ(top_k_videos(demands, 2), (std::vector<VideoId>{2, 5}));
 }
 
+TEST(TopK, TieBreakAtSelectionBoundary) {
+  // Counts {3,3,3,1}: the k=3 cut falls inside the tie group, which must
+  // resolve by ascending video id — {2,5,8}, never {5,8} plus the count-1
+  // video. Regression for the k==size fast path keeping the same contract.
+  const std::vector<VideoDemand> demands{{5, 3}, {9, 1}, {2, 3}, {8, 3}};
+  EXPECT_EQ(top_k_videos(demands, 3), (std::vector<VideoId>{2, 5, 8}));
+}
+
+TEST(TopK, FullSelectionReturnsAllIdsSorted) {
+  // k == demands.size() takes the copy-free path; output is still every id
+  // sorted ascending, regardless of count order.
+  const std::vector<VideoDemand> demands{{9, 1}, {4, 7}, {6, 2}};
+  EXPECT_EQ(top_k_videos(demands, 3), (std::vector<VideoId>{4, 6, 9}));
+  EXPECT_EQ(top_k_videos(demands, 5), (std::vector<VideoId>{4, 6, 9}));
+}
+
 TEST(TopFraction, CeilsSetSize) {
   // 5 distinct * 0.2 = 1 video; 6 * 0.2 = 1.2 -> 2 videos.
   std::vector<VideoDemand> five;
