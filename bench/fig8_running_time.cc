@@ -19,6 +19,8 @@
 // an hourly multi-slot trace.
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/lp_scheme.h"
 #include "core/nearest_scheme.h"
@@ -45,6 +47,180 @@ double time_scheme(RedirectionScheme& scheme, const SchemeContext& context,
   return stopwatch.elapsed_seconds();
 }
 
+// --- Warm-started θ sweep vs the cold rebuild-per-θ oracle. ---
+// Per-slot graph-build + MCMF seconds at bench scale (default H=2000), for
+// both the content-aggregation graph Gc and the plain distance graph Gd,
+// with the oracle equality check the incremental sweep guarantees (same
+// moved totals and identical plans; DESIGN.md §3.7). Two θ grids per graph:
+// the coarse 0.3..1.5 km grid in 0.1 km steps (13 steps, most flow lands in
+// the first batch step) and a fine 0.05..1.5 km grid in 0.025 km steps
+// (59 steps, the flow arrives incrementally across the sweep). The fine
+// grid is where warm-starting pays off structurally: the cold path rebuilds
+// its graph and re-runs a source-wide search at every θ step, so its cost
+// scales with grid resolution, while the warm sweep's total work stays
+// linear in the candidate count.
+
+struct FlowBenchRow {
+  std::string name;
+  std::size_t hotspots = 0;
+  std::size_t theta_steps = 0;
+  std::int64_t moved = 0;
+  double cold_graph_s = 0.0;
+  double cold_mcmf_s = 0.0;
+  double warm_graph_s = 0.0;
+  double warm_mcmf_s = 0.0;
+  std::size_t reprices = 0;
+  bool identical = false;
+
+  [[nodiscard]] double cold_s() const { return cold_graph_s + cold_mcmf_s; }
+  [[nodiscard]] double warm_s() const { return warm_graph_s + warm_mcmf_s; }
+  [[nodiscard]] double speedup() const {
+    return warm_s() > 0.0 ? cold_s() / warm_s() : 0.0;
+  }
+};
+
+FlowBenchRow flow_bench_mode(const std::string& name, bool aggregation,
+                             double theta1_km, double delta_km,
+                             const SchemeContext& context,
+                             std::span<const Request> trace,
+                             const SlotDemand& demand, std::size_t repeats) {
+  RbcaerConfig config;
+  config.theta1_km = theta1_km;
+  config.theta2_km = 1.5;
+  config.delta_km = delta_km;
+  config.content_aggregation = aggregation;
+
+  FlowBenchRow row;
+  row.name = name;
+  row.hotspots = context.hotspots.size();
+
+  config.incremental_sweep = false;
+  RbcaerScheme cold(config);
+  config.incremental_sweep = true;
+  RbcaerScheme warm(config);
+
+  SlotPlan cold_plan;
+  SlotPlan warm_plan;
+  row.cold_graph_s = row.cold_mcmf_s = row.warm_graph_s = row.warm_mcmf_s =
+      1e300;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    cold_plan = cold.plan_slot(context, trace, demand);
+    const StageTimings* cold_stages = cold.last_stage_timings();
+    if (cold_stages->graph_s + cold_stages->mcmf_s <
+        row.cold_graph_s + row.cold_mcmf_s) {
+      row.cold_graph_s = cold_stages->graph_s;
+      row.cold_mcmf_s = cold_stages->mcmf_s;
+    }
+    warm_plan = warm.plan_slot(context, trace, demand);
+    const StageTimings* warm_stages = warm.last_stage_timings();
+    if (warm_stages->graph_s + warm_stages->mcmf_s <
+        row.warm_graph_s + row.warm_mcmf_s) {
+      row.warm_graph_s = warm_stages->graph_s;
+      row.warm_mcmf_s = warm_stages->mcmf_s;
+    }
+  }
+
+  const auto& wd = warm.last_diagnostics();
+  const auto& cd = cold.last_diagnostics();
+  row.theta_steps = wd.theta_iterations;
+  row.moved = wd.moved;
+  row.reprices = wd.potential_reprices;
+  row.identical = wd.moved == cd.moved && wd.redirected == cd.redirected &&
+                  wd.replicas == cd.replicas &&
+                  wd.guide_nodes == cd.guide_nodes &&
+                  wd.theta_iterations == cd.theta_iterations &&
+                  warm_plan.assignment == cold_plan.assignment &&
+                  warm_plan.placements == cold_plan.placements;
+  return row;
+}
+
+/// Machine-readable perf trajectory for cross-PR tracking; same shape as
+/// hierarchical_scalability's BENCH_gc.json.
+void write_flow_json(const std::string& path,
+                     const std::vector<FlowBenchRow>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"theta_sweep\",\n  \"unit\": \"s\",\n"
+                    "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const FlowBenchRow& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"theta_sweep/%s/H=%zu\", \"hotspots\": %zu, "
+        "\"theta_steps\": %zu, \"moved\": %lld, "
+        "\"cold_graph_s\": %.6f, \"cold_mcmf_s\": %.6f, "
+        "\"warm_graph_s\": %.6f, \"warm_mcmf_s\": %.6f, "
+        "\"cold_s\": %.6f, \"warm_s\": %.6f, \"speedup\": %.2f, "
+        "\"potential_reprices\": %zu, \"identical\": %s}%s\n",
+        r.name.c_str(), r.hotspots, r.hotspots, r.theta_steps,
+        static_cast<long long>(r.moved), r.cold_graph_s, r.cold_mcmf_s,
+        r.warm_graph_s, r.warm_mcmf_s, r.cold_s(), r.warm_s(), r.speedup(),
+        r.reprices, r.identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("(wrote %s)\n", path.c_str());
+}
+
+void run_flow_bench(const Flags& flags) {
+  const auto hotspots =
+      static_cast<std::size_t>(flags.get_int("flow_hotspots", 2000));
+  const auto requests =
+      static_cast<std::size_t>(flags.get_int("flow_requests", 100000));
+  const auto repeats =
+      static_cast<std::size_t>(flags.get_int("flow_repeats", 2));
+
+  WorldConfig world_config = WorldConfig::evaluation_region();
+  world_config.num_hotspots = hotspots;
+  world_config.num_videos = 8000;
+  World world = generate_world(world_config);
+  // Service capacity = the mean per-hotspot load, so the skewed demand
+  // leaves roughly half the fleet overloaded and the sweep has real
+  // balancing work across the whole θ grid (not a trivially slack fleet).
+  const double mean_load = static_cast<double>(requests) /
+                           static_cast<double>(hotspots);
+  assign_uniform_capacities(
+      world, mean_load / static_cast<double>(world_config.num_videos), 0.03);
+  TraceConfig trace_config;
+  trace_config.num_requests = requests;
+  const auto trace = generate_trace(world, trace_config);
+
+  const GridIndex index(world.hotspot_locations(), 0.5);
+  const SchemeContext context{world.hotspots(), index,
+                              VideoCatalog{world_config.num_videos},
+                              kCdnDistanceKm};
+  const SlotDemand demand(trace, index);
+
+  std::printf("\n=== warm-started θ sweep vs cold rebuild-per-θ ===\n");
+  std::printf("%zu hotspots, %zu requests, coarse θ = 0.3..1.5 step 0.1 / "
+              "fine θ = 0.05..1.5 step 0.025 (best of %zu)\n",
+              hotspots, trace.size(), repeats);
+  std::printf("%-10s %6s %12s %12s %12s %12s %9s %10s\n", "graph", "steps",
+              "cold graph", "cold mcmf", "warm graph", "warm mcmf", "speedup",
+              "oracle");
+
+  std::vector<FlowBenchRow> rows;
+  rows.push_back(flow_bench_mode("gc/coarse", true, 0.3, 0.1, context, trace,
+                                 demand, repeats));
+  rows.push_back(flow_bench_mode("gd/coarse", false, 0.3, 0.1, context, trace,
+                                 demand, repeats));
+  rows.push_back(flow_bench_mode("gc/fine", true, 0.05, 0.025, context, trace,
+                                 demand, repeats));
+  rows.push_back(flow_bench_mode("gd/fine", false, 0.05, 0.025, context,
+                                 trace, demand, repeats));
+  for (const FlowBenchRow& row : rows) {
+    std::printf("%-10s %6zu %11.3fs %11.3fs %11.3fs %11.3fs %8.1fx %10s\n",
+                row.name.c_str(), row.theta_steps, row.cold_graph_s,
+                row.cold_mcmf_s, row.warm_graph_s, row.warm_mcmf_s,
+                row.speedup(), row.identical ? "identical" : "MISMATCH!");
+  }
+  write_flow_json(flags.get_string("flow_json_out", "BENCH_flow.json"), rows);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,6 +229,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("lp_requests", 500));
   const auto lp_hotspots =
       static_cast<std::size_t>(flags.get_int("lp_hotspots", 15));
+
+  run_flow_bench(flags);
+  if (flags.get_bool("flow_only", false)) return 0;
 
   const World world = generate_world(WorldConfig::evaluation_region());
   assign_uniform_capacities(const_cast<World&>(world), 0.05, 0.03);

@@ -1,8 +1,6 @@
 #include "core/balance_graph.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
 
 #include "geo/geo_point.h"
 #include "util/error.h"
@@ -38,13 +36,11 @@ std::int64_t HotspotPartition::max_movable() const {
   return std::min(out, in);
 }
 
-std::vector<CandidateEdge> candidate_edges(std::span<const Hotspot> hotspots,
-                                           const HotspotPartition& partition,
-                                           double radius_km) {
+std::vector<CandidateEdge> candidate_edges_pairscan(
+    std::span<const Hotspot> hotspots, const HotspotPartition& partition,
+    double radius_km) {
   CCDN_REQUIRE(radius_km >= 0.0, "negative radius");
   std::vector<CandidateEdge> edges;
-  // O(|Hs| · |Ht|) pair scan; both sets are fractions of the hotspot count,
-  // and this runs once per slot (the per-θ filters reuse the result).
   for (const auto i : partition.overloaded) {
     for (const auto j : partition.underutilized) {
       const double d =
@@ -62,18 +58,22 @@ std::vector<CandidateEdge> candidate_edges(std::span<const Hotspot> hotspots,
   CCDN_REQUIRE(radius_km >= 0.0, "negative radius");
   CCDN_REQUIRE(index.size() == hotspots.size(),
                "index/hotspot count mismatch");
-  std::vector<std::uint8_t> is_receiver(hotspots.size(), 0);
-  for (const auto j : partition.underutilized) is_receiver[j] = 1;
   std::vector<CandidateEdge> edges;
+  // Bucket the receivers into a subset view of the index: it shares the
+  // parent's projection and cells, so each query sees exactly the receivers
+  // the full within_radius() would return — without wading through the
+  // senders and balanced hotspots that dominate every neighbourhood.
+  GridIndex::Subset receivers(index);
+  receivers.assign(partition.underutilized);
   // The grid filters on its planar projection, which can disagree with
   // distance_km by a fraction of a percent at city scale; query slightly
   // wide and keep the exact d < radius_km cut so the result matches the
   // pair scan bit for bit.
   const double query_radius = radius_km * 1.001 + 1e-6;
+  std::vector<std::size_t> near;
   for (const auto i : partition.overloaded) {
-    for (const std::size_t j :
-         index.within_radius(hotspots[i].location, query_radius)) {
-      if (!is_receiver[j]) continue;
+    receivers.within_radius(hotspots[i].location, query_radius, near);
+    for (const std::size_t j : near) {
       const double d =
           distance_km(hotspots[i].location, hotspots[j].location);
       if (d < radius_km) {
@@ -84,34 +84,172 @@ std::vector<CandidateEdge> candidate_edges(std::span<const Hotspot> hotspots,
   return edges;
 }
 
-namespace {
-
-/// Shared scaffolding: nodes for source, sink, and every hotspot that has
-/// remaining slack, plus the source/sink arcs.
-struct Scaffold {
-  BalanceGraph graph;
-  std::unordered_map<std::uint32_t, NodeId> node_of;
-};
-
-Scaffold build_scaffold(const HotspotPartition& partition) {
-  Scaffold s;
-  s.graph.net = FlowNetwork(2);
-  s.graph.source = 0;
-  s.graph.sink = 1;
+void build_scaffold(FlowNetwork& net, const HotspotPartition& partition,
+                    ScaffoldMap& map) {
+  net.clear(2);
+  map.source = 0;
+  map.sink = 1;
+  map.node_of.assign(partition.phi.size(), ScaffoldMap::kNoNode);
   for (const auto i : partition.overloaded) {
     if (partition.phi[i] <= 0) continue;
-    const NodeId node = s.graph.net.add_node();
-    s.node_of.emplace(i, node);
-    (void)s.graph.net.add_edge(s.graph.source, node, partition.phi[i], 0.0);
+    const NodeId node = net.add_node();
+    map.node_of[i] = node;
+    (void)net.add_edge(map.source, node, partition.phi[i], 0.0);
   }
   for (const auto j : partition.underutilized) {
     if (partition.phi[j] <= 0) continue;
-    const NodeId node = s.graph.net.add_node();
-    s.node_of.emplace(j, node);
-    (void)s.graph.net.add_edge(node, s.graph.sink, partition.phi[j], 0.0);
+    const NodeId node = net.add_node();
+    map.node_of[j] = node;
+    (void)net.add_edge(node, map.sink, partition.phi[j], 0.0);
   }
-  return s;
 }
+
+void append_gd_edges(FlowNetwork& net, const ScaffoldMap& map,
+                     const HotspotPartition& partition,
+                     std::span<const CandidateEdge> live,
+                     std::vector<BalanceGraph::PairEdge>& pair_edges) {
+  for (const auto& c : live) {
+    const std::int64_t cap =
+        std::min(partition.phi[c.from], partition.phi[c.to]);
+    const EdgeId e =
+        net.add_edge(map.at(c.from), map.at(c.to), cap, c.distance_km);
+    pair_edges.push_back({c.from, c.to, e});
+  }
+}
+
+std::size_t append_gc_edges(FlowNetwork& net, const ScaffoldMap& map,
+                            const HotspotPartition& partition,
+                            std::span<const CandidateEdge> live,
+                            double theta_km,
+                            std::span<const std::uint32_t> cluster_of,
+                            const GuideOptions& options,
+                            std::vector<BalanceGraph::PairEdge>& pair_edges,
+                            GcScratch& scratch) {
+  CCDN_REQUIRE(options.fill_threshold >= 0.0, "negative fill threshold");
+
+  // Group candidate senders of each under-utilized hotspot by cluster:
+  // H_jk = { i ∈ SinktoSource(j) : i ∈ P_k }. Sorting (j, k, idx) yields
+  // the same group order as an ordered map keyed (j, k) and the same
+  // within-group member order as the candidate list, so the edges come out
+  // identical to the cold builder's.
+  scratch.keys.clear();
+  scratch.keys.reserve(live.size());
+  for (std::uint32_t idx = 0; idx < live.size(); ++idx) {
+    const auto& c = live[idx];
+    CCDN_REQUIRE(c.from < cluster_of.size() && c.to < cluster_of.size(),
+                 "cluster labels do not cover all hotspots");
+    scratch.keys.push_back({c.to, cluster_of[c.from], idx});
+  }
+  std::sort(scratch.keys.begin(), scratch.keys.end(),
+            [](const GcScratch::Key& a, const GcScratch::Key& b) {
+              if (a.j != b.j) return a.j < b.j;
+              if (a.k != b.k) return a.k < b.k;
+              return a.idx < b.idx;
+            });
+
+  scratch.group_start.clear();
+  scratch.phi_sum.clear();
+  for (std::uint32_t pos = 0; pos < scratch.keys.size(); ++pos) {
+    const auto& key = scratch.keys[pos];
+    if (pos == 0 || key.j != scratch.keys[pos - 1].j ||
+        key.k != scratch.keys[pos - 1].k) {
+      scratch.group_start.push_back(pos);
+      scratch.phi_sum.push_back(0);
+    }
+    const auto& c = live[key.idx];
+    scratch.phi_sum.back() +=
+        std::min(partition.phi[c.from], partition.phi[c.to]);
+  }
+  const std::size_t num_groups = scratch.phi_sum.size();
+  scratch.group_start.push_back(static_cast<std::uint32_t>(scratch.keys.size()));
+
+  // Decide which groups get a guide node, and gather the raw guide costs
+  // for the unit normalization.
+  scratch.direct_distances.clear();
+  scratch.raw_guide_costs.clear();
+  scratch.guided.clear();
+  scratch.guided.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const std::uint32_t begin = scratch.group_start[g];
+    const std::uint32_t end = scratch.group_start[g + 1];
+    const std::uint32_t j = scratch.keys[begin].j;
+    const std::uint32_t k = scratch.keys[begin].k;
+    const bool fills_enough =
+        static_cast<double>(scratch.phi_sum[g]) >=
+        options.fill_threshold * static_cast<double>(partition.phi[j]);
+    const bool own_cluster = cluster_of[j] == k;
+    const bool guide = fills_enough || own_cluster;
+    scratch.guided.push_back(guide ? 1 : 0);
+    if (guide) {
+      scratch.raw_guide_costs.push_back(
+          static_cast<double>(scratch.phi_sum[g]) /
+          static_cast<double>(end - begin));
+    } else {
+      for (std::uint32_t pos = begin; pos < end; ++pos) {
+        scratch.direct_distances.push_back(
+            live[scratch.keys[pos].idx].distance_km);
+      }
+    }
+  }
+
+  // Paper Eq. (§IV-B): guide cost = Σφ_ij / ‖H_jk‖, which is in request
+  // units while direct edges cost km. auto_scale maps the raw costs into
+  // the distance range (median-to-median) so MCMF actually trades the two
+  // off; cost_scale then biases toward (<1) or away from (>1) guides.
+  double scale = options.cost_scale;
+  if (options.auto_scale && !scratch.raw_guide_costs.empty()) {
+    auto median_of = [](std::vector<double> v) {
+      std::nth_element(
+          v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
+          v.end());
+      return v[v.size() / 2];
+    };
+    const double median_raw = median_of(scratch.raw_guide_costs);
+    const double median_direct =
+        scratch.direct_distances.empty() ? theta_km / 2.0
+                                         : median_of(scratch.direct_distances);
+    if (median_raw > 0.0) {
+      scale *= 0.5 * median_direct / median_raw;
+    }
+  }
+
+  std::size_t guide_nodes = 0;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const std::uint32_t begin = scratch.group_start[g];
+    const std::uint32_t end = scratch.group_start[g + 1];
+    if (!scratch.guided[g]) {
+      for (std::uint32_t pos = begin; pos < end; ++pos) {
+        const auto& c = live[scratch.keys[pos].idx];
+        const std::int64_t cap =
+            std::min(partition.phi[c.from], partition.phi[c.to]);
+        const EdgeId e =
+            net.add_edge(map.at(c.from), map.at(c.to), cap, c.distance_km);
+        pair_edges.push_back({c.from, c.to, e});
+      }
+      continue;
+    }
+    // Guide node n_kj: members connect at zero cost; the aggregate edge to
+    // j carries the (scaled) paper cost and is clamped to j's slack.
+    const std::uint32_t j = scratch.keys[begin].j;
+    const NodeId guide_node = net.add_node();
+    ++guide_nodes;
+    const double raw_cost = static_cast<double>(scratch.phi_sum[g]) /
+                            static_cast<double>(end - begin);
+    for (std::uint32_t pos = begin; pos < end; ++pos) {
+      const auto& c = live[scratch.keys[pos].idx];
+      const std::int64_t cap =
+          std::min(partition.phi[c.from], partition.phi[c.to]);
+      const EdgeId e = net.add_edge(map.at(c.from), guide_node, cap, 0.0);
+      pair_edges.push_back({c.from, c.to, e});
+    }
+    (void)net.add_edge(guide_node, map.at(j),
+                       std::min(scratch.phi_sum[g], partition.phi[j]),
+                       scale * raw_cost);
+  }
+  return guide_nodes;
+}
+
+namespace {
 
 /// Candidates filtered to d < θ with both endpoints still having slack.
 std::vector<CandidateEdge> live_candidates(
@@ -132,16 +270,15 @@ std::vector<CandidateEdge> live_candidates(
 BalanceGraph build_gd(const HotspotPartition& partition,
                       std::span<const CandidateEdge> candidates,
                       double theta_km) {
-  Scaffold s = build_scaffold(partition);
-  for (const auto& c : live_candidates(partition, candidates, theta_km)) {
-    const std::int64_t cap =
-        std::min(partition.phi[c.from], partition.phi[c.to]);
-    const EdgeId e = s.graph.net.add_edge(s.node_of.at(c.from),
-                                          s.node_of.at(c.to), cap,
-                                          c.distance_km);
-    s.graph.pair_edges.push_back({c.from, c.to, e});
-  }
-  return std::move(s.graph);
+  BalanceGraph graph;
+  ScaffoldMap map;
+  build_scaffold(graph.net, partition, map);
+  graph.source = map.source;
+  graph.sink = map.sink;
+  append_gd_edges(graph.net, map, partition,
+                  live_candidates(partition, candidates, theta_km),
+                  graph.pair_edges);
+  return graph;
 }
 
 BalanceGraph build_gc(const HotspotPartition& partition,
@@ -149,116 +286,45 @@ BalanceGraph build_gc(const HotspotPartition& partition,
                       double theta_km,
                       std::span<const std::uint32_t> cluster_of,
                       const GuideOptions& options) {
-  CCDN_REQUIRE(options.fill_threshold >= 0.0, "negative fill threshold");
-  Scaffold s = build_scaffold(partition);
-  const auto live = live_candidates(partition, candidates, theta_km);
+  BalanceGraph graph;
+  ScaffoldMap map;
+  build_scaffold(graph.net, partition, map);
+  graph.source = map.source;
+  graph.sink = map.sink;
+  GcScratch scratch;
+  graph.num_guide_nodes = append_gc_edges(
+      graph.net, map, partition,
+      live_candidates(partition, candidates, theta_km), theta_km, cluster_of,
+      options, graph.pair_edges, scratch);
+  return graph;
+}
 
-  // Group candidate senders of each under-utilized hotspot by cluster:
-  // H_jk = { i ∈ SinktoSource(j) : i ∈ P_k }.
-  struct Group {
-    std::vector<const CandidateEdge*> members;
-    std::int64_t phi_sum = 0;  // Σ φ_ij
-  };
-  std::map<std::pair<std::uint32_t, std::uint32_t>, Group> groups;  // (j,k)
-  for (const auto& c : live) {
-    CCDN_REQUIRE(c.from < cluster_of.size() && c.to < cluster_of.size(),
-                 "cluster labels do not cover all hotspots");
-    Group& group = groups[{c.to, cluster_of[c.from]}];
-    group.members.push_back(&c);
-    group.phi_sum += std::min(partition.phi[c.from], partition.phi[c.to]);
-  }
-
-  // Decide which groups get a guide node, and gather the raw guide costs
-  // for the unit normalization.
-  std::vector<double> direct_distances;
-  std::vector<double> raw_guide_costs;
-  std::vector<const Group*> guided;
-  std::vector<bool> is_guided;
-  is_guided.reserve(groups.size());
-  for (const auto& [key, group] : groups) {
-    const auto [j, k] = key;
-    const bool fills_enough =
-        static_cast<double>(group.phi_sum) >=
-        options.fill_threshold * static_cast<double>(partition.phi[j]);
-    const bool own_cluster = cluster_of[j] == k;
-    const bool guide = fills_enough || own_cluster;
-    is_guided.push_back(guide);
-    if (guide) {
-      guided.push_back(&group);
-      raw_guide_costs.push_back(static_cast<double>(group.phi_sum) /
-                                static_cast<double>(group.members.size()));
+void merge_flow_entries(std::vector<FlowEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const FlowEntry& a, const FlowEntry& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  std::size_t out = 0;
+  for (std::size_t in = 0; in < entries.size(); ++in) {
+    if (out > 0 && entries[out - 1].from == entries[in].from &&
+        entries[out - 1].to == entries[in].to) {
+      entries[out - 1].amount += entries[in].amount;
     } else {
-      for (const CandidateEdge* c : group.members) {
-        direct_distances.push_back(c->distance_km);
-      }
+      entries[out++] = entries[in];
     }
   }
-
-  // Paper Eq. (§IV-B): guide cost = Σφ_ij / ‖H_jk‖, which is in request
-  // units while direct edges cost km. auto_scale maps the raw costs into
-  // the distance range (median-to-median) so MCMF actually trades the two
-  // off; cost_scale then biases toward (<1) or away from (>1) guides.
-  double scale = options.cost_scale;
-  if (options.auto_scale && !raw_guide_costs.empty()) {
-    auto median_of = [](std::vector<double> v) {
-      std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
-                       v.end());
-      return v[v.size() / 2];
-    };
-    const double median_raw = median_of(raw_guide_costs);
-    const double median_direct =
-        direct_distances.empty() ? theta_km / 2.0
-                                 : median_of(direct_distances);
-    if (median_raw > 0.0) {
-      scale *= 0.5 * median_direct / median_raw;
-    }
-  }
-
-  std::size_t group_index = 0;
-  for (const auto& [key, group] : groups) {
-    const auto j = key.first;
-    if (!is_guided[group_index++]) {
-      for (const CandidateEdge* c : group.members) {
-        const std::int64_t cap =
-            std::min(partition.phi[c->from], partition.phi[c->to]);
-        const EdgeId e =
-            s.graph.net.add_edge(s.node_of.at(c->from), s.node_of.at(c->to),
-                                 cap, c->distance_km);
-        s.graph.pair_edges.push_back({c->from, c->to, e});
-      }
-      continue;
-    }
-    // Guide node n_kj: members connect at zero cost; the aggregate edge to
-    // j carries the (scaled) paper cost and is clamped to j's slack.
-    const NodeId guide_node = s.graph.net.add_node();
-    ++s.graph.num_guide_nodes;
-    const double raw_cost = static_cast<double>(group.phi_sum) /
-                            static_cast<double>(group.members.size());
-    for (const CandidateEdge* c : group.members) {
-      const std::int64_t cap =
-          std::min(partition.phi[c->from], partition.phi[c->to]);
-      const EdgeId e =
-          s.graph.net.add_edge(s.node_of.at(c->from), guide_node, cap, 0.0);
-      s.graph.pair_edges.push_back({c->from, c->to, e});
-    }
-    (void)s.graph.net.add_edge(guide_node, s.node_of.at(j),
-                               std::min(group.phi_sum, partition.phi[j]),
-                               scale * raw_cost);
-  }
-  return std::move(s.graph);
+  entries.resize(out);
 }
 
 std::vector<FlowEntry> extract_flows(const BalanceGraph& graph) {
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> merged;
+  std::vector<FlowEntry> entries;
+  entries.reserve(graph.pair_edges.size());
   for (const auto& pair : graph.pair_edges) {
     const std::int64_t f = graph.net.flow(pair.edge);
-    if (f > 0) merged[{pair.from, pair.to}] += f;
+    if (f > 0) entries.push_back({pair.from, pair.to, f});
   }
-  std::vector<FlowEntry> entries;
-  entries.reserve(merged.size());
-  for (const auto& [key, amount] : merged) {
-    entries.push_back({key.first, key.second, amount});
-  }
+  merge_flow_entries(entries);
   return entries;
 }
 

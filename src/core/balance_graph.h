@@ -11,9 +11,16 @@
 //     edges to j are replaced by a shared guide node n_kj. The guide
 //     aggregates same-cluster flow so that Procedure 1 can serve many
 //     redirected requests with few extra replicas.
+//
+// Construction is split in two layers: build_gd/build_gc return a
+// self-contained BalanceGraph (the cold rebuild-per-θ path), while
+// build_scaffold/append_gd_edges/append_gc_edges build the same structure
+// piecewise into a caller-owned FlowNetwork — that is what the incremental
+// θ sweep (core/theta_sweep.h) uses to keep one persistent network per slot.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -45,8 +52,11 @@ struct CandidateEdge {
   double distance_km = 0.0;
 };
 
-/// All pairs with distance < radius_km (the widest θ the caller will use).
-[[nodiscard]] std::vector<CandidateEdge> candidate_edges(
+/// All pairs with distance < radius_km (the widest θ the caller will use),
+/// via the O(|Hs|·|Ht|) pair scan. Kept as the differential oracle for the
+/// GridIndex overload below (and for tiny fixtures); production slot
+/// planning must use the indexed version.
+[[nodiscard]] std::vector<CandidateEdge> candidate_edges_pairscan(
     std::span<const Hotspot> hotspots, const HotspotPartition& partition,
     double radius_km);
 
@@ -74,12 +84,36 @@ struct BalanceGraph {
   std::size_t num_guide_nodes = 0;
 };
 
-/// Build Gd over the candidate pairs with d_ij < theta_km, using the
-/// partition's *current* φ values (pairs whose endpoint has φ = 0 are
-/// dropped).
-[[nodiscard]] BalanceGraph build_gd(const HotspotPartition& partition,
-                                    std::span<const CandidateEdge> candidates,
-                                    double theta_km);
+/// Dense hotspot → flow-node map for a scaffold built by build_scaffold.
+struct ScaffoldMap {
+  static constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+  NodeId source = 0;
+  NodeId sink = 0;
+  /// Indexed by hotspot id; kNoNode for hotspots with no remaining slack.
+  std::vector<NodeId> node_of;
+
+  [[nodiscard]] NodeId at(std::uint32_t hotspot) const {
+    const NodeId node = node_of[hotspot];
+    CCDN_ASSERT(node != kNoNode, "hotspot has no scaffold node");
+    return node;
+  }
+};
+
+/// Reset `net` to the shared Gd/Gc scaffold for `partition`: source, sink,
+/// one node per hotspot with remaining slack, and the source/sink arcs
+/// (cap φ). Reuses the network's existing buffers (FlowNetwork::clear), so
+/// a per-slot loop allocates nothing after the first build.
+void build_scaffold(FlowNetwork& net, const HotspotPartition& partition,
+                    ScaffoldMap& map);
+
+/// Append the direct pair edge (cap min(φ_i, φ_j), cost d_ij) for every
+/// candidate in `live` — the caller has already filtered to d < θ and
+/// φ > 0 on both endpoints. Records each edge in `pair_edges`.
+void append_gd_edges(FlowNetwork& net, const ScaffoldMap& map,
+                     const HotspotPartition& partition,
+                     std::span<const CandidateEdge> live,
+                     std::vector<BalanceGraph::PairEdge>& pair_edges);
 
 /// Options for the guide-node construction.
 struct GuideOptions {
@@ -95,6 +129,43 @@ struct GuideOptions {
   bool auto_scale = true;
 };
 
+/// Reusable buffers for append_gc_edges; a caller that derives the guide
+/// structure once per θ step keeps one of these across steps.
+struct GcScratch {
+  struct Key {
+    std::uint32_t j = 0;    // under-utilized receiver
+    std::uint32_t k = 0;    // sender's content cluster
+    std::uint32_t idx = 0;  // position in `live` (keeps sorting unique)
+  };
+  std::vector<Key> keys;
+  std::vector<std::uint32_t> group_start;  // boundaries into keys
+  std::vector<std::int64_t> phi_sum;       // Σ φ_ij per group
+  std::vector<std::uint8_t> guided;        // per-group guide decision
+  std::vector<double> direct_distances;
+  std::vector<double> raw_guide_costs;
+};
+
+/// Append the Gc structure over `live` (filtered as for append_gd_edges):
+/// direct edges for un-guided groups, guide nodes n_kj plus member and
+/// aggregate edges for guided ones. Grouping is by sort on (j, k) — same
+/// group order and same within-group member order as the candidate list.
+/// Returns the number of guide nodes added.
+std::size_t append_gc_edges(FlowNetwork& net, const ScaffoldMap& map,
+                            const HotspotPartition& partition,
+                            std::span<const CandidateEdge> live,
+                            double theta_km,
+                            std::span<const std::uint32_t> cluster_of,
+                            const GuideOptions& options,
+                            std::vector<BalanceGraph::PairEdge>& pair_edges,
+                            GcScratch& scratch);
+
+/// Build Gd over the candidate pairs with d_ij < theta_km, using the
+/// partition's *current* φ values (pairs whose endpoint has φ = 0 are
+/// dropped).
+[[nodiscard]] BalanceGraph build_gd(const HotspotPartition& partition,
+                                    std::span<const CandidateEdge> candidates,
+                                    double theta_km);
+
 /// Build Gc: Gd plus flow-guide nodes derived from content-cluster labels
 /// (one label per hotspot, e.g. from hierarchical_cluster).
 [[nodiscard]] BalanceGraph build_gc(const HotspotPartition& partition,
@@ -109,6 +180,11 @@ struct FlowEntry {
   std::uint32_t to = 0;
   std::int64_t amount = 0;
 };
+
+/// Sort `entries` by (from, to) and merge duplicates in place, summing
+/// amounts. The shared flatten step for extract_flows and the per-slot
+/// f_total accumulators.
+void merge_flow_entries(std::vector<FlowEntry>& entries);
 
 /// Read the per-pair flows out of a solved graph (entries with flow > 0,
 /// merged by pair, ordered by (from, to)).

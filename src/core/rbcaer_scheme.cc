@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "cluster/content_distance.h"
 #include "core/replication.h"
@@ -13,7 +12,8 @@
 
 namespace ccdn {
 
-RbcaerScheme::RbcaerScheme(RbcaerConfig config) : config_(config) {
+RbcaerScheme::RbcaerScheme(RbcaerConfig config)
+    : config_(config), sweeper_(config.mcmf_strategy) {
   CCDN_REQUIRE(config_.theta1_km >= 0.0, "negative theta1");
   CCDN_REQUIRE(config_.theta2_km >= config_.theta1_km,
                "theta2 below theta1");
@@ -75,67 +75,95 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
   }
 
   // --- Algorithm 1: θ sweep over Gc, then residual pass over Gd. ---
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> f_total;
-  const auto absorb = [&](const std::vector<FlowEntry>& flows) {
-    for (const auto& f : flows) {
-      f_total[{f.from, f.to}] += f.amount;
+  std::vector<FlowEntry> flows;  // per-θ increments; merged by pair below
+  const auto absorb = [&](const std::vector<FlowEntry>& extracted) {
+    for (const auto& f : extracted) {
       partition.phi[f.from] -= f.amount;
       partition.phi[f.to] -= f.amount;
       CCDN_ENSURE(partition.phi[f.from] >= 0 && partition.phi[f.to] >= 0,
                   "flow exceeded slack");
       diagnostics_.moved += f.amount;
     }
+    flows.insert(flows.end(), extracted.begin(), extracted.end());
+  };
+  // Incremental steps already committed their flows (φ decremented, slack
+  // invariant checked inside the sweeper); just accumulate.
+  const auto absorb_step = [&](const SweepStep& step) {
+    diagnostics_.moved += step.moved;
+    diagnostics_.guide_nodes += step.guide_nodes;
+    stage_timings_.graph_s += step.graph_s;
+    stage_timings_.mcmf_s += step.mcmf_s;
+    flows.insert(flows.end(), step.flows.begin(), step.flows.end());
   };
 
   if (has_work) {
     stage_clock.reset();
     // Radius query per overloaded hotspot via the shared spatial index,
     // instead of scanning every (overloaded, under-utilized) pair.
-    const std::vector<CandidateEdge> candidates =
+    std::vector<CandidateEdge> candidates =
         candidate_edges(context.hotspots, partition, config_.theta2_km,
                         context.hotspot_index);
     stage_timings_.graph_s += stage_clock.elapsed_seconds();
     constexpr double kThetaEps = 1e-9;
-    double theta = config_.theta1_km;
-    while (theta <= config_.theta2_km + kThetaEps &&
-           diagnostics_.moved < diagnostics_.max_movable) {
+    if (config_.incremental_sweep) {
+      const std::size_t reprices_before = sweeper_.potential_reprices();
       stage_clock.reset();
-      BalanceGraph graph =
-          config_.content_aggregation
-              ? build_gc(partition, candidates, theta, cluster_of,
-                         config_.guide)
-              : build_gd(partition, candidates, theta);
+      sweeper_.begin_slot(partition, std::move(candidates));
       stage_timings_.graph_s += stage_clock.elapsed_seconds();
-      diagnostics_.guide_nodes += graph.num_guide_nodes;
-      ++diagnostics_.theta_iterations;
-      stage_clock.reset();
-      (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
-                                  config_.mcmf_strategy);
-      stage_timings_.mcmf_s += stage_clock.elapsed_seconds();
-      absorb(extract_flows(graph));
-      theta += config_.delta_km;
-    }
-    if (diagnostics_.moved < diagnostics_.max_movable) {
-      // Residual pass on the plain distance graph at θ2 (Algorithm 1,
-      // line 12); anything beyond that stays with its home hotspot and
-      // overflows to the CDN at admission (line 14).
-      stage_clock.reset();
-      BalanceGraph graph =
-          build_gd(partition, candidates, config_.theta2_km);
-      stage_timings_.graph_s += stage_clock.elapsed_seconds();
-      stage_clock.reset();
-      (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
-                                  config_.mcmf_strategy);
-      stage_timings_.mcmf_s += stage_clock.elapsed_seconds();
-      absorb(extract_flows(graph));
+      double theta = config_.theta1_km;
+      while (theta <= config_.theta2_km + kThetaEps &&
+             diagnostics_.moved < diagnostics_.max_movable) {
+        ++diagnostics_.theta_iterations;
+        absorb_step(config_.content_aggregation
+                        ? sweeper_.step_gc(theta, cluster_of, config_.guide)
+                        : sweeper_.step_gd(theta));
+        theta += config_.delta_km;
+      }
+      if (diagnostics_.moved < diagnostics_.max_movable) {
+        // Residual pass on the plain distance graph at θ2 (Algorithm 1,
+        // line 12); anything beyond that stays with its home hotspot and
+        // overflows to the CDN at admission (line 14).
+        absorb_step(sweeper_.step_gd(config_.theta2_km));
+      }
+      sweeper_.end_slot();
+      diagnostics_.potential_reprices =
+          sweeper_.potential_reprices() - reprices_before;
+    } else {
+      double theta = config_.theta1_km;
+      while (theta <= config_.theta2_km + kThetaEps &&
+             diagnostics_.moved < diagnostics_.max_movable) {
+        stage_clock.reset();
+        BalanceGraph graph =
+            config_.content_aggregation
+                ? build_gc(partition, candidates, theta, cluster_of,
+                           config_.guide)
+                : build_gd(partition, candidates, theta);
+        stage_timings_.graph_s += stage_clock.elapsed_seconds();
+        diagnostics_.guide_nodes += graph.num_guide_nodes;
+        ++diagnostics_.theta_iterations;
+        stage_clock.reset();
+        (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
+                                    config_.mcmf_strategy);
+        stage_timings_.mcmf_s += stage_clock.elapsed_seconds();
+        absorb(extract_flows(graph));
+        theta += config_.delta_km;
+      }
+      if (diagnostics_.moved < diagnostics_.max_movable) {
+        // Residual pass (Algorithm 1 line 12), as above.
+        stage_clock.reset();
+        BalanceGraph graph =
+            build_gd(partition, candidates, config_.theta2_km);
+        stage_timings_.graph_s += stage_clock.elapsed_seconds();
+        stage_clock.reset();
+        (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
+                                    config_.mcmf_strategy);
+        stage_timings_.mcmf_s += stage_clock.elapsed_seconds();
+        absorb(extract_flows(graph));
+      }
     }
   }
 
-  std::vector<FlowEntry> flows;
-  flows.reserve(f_total.size());
-  for (const auto& [key, amount] : f_total) {
-    if (amount > 0) flows.push_back({key.first, key.second, amount});
-  }
+  merge_flow_entries(flows);
 
   // --- Procedure 1: redirections + placements under B_peak. ---
   stage_clock.reset();

@@ -21,6 +21,7 @@
 #include "cluster/hierarchical.h"
 #include "core/balance_graph.h"
 #include "core/scheme.h"
+#include "core/theta_sweep.h"
 #include "flow/mcmf.h"
 #include "util/thread_pool.h"
 
@@ -59,6 +60,11 @@ struct RbcaerConfig {
   /// Procedure-1-only behaviour.
   bool miss_redirection = true;
   McmfStrategy mcmf_strategy = McmfStrategy::kSpfa;
+  /// Warm-started θ sweep (ThetaSweeper): one persistent flow network per
+  /// slot, per-step edge appends, min-cost augmentation continued from the
+  /// frozen residual state. false falls back to the cold rebuild-per-θ
+  /// path, kept as the differential oracle (see DESIGN.md §3.7).
+  bool incremental_sweep = true;
 };
 
 class RbcaerScheme final : public RedirectionScheme {
@@ -91,6 +97,9 @@ class RbcaerScheme final : public RedirectionScheme {
     std::size_t theta_iterations = 0;
     std::size_t replicas = 0;
     std::size_t miss_rerouted = 0;  // local cache misses sent to neighbours
+    /// SPFA re-prices the warm sweep needed when an appended edge broke the
+    /// carried Dijkstra potentials (0 under SPFA or the cold path).
+    std::size_t potential_reprices = 0;
   };
   [[nodiscard]] const Diagnostics& last_diagnostics() const noexcept {
     return diagnostics_;
@@ -113,6 +122,9 @@ class RbcaerScheme final : public RedirectionScheme {
   mutable Diagnostics diagnostics_;
   StageTimings stage_timings_;
   std::unique_ptr<ThreadPool> jd_pool_;
+  /// Persistent across slots so the warm sweep's buffers stop churning the
+  /// allocator; clones get their own (planning stays pure per clone).
+  ThetaSweeper sweeper_;
 };
 
 }  // namespace ccdn

@@ -1,9 +1,7 @@
 #include "core/replication.h"
 
 #include <algorithm>
-#include <map>
 #include <queue>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "util/error.h"
@@ -77,24 +75,41 @@ ReplicationResult content_aggregation_replication(
   result.placements.resize(m);
   result.redirects.resize(m);
 
-  // Residual flows and the sender lists SinktoSource(j).
-  std::unordered_map<std::uint64_t, std::int64_t> flow_left;
+  // Residual flows and the sender lists SinktoSource(j): per receiver a
+  // sorted sender array with a parallel flow-left array, so the inner e_u
+  // loops index straight through instead of hashing (i, j) pairs.
   std::vector<std::vector<std::uint32_t>> senders_of(m);
+  std::vector<std::vector<std::int64_t>> flow_from(m);
   for (const auto& f : flows) {
     CCDN_REQUIRE(f.from < m && f.to < m, "flow endpoint out of range");
     CCDN_REQUIRE(f.amount > 0, "non-positive flow entry");
-    flow_left[pair_key(f.from, f.to)] += f.amount;
     senders_of[f.to].push_back(f.from);
   }
-  for (auto& senders : senders_of) {
+  for (std::uint32_t j = 0; j < m; ++j) {
+    auto& senders = senders_of[j];
     std::sort(senders.begin(), senders.end());
     senders.erase(std::unique(senders.begin(), senders.end()), senders.end());
+    flow_from[j].assign(senders.size(), 0);
+  }
+  const auto sender_slot = [&](std::uint32_t i, std::uint32_t j) {
+    const auto& senders = senders_of[j];
+    const auto it = std::lower_bound(senders.begin(), senders.end(), i);
+    CCDN_ASSERT(it != senders.end() && *it == i, "unknown sender");
+    return static_cast<std::size_t>(it - senders.begin());
+  };
+  for (const auto& f : flows) {
+    flow_from[f.to][sender_slot(f.from, f.to)] += f.amount;
   }
 
   RemainingDemand remaining(demand, m);
 
-  // Cache state.
-  std::vector<std::unordered_set<VideoId>> placed(m);
+  // Cache state. `placed` stays sorted per hotspot (binary-search lookups,
+  // positional inserts); cache capacity bounds its size, so the inserts
+  // stay cheap and the final flatten is a plain move.
+  std::vector<std::vector<VideoId>> placed(m);
+  const auto is_placed = [&](std::uint32_t h, VideoId v) {
+    return std::binary_search(placed[h].begin(), placed[h].end(), v);
+  };
   std::vector<std::uint32_t> cache_left(m);
   for (std::size_t h = 0; h < m; ++h) {
     cache_left[h] = hotspots[h].cache_capacity;
@@ -104,13 +119,15 @@ ReplicationResult content_aggregation_replication(
   // to absorb redirected flow or during the final local fill; a denial in
   // either phase marks the budget as exhausted.
   const auto try_place = [&](std::uint32_t h, VideoId v) {
-    if (placed[h].count(v)) return true;
+    auto& list = placed[h];
+    const auto it = std::lower_bound(list.begin(), list.end(), v);
+    if (it != list.end() && *it == v) return true;
     if (cache_left[h] == 0) return false;
     if (budget_used >= replica_budget) {
       result.budget_exhausted = true;
       return false;
     }
-    placed[h].insert(v);
+    list.insert(it, v);
     --cache_left[h];
     ++result.replicas;
     ++budget_used;
@@ -130,42 +147,64 @@ ReplicationResult content_aggregation_replication(
   };
   const auto current_eu = [&](std::uint32_t j, VideoId v) {
     std::int64_t eu = 0;
-    for (const auto i : senders_of[j]) {
-      const auto it = flow_left.find(pair_key(i, j));
-      if (it == flow_left.end() || it->second <= 0) continue;
-      eu += std::min<std::int64_t>(it->second, remaining.get(i, v));
+    const auto& senders = senders_of[j];
+    const auto& left = flow_from[j];
+    for (std::size_t s = 0; s < senders.size(); ++s) {
+      if (left[s] <= 0) continue;
+      eu += std::min<std::int64_t>(left[s], remaining.get(senders[s], v));
     }
     return eu;
   };
 
   std::priority_queue<HeapEntry> heap;
   {
-    // Seed with every (v, j) pair that has positive initial e_u.
-    std::unordered_map<std::uint64_t, std::int64_t> eu_init;  // (j,v)
+    // Seed with every (v, j) pair that has positive initial e_u: gather the
+    // per-sender contributions for one receiver, aggregate by sort, push.
+    // (The heap's strict total order on (eu, j, video) makes the pop
+    // sequence independent of the push order.)
+    struct Contribution {
+      VideoId video = 0;
+      std::int64_t amount = 0;
+    };
+    std::vector<Contribution> contributions;
     for (std::uint32_t j = 0; j < m; ++j) {
-      for (const auto i : senders_of[j]) {
-        const std::int64_t f = flow_left[pair_key(i, j)];
-        const auto videos = remaining.videos(i);
-        const auto counts = remaining.counts(i);
+      contributions.clear();
+      const auto& senders = senders_of[j];
+      const auto& left = flow_from[j];
+      for (std::size_t s = 0; s < senders.size(); ++s) {
+        const std::int64_t f = left[s];
+        const auto videos = remaining.videos(senders[s]);
+        const auto counts = remaining.counts(senders[s]);
         for (std::size_t idx = 0; idx < videos.size(); ++idx) {
           if (counts[idx] == 0) continue;
-          eu_init[pair_key(j, videos[idx])] +=
-              std::min<std::int64_t>(f, counts[idx]);
+          contributions.push_back(
+              {videos[idx], std::min<std::int64_t>(f, counts[idx])});
         }
       }
-    }
-    for (const auto& [key, eu] : eu_init) {
-      if (eu > 0) {
-        heap.push({static_cast<double>(eu),
-                   static_cast<std::uint32_t>(key >> 32),
-                   static_cast<VideoId>(key & 0xffffffffu)});
+      std::sort(contributions.begin(), contributions.end(),
+                [](const Contribution& a, const Contribution& b) {
+                  return a.video < b.video;
+                });
+      for (std::size_t c = 0; c < contributions.size();) {
+        std::int64_t eu = 0;
+        const VideoId video = contributions[c].video;
+        for (; c < contributions.size() && contributions[c].video == video;
+             ++c) {
+          eu += contributions[c].amount;
+        }
+        if (eu > 0) heap.push({static_cast<double>(eu), j, video});
       }
     }
   }
 
-  // Redirections recorded as (origin, video) -> targets; flattened later.
-  std::vector<std::unordered_map<VideoId, std::vector<RedirectTarget>>>
-      redirect_map(m);
+  // Redirections recorded as a flat per-origin (video, target, amount) log
+  // in commit order; grouped by a stable sort at the end.
+  struct RedirectLogEntry {
+    VideoId video = 0;
+    std::uint32_t target = 0;
+    std::uint32_t amount = 0;
+  };
+  std::vector<std::vector<RedirectLogEntry>> redirect_log(m);
   std::unordered_set<std::uint64_t> dead_pairs;  // (j,v) that can never place
 
   while (!heap.empty()) {
@@ -189,15 +228,17 @@ ReplicationResult content_aggregation_replication(
       continue;
     }
     // Commit: move every sender's redirectable share of v to j.
-    for (const auto i : senders_of[j]) {
-      auto it = flow_left.find(pair_key(i, j));
-      if (it == flow_left.end() || it->second <= 0) continue;
+    const auto& senders = senders_of[j];
+    auto& left = flow_from[j];
+    for (std::size_t s = 0; s < senders.size(); ++s) {
+      if (left[s] <= 0) continue;
+      const std::uint32_t i = senders[s];
       const std::uint32_t amount = static_cast<std::uint32_t>(
-          std::min<std::int64_t>(it->second, remaining.get(i, v)));
+          std::min<std::int64_t>(left[s], remaining.get(i, v)));
       if (amount == 0) continue;
-      it->second -= amount;
+      left[s] -= amount;
       remaining.subtract(i, v, amount);
-      redirect_map[i][v].push_back({j, amount});
+      redirect_log[i].push_back({v, j, amount});
       result.total_redirected += amount;
     }
   }
@@ -233,7 +274,7 @@ ReplicationResult content_aggregation_replication(
     const auto videos = remaining.videos(h);
     const auto counts = remaining.counts(h);
     for (std::size_t idx = 0; idx < videos.size(); ++idx) {
-      if (counts[idx] > 0 && !placed[h].count(videos[idx])) {
+      if (counts[idx] > 0 && !is_placed(h, videos[idx])) {
         fill.push_back({counts[idx], h, videos[idx]});
       }
     }
@@ -256,19 +297,24 @@ ReplicationResult content_aggregation_replication(
     }
   }
 
-  // Flatten the placement sets and redirect maps into sorted vectors.
+  // Flatten: placements are already sorted; group each origin's redirect
+  // log by video (stable, so per-video targets keep commit order).
   for (std::uint32_t h = 0; h < m; ++h) {
-    result.placements[h].assign(placed[h].begin(), placed[h].end());
-    std::sort(result.placements[h].begin(), result.placements[h].end());
+    result.placements[h] = std::move(placed[h]);
+    auto& log = redirect_log[h];
+    std::stable_sort(log.begin(), log.end(),
+                     [](const RedirectLogEntry& a, const RedirectLogEntry& b) {
+                       return a.video < b.video;
+                     });
     auto& list = result.redirects[h];
-    list.reserve(redirect_map[h].size());
-    for (auto& [video, targets] : redirect_map[h]) {
-      list.push_back({video, std::move(targets)});
+    for (std::size_t e = 0; e < log.size();) {
+      VideoRedirect vr;
+      vr.video = log[e].video;
+      for (; e < log.size() && log[e].video == vr.video; ++e) {
+        vr.targets.push_back({log[e].target, log[e].amount});
+      }
+      list.push_back(std::move(vr));
     }
-    std::sort(list.begin(), list.end(),
-              [](const VideoRedirect& a, const VideoRedirect& b) {
-                return a.video < b.video;
-              });
   }
   return result;
 }
@@ -282,20 +328,31 @@ std::vector<HotspotIndex> materialize_assignment(
     std::vector<RedirectTarget> targets;
     std::size_t index = 0;
   };
-  std::vector<std::map<VideoId, Cursor>> cursors(redirects.size());
+  // Per-hotspot cursor table, sorted by video for lower_bound lookup — the
+  // redirect lists arrive sorted (content_aggregation_replication flattens
+  // them that way), so this is a straight move.
+  std::vector<std::vector<VideoId>> cursor_videos(redirects.size());
+  std::vector<std::vector<Cursor>> cursors(redirects.size());
   for (std::size_t h = 0; h < redirects.size(); ++h) {
+    cursor_videos[h].reserve(redirects[h].size());
+    cursors[h].reserve(redirects[h].size());
     for (auto& vr : redirects[h]) {
-      cursors[h].emplace(vr.video, Cursor{std::move(vr.targets), 0});
+      CCDN_ASSERT(cursor_videos[h].empty() || cursor_videos[h].back() < vr.video,
+                  "redirect lists must be sorted by video");
+      cursor_videos[h].push_back(vr.video);
+      cursors[h].push_back(Cursor{std::move(vr.targets), 0});
     }
   }
   std::vector<HotspotIndex> assignment(requests.size(), kCdnServer);
   for (std::size_t r = 0; r < requests.size(); ++r) {
     const HotspotIndex home = homes[r];
     CCDN_REQUIRE(home < cursors.size(), "home out of range");
-    auto& per_video = cursors[home];
-    const auto it = per_video.find(requests[r].video);
-    if (it != per_video.end()) {
-      Cursor& cursor = it->second;
+    const auto& videos = cursor_videos[home];
+    const auto it =
+        std::lower_bound(videos.begin(), videos.end(), requests[r].video);
+    if (it != videos.end() && *it == requests[r].video) {
+      Cursor& cursor = cursors[home][static_cast<std::size_t>(
+          it - videos.begin())];
       while (cursor.index < cursor.targets.size() &&
              cursor.targets[cursor.index].count == 0) {
         ++cursor.index;

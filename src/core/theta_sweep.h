@@ -1,0 +1,153 @@
+// Incremental θ sweep for Algorithm 1 (the warm-started MCMF loop).
+//
+// The cold path rebuilds a BalanceGraph and re-solves MCMF from zero flow at
+// every θ step, even though consecutive steps differ only by the candidate
+// edges with d ∈ [θ_prev, θ). ThetaSweeper keeps ONE FlowNetwork per slot:
+// the source/sink scaffold is built once, the candidate list is sorted by
+// distance once, and each step appends only the newly visible edges and
+// continues min-cost augmentation from the existing residual state.
+//
+// Committed flow is protected by the freeze-at-commit invariant: at the end
+// of each step every backward residual arc is zeroed
+// (FlowNetwork::freeze_residuals), so later augmentation can add flow but
+// never reroute what earlier steps decided — which is exactly what makes the
+// per-step flow increments equal the cold path's per-θ solutions, and what
+// makes zero (or carried) node potentials valid at the start of every step.
+// DESIGN.md §3.7 has the full argument.
+//
+// Two regimes, switched automatically by which step_* is called:
+//  - step_gd on a plain distance graph keeps the pair edges *persistent*
+//    across steps (cursor append + warm augment). After each commit the
+//    exhaustion proof lets EVERY pair arc be compacted out of the adjacency
+//    (a surviving arc has a slack-dead endpoint, and slack never grows), so
+//    each step's searches touch only the live scaffold plus that step's own
+//    arrivals — the whole sweep's search work is linear in the candidate
+//    count instead of steps × count. On top of that, Gd steps run Dijkstra
+//    with node potentials carried across steps (locally re-priced when a
+//    new edge under-cuts them), so each search early-exits at the sink and
+//    prunes labels that cannot beat it. Plain distance costs make ties
+//    measure-zero, so the flows match the cold path's SPFA solutions on
+//    real geometry.
+//  - step_gc re-derives the guide structure per step (its groups and costs
+//    depend on the live φ), but transiently on top of the persistent
+//    scaffold: truncate back to the scaffold checkpoint, append the current
+//    Gc structure from pre-allocated buffers, augment. Because the φ-shaped
+//    caps match a cold rebuild exactly, this regime reproduces the cold
+//    path's flows bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/balance_graph.h"
+#include "flow/mcmf.h"
+#include "flow/network.h"
+#include "util/radix_sort.h"
+
+namespace ccdn {
+
+/// Result of one θ step: the per-pair flow *increments* committed by this
+/// step (merged, ordered by (from, to)) plus stage timings.
+struct SweepStep {
+  std::vector<FlowEntry> flows;
+  std::int64_t moved = 0;
+  double cost = 0.0;
+  std::size_t guide_nodes = 0;
+  double graph_s = 0.0;  // edge/guide construction time
+  double mcmf_s = 0.0;   // augmentation time
+};
+
+class ThetaSweeper {
+ public:
+  /// `strategy` is used for the Gc steps, whose zero-cost member edges tie
+  /// and therefore need the exact search the cold oracle runs to stay
+  /// bit-for-bit identical. Gd steps always use the carried-potentials
+  /// Dijkstra engine (see gd_solver_); plain distance costs make ties
+  /// measure-zero, so the flows still match the cold path's solutions.
+  explicit ThetaSweeper(McmfStrategy strategy = McmfStrategy::kSpfa)
+      : solver_(strategy), strategy_(strategy) {}
+
+  /// Start a slot: build the scaffold for `partition` into the persistent
+  /// network and index `candidates` by distance. The partition outlives the
+  /// sweep and its φ values are decremented as steps commit flow (the same
+  /// contract as the cold path's absorb loop). Candidates are taken in the
+  /// order produced by candidate_edges().
+  void begin_slot(HotspotPartition& partition,
+                  std::vector<CandidateEdge> candidates);
+
+  /// Advance the sweep to θ on the plain distance graph Gd.
+  SweepStep step_gd(double theta_km);
+
+  /// Advance the sweep to θ on the content-aggregation graph Gc. The
+  /// cluster labels and options must stay the same across a slot's steps.
+  SweepStep step_gc(double theta_km, std::span<const std::uint32_t> cluster_of,
+                    const GuideOptions& options);
+
+  /// Release the slot (keeps the allocated buffers for the next one).
+  void end_slot();
+
+  /// Total SPFA re-prices triggered by potential-invalidating edge
+  /// insertions since construction.
+  [[nodiscard]] std::size_t potential_reprices() const noexcept {
+    return gd_solver_.reprices() + solver_.reprices();
+  }
+
+ private:
+  enum class StepKind { kNone, kGdPersistent, kGdTransient, kGc };
+
+  /// Pull candidates with d < θ past the cursor into `arrivals_`
+  /// (original-order indices, ascending). Returns how many arrived.
+  std::size_t collect_arrivals(double theta_km);
+  /// Drop live entries whose endpoint slack died and merge the arrivals in,
+  /// keeping `live_` sorted by original candidate index (the cold builders
+  /// see candidates in that order).
+  void refresh_live();
+  void switch_to_transient();
+  /// Read per-pair increments vs `committed_`, decrement φ, freeze.
+  void commit(SweepStep& out);
+
+  McmfSolver solver_;  // Gc steps: resets per rebuilt transient graph
+  /// Gd steps: Dijkstra with potentials carried across the persistent
+  /// regime's appends. Tight potentials make the next path price at
+  /// reduced cost ~0, so the sink's tentative label appears almost
+  /// immediately and the sink-bound prune cuts nearly every other label —
+  /// measured ~3x fewer arc scans than SPFA on the same warm graph.
+  McmfSolver gd_solver_{McmfStrategy::kDijkstraPotentials};
+  McmfStrategy strategy_;
+
+  HotspotPartition* partition_ = nullptr;
+  std::vector<CandidateEdge> candidates_;   // original candidate_edges order
+  std::vector<std::uint32_t> by_distance_;  // indices sorted by (d, index)
+  std::vector<KeyedIndex> order_scratch_;
+  std::vector<KeyedIndex> radix_swap_;
+  std::vector<std::uint32_t> radix_hist_;
+  std::size_t cursor_ = 0;                  // consumed prefix of by_distance_
+
+  FlowNetwork net_{0};
+  ScaffoldMap map_;
+  FlowNetwork::Checkpoint scaffold_cp_;
+  std::vector<BalanceGraph::PairEdge> pair_edges_;
+  std::vector<std::int64_t> committed_;  // per pair edge, persistent regime
+
+  // Per-node id of the scaffold's source→sender arc, and the focused subset
+  // (this step's arrival senders, deduplicated) handed to the network and
+  // to reprice_from each persistent step.
+  std::vector<EdgeId> source_arc_of_;
+  std::vector<EdgeId> step_source_arcs_;
+  std::vector<std::uint32_t> sender_mark_;  // stamp: already focused this step
+  std::uint32_t mark_stamp_ = 0;
+
+  bool transient_ = false;
+  bool gd_batch_done_ = false;  // first non-empty persistent step solved
+  std::vector<std::uint32_t> live_;      // live candidate indices, ascending
+  std::vector<std::uint32_t> arrivals_;  // scratch: this step's new indices
+  std::vector<CandidateEdge> live_edges_;  // scratch for append_* calls
+  GcScratch gc_scratch_;
+
+  StepKind last_kind_ = StepKind::kNone;
+  std::int64_t last_flow_ = 0;
+  std::size_t last_guide_nodes_ = 0;
+};
+
+}  // namespace ccdn

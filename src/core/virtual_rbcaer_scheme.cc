@@ -121,10 +121,17 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
                      .labels;
   }
 
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> f_total;
+  std::vector<FlowEntry> region_flows;
   if (diagnostics_.region_max_movable > 0) {
-    const auto candidates =
-        candidate_edges(virtual_hotspots, partition, rc.theta2_km);
+    // Radius queries against a centroid index, like the flat scheme (the
+    // pair-scan candidate_edges_pairscan overload is test-only).
+    std::vector<GeoPoint> centroids;
+    centroids.reserve(num_regions);
+    for (const auto& vh : virtual_hotspots) centroids.push_back(vh.location);
+    const GridIndex region_index(std::move(centroids),
+                                 std::max(rc.theta2_km / 2.0, 1e-3));
+    const auto candidates = candidate_edges(virtual_hotspots, partition,
+                                            rc.theta2_km, region_index);
     double theta = rc.theta1_km;
     while (theta <= rc.theta2_km + 1e-9 &&
            diagnostics_.region_moved < diagnostics_.region_max_movable) {
@@ -135,7 +142,7 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
       (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
                                   rc.mcmf_strategy);
       for (const auto& f : extract_flows(graph)) {
-        f_total[{f.from, f.to}] += f.amount;
+        region_flows.push_back(f);
         partition.phi[f.from] -= f.amount;
         partition.phi[f.to] -= f.amount;
         diagnostics_.region_moved += f.amount;
@@ -143,10 +150,7 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
       theta += rc.delta_km;
     }
   }
-  std::vector<FlowEntry> region_flows;
-  for (const auto& [key, amount] : f_total) {
-    if (amount > 0) region_flows.push_back({key.first, key.second, amount});
-  }
+  merge_flow_entries(region_flows);
 
   const auto budget = static_cast<std::size_t>(std::llround(
       rc.bpeak_multiplier * static_cast<double>(demand.num_requests())));

@@ -8,6 +8,12 @@
 // costs are doubles (km of geo-distance).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
 #include "flow/network.h"
 
 namespace ccdn {
@@ -20,6 +26,129 @@ enum class McmfStrategy {
 struct McmfResult {
   std::int64_t flow = 0;
   double cost = 0.0;
+};
+
+/// Reusable successive-shortest-path engine.
+///
+/// Unlike the one-shot MinCostMaxFlow wrappers below, a solver instance owns
+/// its search buffers (distance/parent/visited arrays, the SPFA queue flags
+/// and the Dijkstra heap) and its node potentials across calls, so a caller
+/// that solves many related instances — the θ sweep solves one per θ step —
+/// stops re-allocating five per-node vectors for every augmentation.
+///
+/// augment() continues from the network's *current* residual state: calling
+/// it again after pushing flow or appending edges only routes whatever
+/// additional flow has become feasible. For the Dijkstra strategy the
+/// carried potentials must price every positive-capacity residual arc
+/// non-negatively; augmentation preserves that invariant, but appending
+/// edges can break it — check potentials_valid_for() over the new edges and
+/// fall back to reprice() or reset_potentials() (see DESIGN.md §3.7).
+class McmfSolver {
+ public:
+  static constexpr std::int64_t kUnlimited =
+      std::numeric_limits<std::int64_t>::max();
+
+  explicit McmfSolver(McmfStrategy strategy = McmfStrategy::kSpfa)
+      : strategy_(strategy) {}
+
+  [[nodiscard]] McmfStrategy strategy() const noexcept { return strategy_; }
+
+  /// Min-cost augmentation from the current residual state until no
+  /// source→sink path remains or `flow_limit` additional units have been
+  /// routed. Returns the flow and cost of the *increment* routed by this
+  /// call only.
+  McmfResult augment(FlowNetwork& net, NodeId source, NodeId sink,
+                     std::int64_t flow_limit = kUnlimited);
+
+  /// Reset the carried potentials to zero for an `num_nodes`-node network.
+  /// Zero potentials are valid exactly when every positive-capacity
+  /// residual arc has non-negative cost — true for a fresh network (forward
+  /// costs are non-negative) and again right after
+  /// FlowNetwork::freeze_residuals().
+  void reset_potentials(std::size_t num_nodes);
+
+  /// True when every forward edge with id >= `first_edge` (and positive
+  /// capacity) prices non-negatively under the carried potentials, and both
+  /// endpoints actually hold potentials. After an augment(), newly appended
+  /// edges are the only arcs that can violate validity, so callers only
+  /// need to check the suffix they added.
+  [[nodiscard]] bool potentials_valid_for(const FlowNetwork& net,
+                                          EdgeId first_edge) const;
+
+  /// Re-price: recompute exact shortest-path-by-cost potentials from
+  /// `source` with SPFA (which tolerates negative residual arcs). Nodes
+  /// unreachable from the source are priced at the largest reached
+  /// distance; that keeps every arc between reached nodes and every
+  /// non-negative-cost arc valid, which covers the post-freeze networks the
+  /// θ sweep re-prices (all residual arcs non-negative).
+  void reprice(const FlowNetwork& net, NodeId source);
+
+  /// Incremental re-price after appending edges: restore validity by
+  /// *lowering* the potentials that edges with id >= `first_edge` violate,
+  /// cascading each decrease through the arcs it tightens (a seeded SPFA
+  /// relaxation over the existing potentials). Touches only the violation's
+  /// neighborhood instead of the whole graph; when the new edges already
+  /// price non-negatively this is a pure O(new edges) check and does not
+  /// count as a reprice(). Requires a negative-cycle-free residual graph —
+  /// always true post-freeze where every arc cost is non-negative.
+  ///
+  /// `clamp_arcs` names *old* arcs whose heads may have gone stale while
+  /// unreachable (the θ sweep's dormant senders, whose potentials stand
+  /// still while the source's drifts down). They get the same
+  /// relax-and-cascade treatment but are expected maintenance and never
+  /// count toward reprices().
+  void reprice_from(const FlowNetwork& net, EdgeId first_edge,
+                    std::span<const EdgeId> clamp_arcs = {});
+
+  /// Number of reprice() calls since construction (observability for the
+  /// warm-start potentials fallback).
+  [[nodiscard]] std::size_t reprices() const noexcept { return reprices_; }
+
+ private:
+  /// Scratch buffers shared by the SPFA and Dijkstra searches, reused
+  /// across augmentations and across solves.
+  /// Per-node labels are validity-stamped instead of cleared: a label is
+  /// live only when its stamp equals the current search's, so starting a
+  /// search is O(1) instead of five O(n) fills — the dominant cost when the
+  /// θ sweep runs a thousand searches on small per-step graphs.
+  struct SearchState {
+    std::vector<double> dist;
+    std::vector<EdgeId> parent_edge;
+    std::vector<std::uint32_t> seen;     // stamp: dist/parent valid
+    std::vector<std::uint32_t> settled;  // stamp: Dijkstra label final
+    std::vector<NodeId> touched;  // nodes seen this search, in seen order
+    std::vector<char> in_queue;  // SPFA membership; all-zero between runs
+    std::vector<NodeId> queue;   // SPFA deque storage
+    std::vector<std::pair<double, NodeId>> heap;  // Dijkstra binary heap
+    std::uint32_t stamp = 0;
+
+    /// Open a new search over `n` nodes: bump the stamp (invalidating all
+    /// labels) and grow the buffers if the network grew.
+    void begin_search(std::size_t n) {
+      if (++stamp == 0) {  // wrapped: old stamps would alias as live
+        std::fill(seen.begin(), seen.end(), 0);
+        std::fill(settled.begin(), settled.end(), 0);
+        stamp = 1;
+      }
+      touched.clear();
+      if (dist.size() < n) {
+        dist.resize(n);
+        parent_edge.resize(n);
+        seen.resize(n, 0);
+        settled.resize(n, 0);
+        in_queue.resize(n, 0);
+      }
+    }
+  };
+
+  bool spfa(const FlowNetwork& net, NodeId source, NodeId sink);
+  bool dijkstra(const FlowNetwork& net, NodeId source, NodeId sink);
+  void update_potentials(NodeId sink);
+
+  McmfStrategy strategy_;
+  SearchState state_;
+  std::vector<double> potential_;
+  std::size_t reprices_ = 0;
 };
 
 class MinCostMaxFlow {

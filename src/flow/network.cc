@@ -50,6 +50,92 @@ void FlowNetwork::reset_flows() noexcept {
   }
 }
 
+void FlowNetwork::reserve(std::size_t nodes, std::size_t edges) {
+  heads_.reserve(nodes);
+  edges_.reserve(2 * edges);
+  original_caps_.reserve(2 * edges);
+}
+
+void FlowNetwork::clear(std::size_t num_nodes) {
+  // Keep the adjacency buffers of surviving node slots; slots beyond
+  // `num_nodes` are destroyed, slots gained start empty.
+  for (std::size_t n = 0; n < heads_.size() && n < num_nodes; ++n) {
+    heads_[n].clear();
+  }
+  heads_.resize(num_nodes);
+  edges_.clear();
+  original_caps_.clear();
+}
+
+void FlowNetwork::truncate(const Checkpoint& cp) {
+  CCDN_REQUIRE(cp.nodes <= heads_.size() && cp.stored_edges <= edges_.size(),
+               "checkpoint ahead of network");
+  CCDN_REQUIRE(cp.stored_edges % 2 == 0, "checkpoint splits an edge pair");
+  // Per-node edge lists are appended in increasing id order, so removed
+  // edges form each list's tail.
+  for (std::size_t node = 0; node < cp.nodes; ++node) {
+    auto& head = heads_[node];
+    while (!head.empty() && head.back() >= cp.stored_edges) head.pop_back();
+  }
+  heads_.resize(cp.nodes);
+  edges_.resize(cp.stored_edges);
+  original_caps_.resize(cp.stored_edges);
+}
+
+void FlowNetwork::freeze_residuals() noexcept {
+  // Backward arcs sit at odd ids (add_edge interleaves them).
+  for (std::size_t e = 1; e < edges_.size(); e += 2) {
+    edges_[e].capacity = 0;
+  }
+}
+
+void FlowNetwork::drop_dead_arcs() noexcept {
+  for (auto& head : heads_) {
+    std::size_t out = 0;
+    for (const EdgeId e : head) {
+      if (edges_[e].capacity > 0 || edges_[e ^ 1u].capacity > 0) {
+        head[out++] = e;
+      }
+    }
+    head.resize(out);
+  }
+}
+
+void FlowNetwork::drop_arcs_at_or_after(EdgeId first) noexcept {
+  for (auto& head : heads_) {
+    std::size_t out = 0;
+    for (const EdgeId e : head) {
+      if (e < first) head[out++] = e;
+    }
+    head.resize(out);
+  }
+}
+
+void FlowNetwork::drop_terminal_arcs(NodeId source, NodeId sink) noexcept {
+  heads_[sink].clear();
+  for (auto& head : heads_) {
+    std::size_t out = 0;
+    for (const EdgeId e : head) {
+      if (edges_[e].to != source) head[out++] = e;
+    }
+    head.resize(out);
+  }
+}
+
+void FlowNetwork::focus_out_edges(NodeId node, std::span<const EdgeId> arcs) {
+  CCDN_REQUIRE(node < heads_.size(), "node id out of range");
+  heads_[node].assign(arcs.begin(), arcs.end());
+}
+
+void FlowNetwork::restore_arcs(const Checkpoint& cp) {
+  CCDN_REQUIRE(cp.nodes <= heads_.size() && cp.stored_edges <= edges_.size(),
+               "checkpoint ahead of network");
+  for (std::size_t n = 0; n < cp.nodes; ++n) heads_[n].clear();
+  for (EdgeId e = 0; e < cp.stored_edges; ++e) {
+    heads_[edges_[e].from].push_back(e);
+  }
+}
+
 void FlowNetwork::push(EdgeId e, std::int64_t amount) {
   CCDN_REQUIRE(e < edges_.size(), "edge id out of range");
   CCDN_REQUIRE(amount >= 0 && amount <= edges_[e].capacity,

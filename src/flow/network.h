@@ -3,6 +3,13 @@
 // RBCAer models request balancing as a min-cost max-flow problem between
 // overloaded and under-utilized hotspots (paper §IV-A); this is the shared
 // graph representation for the Dinic and MCMF solvers.
+//
+// The network is append-only, with three lifecycle helpers for callers that
+// rebuild graphs in a hot loop (the θ sweep): reserve()/clear() to stop the
+// per-build allocator churn, checkpoint()/truncate() to roll transient
+// structure (per-θ guide nodes) back off a persistent scaffold, and
+// freeze_residuals() to commit the current flows so later augmentation
+// cannot reroute them.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +59,77 @@ class FlowNetwork {
 
   /// Reset all flows to zero (restores capacities).
   void reset_flows() noexcept;
+
+  /// Pre-allocate room for `nodes` nodes and `edges` forward edges, so a
+  /// build loop of that size performs no further allocations.
+  void reserve(std::size_t nodes, std::size_t edges);
+
+  /// Reset to `num_nodes` isolated nodes, dropping every edge but keeping
+  /// the allocated buffers (including per-node adjacency storage for the
+  /// first `num_nodes` nodes) for reuse.
+  void clear(std::size_t num_nodes);
+
+  /// Structural snapshot for truncate().
+  struct Checkpoint {
+    std::size_t nodes = 0;
+    std::size_t stored_edges = 0;  // internal count: forward + residual
+  };
+  [[nodiscard]] Checkpoint checkpoint() const noexcept {
+    return {heads_.size(), edges_.size()};
+  }
+
+  /// Roll the network back to `cp`: every node and edge added after the
+  /// checkpoint is removed. Flows on surviving edges are untouched — the
+  /// residual state of the retained prefix is exactly what it was, which is
+  /// what lets a θ sweep keep committed flow on a persistent scaffold while
+  /// re-deriving transient structure each step.
+  void truncate(const Checkpoint& cp);
+
+  /// Zero the residual (backward) arc of every edge, freezing the current
+  /// flows in place: committed flow can no longer be rerouted by later
+  /// augmentation, and every remaining positive-capacity arc is a forward
+  /// arc with non-negative cost (so zero node potentials become valid
+  /// again; see DESIGN.md §3.7). flow() readings are unaffected and
+  /// reset_flows() still restores the original capacities.
+  void freeze_residuals() noexcept;
+
+  /// Remove arcs whose pair is dead — zero residual in both directions —
+  /// from the adjacency lists, so searches stop scanning them. Only sound
+  /// after freeze_residuals(): with the backward arc permanently zero, the
+  /// forward residual can never grow back. Edge storage and ids are
+  /// untouched (flow() and edge() keep working); only out_edges() shrinks.
+  /// Relative order inside each adjacency list is preserved, so a later
+  /// truncate() still pops the transient tail correctly.
+  void drop_dead_arcs() noexcept;
+
+  /// Remove every arc with id >= `first` from the adjacency lists, keeping
+  /// edge storage (ids, flow() readings) intact. Used by the θ sweep after
+  /// a step commits: exhaustion proved every surviving pair arc unusable —
+  /// its residual is zero or an endpoint's slack is — and slack never
+  /// grows within a slot, so the next step only needs the scaffold plus
+  /// its own arrivals.
+  void drop_arcs_at_or_after(EdgeId first) noexcept;
+
+  /// Remove arcs that can never lie on a source→sink path — arcs entering
+  /// `source` and arcs leaving `sink` — from the adjacency lists. An
+  /// augmenting path visits the source first and the sink last, so such
+  /// arcs would close a cycle; dropping them also turns nodes whose only
+  /// remaining arcs pointed back at the source into searchable dead ends.
+  void drop_terminal_arcs(NodeId source, NodeId sink) noexcept;
+
+  /// Replace `node`'s adjacency list with exactly `arcs`. The caller
+  /// asserts the omitted arcs cannot carry flow right now (their heads are
+  /// dead ends); the θ sweep uses this to narrow the source to the current
+  /// step's arrival senders. restore_arcs() undoes any drop/focus.
+  void focus_out_edges(NodeId node, std::span<const EdgeId> arcs);
+
+  /// Rebuild the adjacency lists of the first `cp.nodes` nodes from edge
+  /// storage, restoring every arc with id < cp.stored_edges that the
+  /// drop_*/focus_out_edges compactions removed. The result is exactly the
+  /// adjacency a fresh build of those edges would produce (ids ascending
+  /// per node). Arcs with id >= cp.stored_edges leaving those nodes are
+  /// discarded — pair with truncate(cp) when later edges exist.
+  void restore_arcs(const Checkpoint& cp);
 
   // --- solver interface (residual manipulation) ---
   [[nodiscard]] EdgeId paired(EdgeId e) const noexcept { return e ^ 1u; }

@@ -133,12 +133,19 @@ std::size_t GridIndex::nearest(const GeoPoint& query) const {
 
 std::vector<std::size_t> GridIndex::within_radius(const GeoPoint& query,
                                                   double radius_km) const {
+  std::vector<std::size_t> out;
+  within_radius(query, radius_km, out);
+  return out;
+}
+
+void GridIndex::within_radius(const GeoPoint& query, double radius_km,
+                              std::vector<std::size_t>& out) const {
   CCDN_REQUIRE(radius_km >= 0.0, "negative radius");
+  out.clear();
   const auto q = projection_.to_xy(query);
   const Cell center = cell_of(q);
   const auto reach = static_cast<std::int32_t>(std::ceil(radius_km / cell_km_));
   const double radius2 = radius_km * radius_km;
-  std::vector<std::size_t> out;
   for (std::int32_t row = center.row - reach; row <= center.row + reach;
        ++row) {
     if (row < 0 || row >= rows_) continue;
@@ -156,7 +163,60 @@ std::vector<std::size_t> GridIndex::within_radius(const GeoPoint& query,
     }
   }
   std::sort(out.begin(), out.end());
-  return out;
+}
+
+GridIndex::Subset::Subset(const GridIndex& parent) : parent_(&parent) {}
+
+void GridIndex::Subset::assign(std::span<const std::uint32_t> ids) {
+  const std::size_t cell_count = static_cast<std::size_t>(parent_->cols_) *
+                                 static_cast<std::size_t>(parent_->rows_);
+  offsets_.assign(cell_count + 1, 0);
+  slots_.resize(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint32_t id = ids[i];
+    CCDN_REQUIRE(id < parent_->points_.size(), "subset id out of range");
+    slots_[i] = static_cast<std::uint32_t>(
+        parent_->cell_slot(parent_->cell_of(parent_->projected_[id])));
+    ++offsets_[slots_[i] + 1];
+  }
+  for (std::size_t c = 1; c < offsets_.size(); ++c) {
+    offsets_[c] += offsets_[c - 1];
+  }
+  ids_.resize(ids.size());
+  // Counting sort keeps insertion order per cell; within_radius sorts the
+  // collected hits anyway, so subset order does not matter here.
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids_[cursor[slots_[i]]++] = ids[i];
+  }
+}
+
+void GridIndex::Subset::within_radius(const GeoPoint& query, double radius_km,
+                                      std::vector<std::size_t>& out) const {
+  CCDN_REQUIRE(radius_km >= 0.0, "negative radius");
+  out.clear();
+  const GridIndex& g = *parent_;
+  const auto q = g.projection_.to_xy(query);
+  const Cell center = g.cell_of(q);
+  const auto reach =
+      static_cast<std::int32_t>(std::ceil(radius_km / g.cell_km_));
+  const double radius2 = radius_km * radius_km;
+  for (std::int32_t row = center.row - reach; row <= center.row + reach;
+       ++row) {
+    if (row < 0 || row >= g.rows_) continue;
+    for (std::int32_t col = center.col - reach; col <= center.col + reach;
+         ++col) {
+      if (col < 0 || col >= g.cols_) continue;
+      const std::size_t slot = g.cell_slot({col, row});
+      for (std::uint32_t k = offsets_[slot]; k < offsets_[slot + 1]; ++k) {
+        const std::uint32_t id = ids_[k];
+        const double dx = g.projected_[id].x_km - q.x_km;
+        const double dy = g.projected_[id].y_km - q.y_km;
+        if (dx * dx + dy * dy <= radius2) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
 }
 
 std::vector<std::size_t> GridIndex::k_nearest(const GeoPoint& query,

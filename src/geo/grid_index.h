@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geo/geo_point.h"
@@ -30,6 +31,42 @@ class GridIndex {
   /// Indices of all points with distance <= radius_km, ascending by index.
   [[nodiscard]] std::vector<std::size_t> within_radius(const GeoPoint& query,
                                                        double radius_km) const;
+
+  /// Same query into a caller-owned buffer (cleared first), so a query loop
+  /// performs no allocations once the buffer has grown to steady state.
+  void within_radius(const GeoPoint& query, double radius_km,
+                     std::vector<std::size_t>& out) const;
+
+  /// A radius-query view restricted to a subset of the indexed points.
+  ///
+  /// Shares the parent's projection and cell geometry, so a query returns
+  /// exactly the members of the subset that the parent's within_radius()
+  /// would return — same planar pre-filter, same ascending-id order —
+  /// without scanning points outside the subset. Built for the θ-sweep
+  /// candidate scan, where only the under-utilized hotspots can receive and
+  /// most points near a sender are not receivers.
+  ///
+  /// The view borrows the parent index, which must outlive it. assign() may
+  /// be called repeatedly to re-target the same (buffer-reusing) view.
+  class Subset {
+   public:
+    explicit Subset(const GridIndex& parent);
+
+    /// Replace the subset with `ids` (parent point indices, any order).
+    void assign(std::span<const std::uint32_t> ids);
+
+    /// Parent indices of subset members with projected distance <=
+    /// radius_km, ascending, into a caller-owned buffer (cleared first).
+    void within_radius(const GeoPoint& query, double radius_km,
+                       std::vector<std::size_t>& out) const;
+
+   private:
+    const GridIndex* parent_;
+    // CSR buckets over the parent's cells, holding subset members only.
+    std::vector<std::uint32_t> offsets_;
+    std::vector<std::uint32_t> ids_;
+    std::vector<std::uint32_t> slots_;  // assign() scratch
+  };
 
   /// Indices of the k nearest points, ascending by distance (k clamped to
   /// size()).

@@ -50,13 +50,13 @@ TEST(CandidateEdges, RespectsRadiusStrictly) {
   const auto partition = HotspotPartition::from_loads(
       hotspots, std::vector<std::uint32_t>{20, 20, 5, 5});
   // Distance 0->2 is ~2.8 km, 0->3 ~4.2 km, 1->2 ~1.4 km.
-  const auto edges15 = candidate_edges(hotspots, partition, 1.5);
+  const auto edges15 = candidate_edges_pairscan(hotspots, partition, 1.5);
   ASSERT_EQ(edges15.size(), 1u);
   EXPECT_EQ(edges15[0].from, 1u);
   EXPECT_EQ(edges15[0].to, 2u);
-  const auto edges30 = candidate_edges(hotspots, partition, 3.0);
+  const auto edges30 = candidate_edges_pairscan(hotspots, partition, 3.0);
   EXPECT_EQ(edges30.size(), 3u);  // 0->2, 1->2, 1->3
-  const auto edges_all = candidate_edges(hotspots, partition, 100.0);
+  const auto edges_all = candidate_edges_pairscan(hotspots, partition, 100.0);
   EXPECT_EQ(edges_all.size(), 4u);
 }
 
@@ -64,7 +64,7 @@ TEST(BuildGd, StructureAndMaxflow) {
   const auto hotspots = line_hotspots();
   auto partition = HotspotPartition::from_loads(
       hotspots, std::vector<std::uint32_t>{17, 13, 6, 4});
-  const auto candidates = candidate_edges(hotspots, partition, 100.0);
+  const auto candidates = candidate_edges_pairscan(hotspots, partition, 100.0);
   BalanceGraph graph = build_gd(partition, candidates, 100.0);
   EXPECT_EQ(graph.num_guide_nodes, 0u);
   EXPECT_EQ(graph.pair_edges.size(), 4u);
@@ -85,7 +85,7 @@ TEST(BuildGd, PrefersNearbyReceivers) {
   const auto hotspots = line_hotspots();
   auto partition = HotspotPartition::from_loads(
       hotspots, std::vector<std::uint32_t>{10, 15, 5, 5});  // only 1 overloaded
-  const auto candidates = candidate_edges(hotspots, partition, 100.0);
+  const auto candidates = candidate_edges_pairscan(hotspots, partition, 100.0);
   BalanceGraph graph = build_gd(partition, candidates, 100.0);
   (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink);
   const auto flows = extract_flows(graph);
@@ -99,7 +99,7 @@ TEST(BuildGd, DropsZeroSlackEndpoints) {
   const auto hotspots = line_hotspots();
   auto partition = HotspotPartition::from_loads(
       hotspots, std::vector<std::uint32_t>{17, 13, 6, 4});
-  const auto candidates = candidate_edges(hotspots, partition, 100.0);
+  const auto candidates = candidate_edges_pairscan(hotspots, partition, 100.0);
   partition.phi[0] = 0;  // simulate earlier iterations consuming slack
   BalanceGraph graph = build_gd(partition, candidates, 100.0);
   for (const auto& pair : graph.pair_edges) {
@@ -111,7 +111,7 @@ TEST(BuildGc, OwnClusterGroupGetsGuideNode) {
   const auto hotspots = line_hotspots();
   auto partition = HotspotPartition::from_loads(
       hotspots, std::vector<std::uint32_t>{17, 13, 6, 4});
-  const auto candidates = candidate_edges(hotspots, partition, 100.0);
+  const auto candidates = candidate_edges_pairscan(hotspots, partition, 100.0);
   // Hotspots 1 and 2 share a cluster; senders 0,1 -> receiver 2 in cluster
   // of 2 triggers the own-cluster rule at least for sender 1.
   const std::vector<std::uint32_t> clusters{0, 1, 1, 2};
@@ -134,7 +134,7 @@ TEST(BuildGc, SameMaxFlowAsGd) {
   for (std::uint32_t c0 : {0u, 1u}) {
     auto partition = HotspotPartition::from_loads(
         hotspots, std::vector<std::uint32_t>{25, 13, 6, 1});
-    const auto candidates = candidate_edges(hotspots, partition, 100.0);
+    const auto candidates = candidate_edges_pairscan(hotspots, partition, 100.0);
     const std::vector<std::uint32_t> clusters{c0, 1, 1, 1};
     BalanceGraph gd = build_gd(partition, candidates, 100.0);
     BalanceGraph gc =
@@ -149,7 +149,7 @@ TEST(BuildGc, FillThresholdControlsGuideCreation) {
   const auto hotspots = line_hotspots();
   auto partition = HotspotPartition::from_loads(
       hotspots, std::vector<std::uint32_t>{17, 13, 6, 4});
-  const auto candidates = candidate_edges(hotspots, partition, 100.0);
+  const auto candidates = candidate_edges_pairscan(hotspots, partition, 100.0);
   // All distinct clusters: the own-cluster rule never fires, so guide
   // creation depends purely on the fill threshold.
   const std::vector<std::uint32_t> clusters{0, 1, 2, 3};
@@ -169,7 +169,7 @@ TEST(BuildGc, RejectsShortClusterLabels) {
   const auto hotspots = line_hotspots();
   auto partition = HotspotPartition::from_loads(
       hotspots, std::vector<std::uint32_t>{17, 13, 6, 4});
-  const auto candidates = candidate_edges(hotspots, partition, 100.0);
+  const auto candidates = candidate_edges_pairscan(hotspots, partition, 100.0);
   const std::vector<std::uint32_t> too_short{0, 1};
   EXPECT_THROW((void)build_gc(partition, candidates, 100.0, too_short,
                               GuideOptions{}),
@@ -184,7 +184,7 @@ TEST(BuildGc, AutoScaleMakesGuidePathsCompetitive) {
   const auto hotspots = line_hotspots();
   auto partition = HotspotPartition::from_loads(
       hotspots, std::vector<std::uint32_t>{40, 13, 6, 4});
-  const auto candidates = candidate_edges(hotspots, partition, 100.0);
+  const auto candidates = candidate_edges_pairscan(hotspots, partition, 100.0);
   const std::vector<std::uint32_t> clusters{0, 0, 0, 0};  // all one cluster
 
   GuideOptions scaled;  // defaults: auto_scale = true
@@ -209,7 +209,7 @@ TEST(ExtractFlows, MergesAndOrdersPairs) {
   const auto hotspots = line_hotspots();
   auto partition = HotspotPartition::from_loads(
       hotspots, std::vector<std::uint32_t>{30, 12, 1, 1});
-  const auto candidates = candidate_edges(hotspots, partition, 100.0);
+  const auto candidates = candidate_edges_pairscan(hotspots, partition, 100.0);
   BalanceGraph graph = build_gd(partition, candidates, 100.0);
   (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink);
   const auto flows = extract_flows(graph);

@@ -88,6 +88,69 @@ TEST(Mcmf, RejectsBadArguments) {
                PreconditionError);
 }
 
+TEST(McmfSolver, WarmAugmentAfterFreezeMatchesColdSolve) {
+  // The θ-sweep pattern: augment, freeze the residuals, append edges,
+  // augment again. The per-phase totals must add up to what a cold solve
+  // over the final edge set finds.
+  FlowNetwork net(4);
+  (void)net.add_edge(0, 1, 10, 0.0);
+  (void)net.add_edge(2, 3, 10, 0.0);
+  (void)net.add_edge(1, 2, 4, 2.0);
+  McmfSolver solver;
+  const auto first = solver.augment(net, 0, 3);
+  EXPECT_EQ(first.flow, 4);
+  EXPECT_DOUBLE_EQ(first.cost, 8.0);
+  net.freeze_residuals();
+  (void)net.add_edge(1, 2, 6, 1.0);  // cheaper parallel capacity arrives
+  const auto second = solver.augment(net, 0, 3);
+  EXPECT_EQ(second.flow, 6);
+  EXPECT_DOUBLE_EQ(second.cost, 6.0);
+
+  FlowNetwork cold(4);
+  (void)cold.add_edge(0, 1, 10, 0.0);
+  (void)cold.add_edge(2, 3, 10, 0.0);
+  (void)cold.add_edge(1, 2, 4, 2.0);
+  (void)cold.add_edge(1, 2, 6, 1.0);
+  const auto reference = MinCostMaxFlow::solve(cold, 0, 3);
+  EXPECT_EQ(first.flow + second.flow, reference.flow);
+  EXPECT_DOUBLE_EQ(first.cost + second.cost, reference.cost);
+}
+
+TEST(McmfSolver, DetectsStalePotentialsAndReprices) {
+  // Carried Dijkstra potentials go stale when an appended edge shortcuts
+  // the priced shortest paths; potentials_valid_for must flag it and
+  // reprice() must restore a state the next augment can run from.
+  FlowNetwork net(4);
+  (void)net.add_edge(0, 1, 5, 10.0);
+  (void)net.add_edge(1, 3, 5, 10.0);
+  McmfSolver solver(McmfStrategy::kDijkstraPotentials);
+  solver.reset_potentials(net.num_nodes());
+  const auto first = solver.augment(net, 0, 3);
+  EXPECT_EQ(first.flow, 5);
+  EXPECT_DOUBLE_EQ(first.cost, 100.0);
+  net.freeze_residuals();
+
+  const auto first_new = static_cast<EdgeId>(2 * net.num_edges());
+  (void)net.add_edge(0, 2, 5, 1.0);  // reduced cost 1 + π(0) − π(2) < 0
+  (void)net.add_edge(2, 3, 5, 1.0);
+  EXPECT_FALSE(solver.potentials_valid_for(net, first_new));
+  solver.reprice(net, 0);
+  EXPECT_EQ(solver.reprices(), 1u);
+  EXPECT_TRUE(solver.potentials_valid_for(net, first_new));
+  const auto second = solver.augment(net, 0, 3);
+  EXPECT_EQ(second.flow, 5);
+  EXPECT_DOUBLE_EQ(second.cost, 10.0);
+}
+
+TEST(McmfSolver, FlowLimitSpreadsAcrossWarmCalls) {
+  FlowNetwork net(2);
+  (void)net.add_edge(0, 1, 10, 2.0);
+  McmfSolver solver;
+  EXPECT_EQ(solver.augment(net, 0, 1, 4).flow, 4);
+  EXPECT_EQ(solver.augment(net, 0, 1, 4).flow, 4);
+  EXPECT_EQ(solver.augment(net, 0, 1).flow, 2);  // only 2 units remain
+}
+
 /// Random balanced bipartite instances, mirroring the Gd graphs RBCAer
 /// builds: source -> senders -> receivers -> sink with km-scale costs.
 FlowNetwork random_balance_graph(Rng& rng, std::size_t senders,

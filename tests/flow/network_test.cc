@@ -77,5 +77,72 @@ TEST(FlowNetwork, FlowAccessorRequiresForwardEdge) {
   EXPECT_THROW((void)net.flow(net.paired(e)), PreconditionError);
 }
 
+TEST(FlowNetwork, ClearResetsNodesAndEdges) {
+  FlowNetwork net(3);
+  (void)net.add_edge(0, 1, 5, 1.0);
+  (void)net.add_edge(1, 2, 5, 1.0);
+  net.clear(2);
+  EXPECT_EQ(net.num_nodes(), 2u);
+  EXPECT_EQ(net.num_edges(), 0u);
+  EXPECT_TRUE(net.out_edges(0).empty());
+  EXPECT_TRUE(net.out_edges(1).empty());
+  // The cleared network is fully usable again.
+  const EdgeId e = net.add_edge(0, 1, 3, 2.0);
+  EXPECT_EQ(net.edge(e).capacity, 3);
+}
+
+TEST(FlowNetwork, ReserveDoesNotChangeObservableState) {
+  FlowNetwork net(2);
+  const EdgeId e = net.add_edge(0, 1, 4, 1.0);
+  net.reserve(100, 100);
+  EXPECT_EQ(net.num_nodes(), 2u);
+  EXPECT_EQ(net.num_edges(), 1u);
+  EXPECT_EQ(net.edge(e).capacity, 4);
+}
+
+TEST(FlowNetwork, TruncateDropsEdgesAndNodesPastCheckpoint) {
+  FlowNetwork net(3);
+  const EdgeId kept = net.add_edge(0, 1, 5, 1.0);
+  const FlowNetwork::Checkpoint cp = net.checkpoint();
+  const NodeId extra = net.add_node();
+  (void)net.add_edge(1, extra, 7, 2.0);
+  (void)net.add_edge(extra, 2, 7, 2.0);
+  net.truncate(cp);
+  EXPECT_EQ(net.num_nodes(), 3u);
+  EXPECT_EQ(net.num_edges(), 1u);
+  EXPECT_EQ(net.out_edges(1).size(), 1u);  // residual of 0->1 only
+  EXPECT_EQ(net.edge(kept).capacity, 5);
+  // Append again after truncation: ids continue densely.
+  const EdgeId e = net.add_edge(1, 2, 2, 3.0);
+  EXPECT_EQ(e, 2u);
+  EXPECT_EQ(net.num_edges(), 2u);
+}
+
+TEST(FlowNetwork, TruncatePreservesFlowOnSurvivingEdges) {
+  FlowNetwork net(3);
+  const EdgeId kept = net.add_edge(0, 1, 5, 1.0);
+  net.push(kept, 3);
+  const FlowNetwork::Checkpoint cp = net.checkpoint();
+  (void)net.add_edge(1, 2, 4, 1.0);
+  net.truncate(cp);
+  EXPECT_EQ(net.flow(kept), 3);
+  EXPECT_EQ(net.edge(kept).capacity, 2);
+}
+
+TEST(FlowNetwork, FreezeResidualsZeroesBackwardArcs) {
+  FlowNetwork net(2);
+  const EdgeId e = net.add_edge(0, 1, 10, 1.0);
+  net.push(e, 4);
+  EXPECT_EQ(net.edge(net.paired(e)).capacity, 4);
+  net.freeze_residuals();
+  // The backward arc is gone; the forward residual and the recorded flow
+  // survive, so committed flow can grow but never be rerouted.
+  EXPECT_EQ(net.edge(net.paired(e)).capacity, 0);
+  EXPECT_EQ(net.edge(e).capacity, 6);
+  EXPECT_EQ(net.flow(e), 4);
+  net.push(e, 2);
+  EXPECT_EQ(net.flow(e), 6);
+}
+
 }  // namespace
 }  // namespace ccdn

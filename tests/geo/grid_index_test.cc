@@ -104,6 +104,49 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::size_t>(1, 5, 50, 300),
                        ::testing::Values(0.25, 0.5, 2.0)));
 
+TEST_P(GridIndexProperty, SubsetMatchesFilteredParent) {
+  const auto [n, cell] = GetParam();
+  Rng rng(n * 57 + 11);
+  const auto points = random_points(rng, n);
+  const GridIndex index(points, cell);
+  // Every third point forms the subset.
+  std::vector<std::uint32_t> members;
+  for (std::size_t i = 0; i < n; i += 3) {
+    members.push_back(static_cast<std::uint32_t>(i));
+  }
+  GridIndex::Subset subset(index);
+  subset.assign(members);
+  std::vector<std::size_t> got;
+  for (const double radius : {0.2, 1.0, 3.0, 30.0}) {
+    for (int q = 0; q < 10; ++q) {
+      const GeoPoint query{rng.uniform(40.0, 40.1),
+                           rng.uniform(116.4, 116.6)};
+      subset.within_radius(query, radius, got);
+      std::vector<std::size_t> want;
+      for (const std::size_t id : index.within_radius(query, radius)) {
+        if (id % 3 == 0) want.push_back(id);
+      }
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+TEST(GridIndex, SubsetReassignRetargets) {
+  Rng rng(77);
+  const auto points = random_points(rng, 60);
+  const GridIndex index(points, 0.5);
+  GridIndex::Subset subset(index);
+  const std::vector<std::uint32_t> first{1, 4, 9};
+  const std::vector<std::uint32_t> second{0, 2};
+  std::vector<std::size_t> got;
+  subset.assign(first);
+  subset.within_radius(points[1], 100.0, got);
+  EXPECT_EQ(got, (std::vector<std::size_t>{1, 4, 9}));
+  subset.assign(second);
+  subset.within_radius(points[1], 100.0, got);
+  EXPECT_EQ(got, (std::vector<std::size_t>{0, 2}));
+}
+
 TEST(GridIndex, KNearestOrderedByDistance) {
   Rng rng(19);
   const auto points = random_points(rng, 100);
