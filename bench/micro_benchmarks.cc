@@ -159,8 +159,9 @@ void BM_GridIndexNearest(benchmark::State& state) {
   const GridIndex index(points, 0.5);
   std::size_t cursor = 0;
   for (auto _ : state) {
-    const GeoPoint query{40.0 + 0.1 * ((cursor * 37) % 100) / 100.0,
-                         116.4 + 0.2 * ((cursor * 91) % 100) / 100.0};
+    const GeoPoint query{
+        40.0 + 0.1 * static_cast<double>((cursor * 37) % 100) / 100.0,
+        116.4 + 0.2 * static_cast<double>((cursor * 91) % 100) / 100.0};
     benchmark::DoNotOptimize(index.nearest(query));
     ++cursor;
   }

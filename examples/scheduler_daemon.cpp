@@ -54,10 +54,12 @@ int main(int argc, char** argv) {
   const double n = static_cast<double>(trace.size());
   std::printf("%-22s serving=%.3f dist=%.2fkm repl=%.2f cdn_load=%.3f "
               "(%zu slots planned)\n",
-              "online (forecast)", served / n, distance_sum / n,
+              "online (forecast)", static_cast<double>(served) / n,
+              distance_sum / n,
               static_cast<double>(server.replicas_pushed()) /
                   catalog.num_videos,
-              ((n - served) + static_cast<double>(server.replicas_pushed())) /
+              ((n - static_cast<double>(served)) +
+               static_cast<double>(server.replicas_pushed())) /
                   n,
               server.slots_planned());
 

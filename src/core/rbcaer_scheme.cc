@@ -9,6 +9,8 @@
 #include "model/topsets.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
+#include "verify/flow_audit.h"
+#include "verify/schedule_audit.h"
 
 namespace ccdn {
 
@@ -21,6 +23,7 @@ RbcaerScheme::RbcaerScheme(RbcaerConfig config)
   CCDN_REQUIRE(config_.top_fraction > 0.0 && config_.top_fraction <= 1.0,
                "top_fraction outside (0,1]");
   CCDN_REQUIRE(config_.bpeak_multiplier > 0.0, "non-positive B_peak");
+  sweeper_.set_audit_level(config_.audit_level);
 }
 
 std::string RbcaerScheme::name() const {
@@ -55,6 +58,14 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
   HotspotPartition partition =
       HotspotPartition::from_loads(context.hotspots, loads);
   diagnostics_.max_movable = partition.max_movable();
+
+  // Auditing needs the slack as of the partition build: the sweep
+  // decrements phi in place, and the f_ij bound is against the initial
+  // values (kCheckedBuild only; audit_phi stays empty in release builds).
+  const bool auditing =
+      kCheckedBuild && config_.audit_level != AuditLevel::kOff;
+  std::vector<std::int64_t> audit_phi;
+  if (auditing) audit_phi = partition.phi;
 
   stage_timings_.partition_s = stage_clock.elapsed_seconds();
 
@@ -164,13 +175,18 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
   }
 
   merge_flow_entries(flows);
+  if (auditing) {
+    AuditReport report;
+    audit_flow_entries(flows, partition, audit_phi, report);
+    report.require_clean("rbcaer slot flows");
+  }
 
   // --- Procedure 1: redirections + placements under B_peak. ---
   stage_clock.reset();
   const auto budget = static_cast<std::size_t>(std::llround(
       config_.bpeak_multiplier * static_cast<double>(demand.num_requests())));
   ReplicationResult replication = content_aggregation_replication(
-      demand, context.hotspots, flows, budget);
+      demand, context.hotspots, flows, budget, config_.audit_level);
   diagnostics_.redirected = replication.total_redirected;
   diagnostics_.replicas = replication.replicas;
 
@@ -182,6 +198,12 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
 
   if (config_.miss_redirection) {
     redirect_local_misses(context, requests, plan);
+  }
+  if (auditing) {
+    AuditReport report;
+    audit_slot_plan(plan, context.hotspots, requests, demand.request_home(),
+                    report);
+    report.require_clean("rbcaer slot plan");
   }
   stage_timings_.replication_s = stage_clock.elapsed_seconds();
   return plan;

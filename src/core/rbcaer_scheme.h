@@ -65,6 +65,13 @@ struct RbcaerConfig {
   /// frozen residual state. false falls back to the cold rebuild-per-θ
   /// path, kept as the differential oracle (see DESIGN.md §3.7).
   bool incremental_sweep = true;
+  /// Invariant auditing of the planning pipeline (checked builds only;
+  /// compiled out under NDEBUG). kPlan audits the slot's flows against the
+  /// initial slack, Procedure 1's result against B_peak, and the finished
+  /// plan's totality/capacity; kFull additionally audits every θ-sweep
+  /// commit (flow conservation, frozen residual costs, carried potentials).
+  /// Violations throw InvariantError naming the invariant (DESIGN.md §3.8).
+  AuditLevel audit_level = AuditLevel::kOff;
 };
 
 class RbcaerScheme final : public RedirectionScheme {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "util/error.h"
+#include "verify/schedule_audit.h"
 
 namespace ccdn {
 
@@ -67,7 +68,8 @@ class RemainingDemand {
 
 ReplicationResult content_aggregation_replication(
     const SlotDemand& demand, std::span<const Hotspot> hotspots,
-    std::span<const FlowEntry> flows, std::size_t replica_budget) {
+    std::span<const FlowEntry> flows, std::size_t replica_budget,
+    AuditLevel audit_level) {
   const std::size_t m = hotspots.size();
   CCDN_REQUIRE(demand.num_hotspots() == m, "demand/hotspot count mismatch");
 
@@ -314,6 +316,13 @@ ReplicationResult content_aggregation_replication(
         vr.targets.push_back({log[e].target, log[e].amount});
       }
       list.push_back(std::move(vr));
+    }
+  }
+  if constexpr (kCheckedBuild) {
+    if (audit_level >= AuditLevel::kPlan) {
+      AuditReport report;
+      audit_replication(result, hotspots, replica_budget, report);
+      report.require_clean("procedure-1 replication");
     }
   }
   return result;

@@ -19,6 +19,7 @@
 #include "core/balance_graph.h"
 #include "model/demand.h"
 #include "model/types.h"
+#include "verify/audit.h"
 
 namespace ccdn {
 
@@ -49,10 +50,14 @@ struct ReplicationResult {
 };
 
 /// Run Procedure 1. `flows` are the f_ij produced by Algorithm 1;
-/// `replica_budget` is B_peak in replica units.
+/// `replica_budget` is B_peak in replica units. At `audit_level` >= kPlan
+/// (checked builds only) the result is self-audited before returning —
+/// replica count vs B_peak, placement shape vs caches, redirect totals —
+/// and a violation throws InvariantError naming the invariant.
 [[nodiscard]] ReplicationResult content_aggregation_replication(
     const SlotDemand& demand, std::span<const Hotspot> hotspots,
-    std::span<const FlowEntry> flows, std::size_t replica_budget);
+    std::span<const FlowEntry> flows, std::size_t replica_budget,
+    AuditLevel audit_level = AuditLevel::kOff);
 
 /// Turn per-(origin, video) redirect quotas into a per-request assignment:
 /// each request drains its origin's quota for its video (in target order);

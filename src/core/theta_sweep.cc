@@ -4,6 +4,7 @@
 
 #include "util/error.h"
 #include "util/stopwatch.h"
+#include "verify/flow_audit.h"
 
 namespace ccdn {
 
@@ -143,12 +144,16 @@ void ThetaSweeper::commit(SweepStep& out) {
   }
   merge_flow_entries(out.flows);
   for (const auto& f : out.flows) {
+    CCDN_ASSERT(f.amount > 0, "non-positive merged flow entry");
     partition_->phi[f.from] -= f.amount;
     partition_->phi[f.to] -= f.amount;
     CCDN_ENSURE(partition_->phi[f.from] >= 0 && partition_->phi[f.to] >= 0,
                 "flow exceeded slack");
   }
   net_.freeze_residuals();
+  if constexpr (kCheckedBuild) {
+    if (audit_level_ >= AuditLevel::kFull) audit_commit();
+  }
   // After the freeze a saturated arc is dead in both directions and can
   // never come back (φ only shrinks); dropping dead arcs keeps the
   // searches from scanning drained scaffold entries.
@@ -164,6 +169,19 @@ void ThetaSweeper::commit(SweepStep& out) {
     net_.drop_arcs_at_or_after(
         static_cast<EdgeId>(scaffold_cp_.stored_edges));
   }
+}
+
+void ThetaSweeper::audit_commit() const {
+  AuditReport report;
+  // Storage-walking checks, so the adjacency compactions the sweep already
+  // performed (drop_dead_arcs, focus_out_edges) cannot hide an arc. The
+  // freeze that just ran zeroed every backward residual, so the zero-
+  // potential reduced-cost check (raw cost >= 0 on live arcs) must hold;
+  // a surviving negative arc means a stale residual escaped the freeze —
+  // the exact corruption the warm sweep's compaction could introduce.
+  audit_flow_conservation(net_, map_.source, map_.sink, report);
+  audit_reduced_costs(net_, {}, report);
+  report.require_clean("theta-sweep commit");
 }
 
 SweepStep ThetaSweeper::step_gd(double theta_km) {
@@ -189,6 +207,7 @@ SweepStep ThetaSweeper::step_gd(double theta_km) {
       const auto& c = candidates_[idx];
       const std::int64_t cap =
           std::min(partition_->phi[c.from], partition_->phi[c.to]);
+      CCDN_ASSERT(cap > 0, "dead candidate survived the arrival filter");
       const NodeId from_node = map_.at(c.from);
       const EdgeId e =
           net_.add_edge(from_node, map_.at(c.to), cap, c.distance_km);
@@ -226,6 +245,16 @@ SweepStep ThetaSweeper::step_gd(double theta_km) {
       // re-pricing the whole graph.
       gd_solver_.reprice_from(net_, first_new, step_source_arcs_);
       res = gd_solver_.augment(net_, map_.source, map_.sink);
+      if constexpr (kCheckedBuild) {
+        if (audit_level_ >= AuditLevel::kFull) {
+          // The carried potentials must still price every live residual
+          // arc non-negatively after the augment, or the next step's
+          // Dijkstra would settle suboptimal paths.
+          AuditReport report;
+          audit_reduced_costs(net_, gd_solver_.potentials(), report);
+          report.require_clean("theta-sweep carried potentials");
+        }
+      }
     }
     out.moved = res.flow;
     out.cost = res.cost;
@@ -249,6 +278,10 @@ SweepStep ThetaSweeper::step_gd(double theta_km) {
   live_edges_.reserve(live_.size());
   for (const std::uint32_t idx : live_) live_edges_.push_back(candidates_[idx]);
   net_.truncate(scaffold_cp_);
+  // New flow epoch: transient steps solve from zero on the frozen
+  // scaffold, so re-zero flow() readings before appending this step's
+  // arcs (keeps the commit audit's conservation walk exact).
+  net_.rebase_flows();
   pair_edges_.clear();
   append_gd_edges(net_, map_, *partition_, live_edges_, pair_edges_);
   out.graph_s = clock.elapsed_seconds();
@@ -287,6 +320,7 @@ SweepStep ThetaSweeper::step_gc(double theta_km,
   live_edges_.reserve(live_.size());
   for (const std::uint32_t idx : live_) live_edges_.push_back(candidates_[idx]);
   net_.truncate(scaffold_cp_);
+  net_.rebase_flows();  // new flow epoch — see step_gd's transient branch
   pair_edges_.clear();
   out.guide_nodes =
       append_gc_edges(net_, map_, *partition_, live_edges_, theta_km,

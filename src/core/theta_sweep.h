@@ -44,6 +44,7 @@
 #include "flow/mcmf.h"
 #include "flow/network.h"
 #include "util/radix_sort.h"
+#include "verify/audit.h"
 
 namespace ccdn {
 
@@ -93,6 +94,16 @@ class ThetaSweeper {
     return gd_solver_.reprices() + solver_.reprices();
   }
 
+  /// At AuditLevel::kFull (and only in checked builds), every step commit
+  /// audits the persistent network — flow conservation, capacity bounds,
+  /// post-freeze residual costs — and the warm Gd steps additionally audit
+  /// the carried potentials' reduced-cost validity. A violation throws
+  /// InvariantError naming the invariant. No-op below kFull.
+  void set_audit_level(AuditLevel level) noexcept { audit_level_ = level; }
+  [[nodiscard]] AuditLevel audit_level() const noexcept {
+    return audit_level_;
+  }
+
  private:
   enum class StepKind { kNone, kGdPersistent, kGdTransient, kGc };
 
@@ -106,6 +117,8 @@ class ThetaSweeper {
   void switch_to_transient();
   /// Read per-pair increments vs `committed_`, decrement φ, freeze.
   void commit(SweepStep& out);
+  /// kFull commit-time audit of the persistent network (checked builds).
+  void audit_commit() const;
 
   McmfSolver solver_;  // Gc steps: resets per rebuilt transient graph
   /// Gd steps: Dijkstra with potentials carried across the persistent
@@ -148,6 +161,7 @@ class ThetaSweeper {
   StepKind last_kind_ = StepKind::kNone;
   std::int64_t last_flow_ = 0;
   std::size_t last_guide_nodes_ = 0;
+  AuditLevel audit_level_ = AuditLevel::kOff;
 };
 
 }  // namespace ccdn

@@ -12,6 +12,8 @@
 #include "geo/geo_point.h"
 #include "model/topsets.h"
 #include "util/error.h"
+#include "verify/flow_audit.h"
+#include "verify/schedule_audit.h"
 
 namespace ccdn {
 
@@ -111,6 +113,13 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
       HotspotPartition::from_loads(virtual_hotspots, region_loads);
   diagnostics_.region_max_movable = partition.max_movable();
 
+  // Snapshot the region slack before the sweep drains it; the flow audit
+  // bounds each f_ij against these initial values (checked builds only).
+  const bool auditing =
+      kCheckedBuild && rc.audit_level != AuditLevel::kOff;
+  std::vector<std::int64_t> audit_phi;
+  if (auditing) audit_phi = partition.phi;
+
   std::vector<std::uint32_t> cluster_of(num_regions, 0);
   if (rc.content_aggregation && diagnostics_.region_max_movable > 0) {
     const auto top_sets = top_sets_per_hotspot(regional, rc.top_fraction);
@@ -151,11 +160,16 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
     }
   }
   merge_flow_entries(region_flows);
+  if (auditing) {
+    AuditReport report;
+    audit_flow_entries(region_flows, partition, audit_phi, report);
+    report.require_clean("virtual-rbcaer region flows");
+  }
 
   const auto budget = static_cast<std::size_t>(std::llround(
       rc.bpeak_multiplier * static_cast<double>(demand.num_requests())));
   ReplicationResult regional_plan = content_aggregation_replication(
-      regional, virtual_hotspots, region_flows, budget);
+      regional, virtual_hotspots, region_flows, budget, rc.audit_level);
 
   // --- 4. Localize region decisions onto member hotspots. ---
   // Remaining per-hotspot slack/overflow and cache room.
@@ -279,6 +293,12 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
   plan.placements = std::move(placements);
   plan.assignment = materialize_assignment(requests, demand.request_home(),
                                            std::move(redirects));
+  if (auditing) {
+    AuditReport report;
+    audit_slot_plan(plan, context.hotspots, requests, demand.request_home(),
+                    report);
+    report.require_clean("virtual-rbcaer slot plan");
+  }
   return plan;
 }
 

@@ -16,6 +16,9 @@ std::vector<FlowPath> decompose_flow(const FlowNetwork& net, NodeId source,
   std::vector<std::int64_t> remaining(net.num_edges() * 2, 0);
   for (EdgeId e = 0; e < net.num_edges() * 2; e += 2) {
     remaining[e] = net.flow(e);
+    CCDN_ASSERT(remaining[e] >= 0, "negative flow on forward edge");
+    CCDN_ASSERT(remaining[e] <= net.original_capacity(e),
+                "flow exceeds original edge capacity");
   }
 
   // Verify conservation before decomposing.
@@ -74,6 +77,7 @@ std::vector<FlowPath> decompose_flow(const FlowNetwork& net, NodeId source,
     }
     path.nodes.push_back(source);
     std::reverse(path.nodes.begin(), path.nodes.end());
+    CCDN_ASSERT(bottleneck > 0, "decomposed path with zero amount");
     path.amount = bottleneck;
     paths.push_back(std::move(path));
   }

@@ -20,6 +20,10 @@ std::int64_t bottleneck_along_path(const FlowNetwork& net, NodeId source,
   NodeId node = sink;
   while (node != source) {
     const EdgeId e = parent_edge[node];
+    CCDN_ASSERT(net.edge(e).to == node,
+                "parent edge does not enter its node");
+    CCDN_ASSERT(net.edge(e).capacity > 0,
+                "saturated edge on augmenting path");
     bottleneck = std::min(bottleneck, net.edge(e).capacity);
     node = net.edge(e).from;
   }
@@ -32,6 +36,8 @@ double apply_path(FlowNetwork& net, NodeId source, NodeId sink,
   NodeId node = sink;
   while (node != source) {
     const EdgeId e = parent_edge[node];
+    CCDN_ASSERT(amount <= net.edge(e).capacity,
+                "augmenting beyond the path bottleneck");
     path_cost += net.edge(e).cost;
     node = net.edge(e).from;
     net.push(e, amount);

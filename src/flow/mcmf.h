@@ -104,6 +104,13 @@ class McmfSolver {
   /// warm-start potentials fallback).
   [[nodiscard]] std::size_t reprices() const noexcept { return reprices_; }
 
+  /// The carried node potentials (sized by the last reset_potentials /
+  /// reprice call; empty before either). Exposed for the flow auditor's
+  /// reduced-cost check — see verify/flow_audit.h.
+  [[nodiscard]] std::span<const double> potentials() const noexcept {
+    return potential_;
+  }
+
  private:
   /// Scratch buffers shared by the SPFA and Dijkstra searches, reused
   /// across augmentations and across solves.

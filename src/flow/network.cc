@@ -89,6 +89,12 @@ void FlowNetwork::freeze_residuals() noexcept {
   }
 }
 
+void FlowNetwork::rebase_flows() noexcept {
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    original_caps_[e] = edges_[e].capacity;
+  }
+}
+
 void FlowNetwork::drop_dead_arcs() noexcept {
   for (auto& head : heads_) {
     std::size_t out = 0;

@@ -93,6 +93,16 @@ class FlowNetwork {
   /// reset_flows() still restores the original capacities.
   void freeze_residuals() noexcept;
 
+  /// Make the current capacities the new flow() baseline (zeroing every
+  /// reading). The θ sweep's transient regime truncates its pair arcs
+  /// each step and re-solves from zero on the frozen scaffold, so without
+  /// a rebase the scaffold arcs report cumulative multi-step flow while
+  /// the freshly appended pair arcs report only the current step's — a
+  /// storage-walking conservation audit would see phantom imbalance at
+  /// every drained endpoint. After a rebase, flow() measures the new
+  /// epoch only. Note reset_flows() restores to the rebased baseline.
+  void rebase_flows() noexcept;
+
   /// Remove arcs whose pair is dead — zero residual in both directions —
   /// from the adjacency lists, so searches stop scanning them. Only sound
   /// after freeze_residuals(): with the backward arc permanently zero, the

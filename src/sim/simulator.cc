@@ -9,12 +9,14 @@
 #include "util/error.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "verify/schedule_audit.h"
 
 namespace ccdn {
 
 void SimulationReport::add_slot(SlotMetrics metrics,
                                 std::vector<std::uint32_t> hotspot_loads,
-                                StageTimings timings) {
+                                StageTimings timings,
+                                std::optional<std::uint64_t> digest) {
   requests_ += metrics.requests;
   served_ += metrics.served;
   replicas_ += metrics.replicas;
@@ -24,6 +26,7 @@ void SimulationReport::add_slot(SlotMetrics metrics,
   if (!hotspot_loads.empty()) {
     hotspot_loads_.push_back(std::move(hotspot_loads));
   }
+  if (digest.has_value()) slot_digests_.push_back(*digest);
 }
 
 StageTimings SimulationReport::total_stage_timings() const noexcept {
@@ -133,6 +136,7 @@ struct SlotResult {
   SlotMetrics metrics;
   std::vector<std::uint32_t> served_at;
   StageTimings timings;
+  std::optional<std::uint64_t> digest;
 };
 
 }  // namespace
@@ -174,6 +178,20 @@ SimulationReport Simulator::run(RedirectionScheme& scheme,
     const SlotDemand demand(slot_requests, index_);
     result.timings.demand_s = clock.elapsed_seconds();
     result.plan = slot_scheme.plan_slot(context, slot_requests, demand);
+    if (config_.audit_level != AuditLevel::kOff) {
+      // Scheme-agnostic plan audit: totality, range, placement shape.
+      // Capacity feasibility is a per-scheme guarantee (Nearest/Random
+      // over-assign by design and rely on admission), so it is audited
+      // inside the schemes that promise it, not here.
+      if constexpr (kCheckedBuild) {
+        AuditReport audit;
+        audit_assignment(result.plan.assignment, slot_requests.size(),
+                         hotspots_.size(), audit);
+        audit_placements(result.plan.placements, hotspots_, audit);
+        audit.require_clean("simulator slot plan");
+      }
+      result.digest = plan_digest(result.plan);
+    }
     if (const StageTimings* plan_timings = slot_scheme.last_stage_timings()) {
       result.timings.partition_s = plan_timings->partition_s;
       result.timings.gc_build_s = plan_timings->gc_build_s;
@@ -201,7 +219,7 @@ SimulationReport Simulator::run(RedirectionScheme& scheme,
       previous_placements = std::move(result.plan.placements);
     }
     report.add_slot(result.metrics, std::move(result.served_at),
-                    result.timings);
+                    result.timings, result.digest);
   };
 
   const std::size_t num_threads = config_.num_threads == 0

@@ -9,12 +9,14 @@
 // content replication cost, and CDN server load.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/scheme.h"
 #include "model/timeslots.h"
 #include "model/types.h"
+#include "verify/audit.h"
 
 namespace ccdn {
 
@@ -48,6 +50,15 @@ struct SimulationConfig {
   /// Schemes with cross-slot state (clone() == nullptr, e.g. Random) fall
   /// back to the sequential path regardless of this setting.
   std::size_t num_threads = 1;
+  /// Audit every slot plan before admission: assignment totality/range and
+  /// placement shape (count, order, cache capacity). These are the
+  /// invariants *every* scheme owes the simulator; scheme-specific
+  /// guarantees (capacity feasibility, B_peak) are audited inside the
+  /// schemes via their own audit knobs. Violations throw InvariantError.
+  /// The checks are compiled out under NDEBUG, but at any level != kOff the
+  /// report additionally records a per-slot FNV digest of (assignment,
+  /// placements) in every build — see SimulationReport::slot_digests().
+  AuditLevel audit_level = AuditLevel::kOff;
 };
 
 struct SlotMetrics {
@@ -68,7 +79,8 @@ class SimulationReport {
 
   void add_slot(SlotMetrics metrics,
                 std::vector<std::uint32_t> hotspot_loads = {},
-                StageTimings timings = {});
+                StageTimings timings = {},
+                std::optional<std::uint64_t> digest = std::nullopt);
 
   [[nodiscard]] std::size_t total_requests() const noexcept { return requests_; }
   [[nodiscard]] std::size_t served_by_hotspots() const noexcept {
@@ -102,6 +114,14 @@ class SimulationReport {
   }
   /// Sum of the per-slot stage timings.
   [[nodiscard]] StageTimings total_stage_timings() const noexcept;
+  /// Per-slot FNV digest of (assignment, placements), parallel to slots().
+  /// Empty unless SimulationConfig::audit_level != kOff. Deterministic
+  /// across runs and thread counts, so two runs of the same scheme can be
+  /// cross-checked slot by slot without retaining the plans themselves.
+  [[nodiscard]] const std::vector<std::uint64_t>& slot_digests()
+      const noexcept {
+    return slot_digests_;
+  }
 
  private:
   std::uint32_t num_videos_;
@@ -113,6 +133,7 @@ class SimulationReport {
   std::vector<SlotMetrics> slots_;
   std::vector<std::vector<std::uint32_t>> hotspot_loads_;
   std::vector<StageTimings> stage_timings_;
+  std::vector<std::uint64_t> slot_digests_;
 };
 
 /// Admit one slot's plan against the physical constraints (placement must

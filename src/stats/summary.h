@@ -14,7 +14,9 @@ class StreamingStats {
   void merge(const StreamingStats& other) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
-  [[nodiscard]] double sum() const noexcept { return mean_ * count_; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
   /// Mean of the observed values; 0 when empty.
   [[nodiscard]] double mean() const noexcept { return mean_; }
   /// Population variance; 0 when fewer than 2 samples.

@@ -154,14 +154,14 @@ std::vector<Request> generate_trace(const World& world,
           std::floor(final_xy.x_km / config.micro_phase_cell_km));
       const auto row = static_cast<std::int64_t>(
           std::floor(final_xy.y_km / config.micro_phase_cell_km));
-      const std::uint64_t cell = hash_combine64(
+      const std::uint64_t micro_cell = hash_combine64(
           hash_combine64(static_cast<std::uint64_t>(col),
                          static_cast<std::uint64_t>(row)),
           world_config.seed);
       const int span = 2 * config.micro_phase_max_shift_hours + 1;
-      const int shift = static_cast<int>(cell % static_cast<std::uint64_t>(
-                                                    span)) -
-                        config.micro_phase_max_shift_hours;
+      const int shift =
+          static_cast<int>(micro_cell % static_cast<std::uint64_t>(span)) -
+          config.micro_phase_max_shift_hours;
       const auto duration =
           static_cast<std::int64_t>(config.duration_hours) * 3600;
       request.timestamp =

@@ -1,0 +1,50 @@
+// Flow-side invariant audits: conservation, capacity bounds, reduced-cost
+// validity, and the f_ij-vs-slack contracts of Algorithm 1.
+//
+// These checks walk edge *storage*, not adjacency lists, so they stay
+// correct on networks the θ sweep has compacted (drop_dead_arcs,
+// focus_out_edges only shrink adjacency; flow() and edge() read storage).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/balance_graph.h"
+#include "flow/network.h"
+#include "verify/audit.h"
+
+namespace ccdn {
+
+/// Conservation and capacity bounds of the current flow:
+///  - every forward edge carries 0 <= flow <= original capacity
+///    ("edge-flow-negative" / "edge-over-capacity"),
+///  - net flow is zero at every interior node ("flow-conservation"),
+///  - the source emits what the sink absorbs, and not the other way
+///    around ("terminal-imbalance").
+void audit_flow_conservation(const FlowNetwork& net, NodeId source,
+                             NodeId sink, AuditReport& report);
+
+/// Every arc with positive residual capacity must price non-negatively
+/// under `potentials`: cost + pi[from] - pi[to] >= -eps
+/// ("negative-reduced-cost"). Pass an empty span for zero potentials — the
+/// post-freeze_residuals() state, where every live arc is a forward arc
+/// whose raw cost must be non-negative. A potentials span shorter than the
+/// node count is reported as "potentials-missing".
+void audit_reduced_costs(const FlowNetwork& net,
+                         std::span<const double> potentials,
+                         AuditReport& report);
+
+/// The per-pair flows extracted from a slot's sweep, checked against the
+/// partition's *initial* slack (phi as of HotspotPartition::from_loads):
+///  - entries are positive with in-range endpoints
+///    ("flow-entry-nonpositive" / "flow-endpoint-range"),
+///  - flow runs overloaded -> under-utilized ("flow-direction"),
+///  - per-hotspot totals respect phi: sum_j f_ij <= phi0_i and
+///    sum_i f_ij <= phi0_j ("flow-exceeds-slack").
+/// `initial_phi` must have one entry per hotspot.
+void audit_flow_entries(std::span<const FlowEntry> flows,
+                        const HotspotPartition& partition,
+                        std::span<const std::int64_t> initial_phi,
+                        AuditReport& report);
+
+}  // namespace ccdn

@@ -235,8 +235,10 @@ TEST(Mcmf, MatchesBruteForceOnTinyInstances) {
             if (ac + ad > phi_a || bc + bd > phi_b) continue;
             if (ac + bc > phi_c || ad + bd > phi_d) continue;
             const std::int64_t flow = ac + ad + bc + bd;
-            const double cost =
-                ac * cost_ac + ad * cost_ad + bc * cost_bc + bd * cost_bd;
+            const double cost = static_cast<double>(ac) * cost_ac +
+                                static_cast<double>(ad) * cost_ad +
+                                static_cast<double>(bc) * cost_bc +
+                                static_cast<double>(bd) * cost_bd;
             if (flow > best_flow ||
                 (flow == best_flow && cost < best_cost)) {
               best_flow = flow;

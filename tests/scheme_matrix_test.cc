@@ -133,10 +133,12 @@ INSTANTIATE_TEST_SUITE_P(
         MatrixCase{SchemeKind::kRbcaerNoAgg, 0.05, 0.03},
         MatrixCase{SchemeKind::kVirtual, 0.02, 0.01},
         MatrixCase{SchemeKind::kVirtual, 0.05, 0.03}),
-    [](const ::testing::TestParamInfo<MatrixCase>& info) {
-      std::string name = kind_name(info.param.kind);
-      name += "_" + std::to_string(static_cast<int>(info.param.capacity * 1000));
-      name += "_" + std::to_string(static_cast<int>(info.param.cache * 1000));
+    [](const ::testing::TestParamInfo<MatrixCase>& param_info) {
+      std::string name = kind_name(param_info.param.kind);
+      name +=
+          "_" + std::to_string(static_cast<int>(param_info.param.capacity * 1000));
+      name +=
+          "_" + std::to_string(static_cast<int>(param_info.param.cache * 1000));
       return name;
     });
 

@@ -1,0 +1,240 @@
+// Schedule-side auditor: digests, the universal plan contract, the
+// RBCAer-family capacity guarantees, and Procedure 1's output contracts —
+// each negative path seeded with one corruption and asserted by the exact
+// invariant name it must produce.
+#include "verify/schedule_audit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rbcaer_scheme.h"
+#include "core/replication.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+
+namespace ccdn {
+namespace {
+
+std::vector<Hotspot> two_hotspots() {
+  return {
+      {{40.00, 116.40}, /*service=*/3, /*cache=*/2},
+      {{40.01, 116.41}, /*service=*/2, /*cache=*/2},
+  };
+}
+
+TEST(PlanDigestTest, DeterministicAndSensitive) {
+  const std::vector<HotspotIndex> assignment{0, 1, kCdnServer};
+  const std::vector<std::vector<VideoId>> placements{{1, 5}, {2}};
+  const std::uint64_t base = plan_digest(assignment, placements);
+  EXPECT_EQ(base, plan_digest(assignment, placements));
+
+  std::vector<HotspotIndex> reassigned = assignment;
+  reassigned[0] = 1;
+  EXPECT_NE(base, plan_digest(reassigned, placements));
+
+  std::vector<std::vector<VideoId>> replaced = placements;
+  replaced[1] = {3};
+  EXPECT_NE(base, plan_digest(assignment, replaced));
+
+  // Moving a video between hotspots must change the digest even though the
+  // flattened id stream is identical (length prefixes see the move).
+  const std::vector<std::vector<VideoId>> moved{{1}, {5, 2}};
+  const std::vector<std::vector<VideoId>> original{{1, 5}, {2}};
+  EXPECT_NE(plan_digest(assignment, moved), plan_digest(assignment, original));
+}
+
+TEST(ScheduleAuditTest, AssignmentSizeMismatchIsNamed) {
+  const std::vector<HotspotIndex> assignment{0, 1};
+  AuditReport report;
+  audit_assignment(assignment, /*num_requests=*/3, /*num_hotspots=*/2, report);
+  EXPECT_TRUE(report.has("assignment-size")) << report.summary();
+}
+
+TEST(ScheduleAuditTest, OutOfRangeAssignmentIsNamed) {
+  const std::vector<HotspotIndex> assignment{0, 7, kCdnServer};
+  AuditReport report;
+  audit_assignment(assignment, 3, /*num_hotspots=*/2, report);
+  EXPECT_TRUE(report.has("assignment-range")) << report.summary();
+  EXPECT_EQ(report.violations().size(), 1u);  // the CDN sentinel is legal
+}
+
+TEST(ScheduleAuditTest, PlacementShapeViolationsAreNamed) {
+  const auto hotspots = two_hotspots();
+  AuditReport report;
+  // Unsorted list at hotspot 0, over-capacity list at hotspot 1.
+  const std::vector<std::vector<VideoId>> placements{{5, 1}, {1, 2, 3}};
+  audit_placements(placements, hotspots, report);
+  EXPECT_TRUE(report.has("placement-order")) << report.summary();
+  EXPECT_TRUE(report.has("cache-capacity")) << report.summary();
+
+  AuditReport count_report;
+  audit_placements({{1}}, hotspots, count_report);
+  EXPECT_TRUE(count_report.has("placement-count")) << count_report.summary();
+}
+
+/// Three requests homed at hotspot 0 (videos 1, 1, 2), caches holding
+/// video 1 at both hotspots.
+struct CapacitySlot {
+  std::vector<Hotspot> hotspots = two_hotspots();
+  std::vector<Request> requests{{0, 1, 0, {40.0, 116.4}},
+                                {1, 1, 0, {40.0, 116.4}},
+                                {2, 2, 0, {40.0, 116.4}}};
+  std::vector<HotspotIndex> homes{0, 0, 0};
+  std::vector<std::vector<VideoId>> placements{{1}, {1}};
+};
+
+TEST(ScheduleAuditTest, FeasibleRedirectionPasses) {
+  CapacitySlot s;
+  // One request stays home (servable), one redirects to 1 (placed there),
+  // one goes to the CDN.
+  const std::vector<HotspotIndex> assignment{0, 1, kCdnServer};
+  AuditReport report;
+  audit_capacity(assignment, s.placements, s.hotspots, s.requests, s.homes,
+                 report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ScheduleAuditTest, RedirectToCacheMissIsNamed) {
+  CapacitySlot s;
+  // Request 2 wants video 2, which hotspot 1 does not cache.
+  const std::vector<HotspotIndex> assignment{0, 0, 1};
+  AuditReport report;
+  audit_capacity(assignment, s.placements, s.hotspots, s.requests, s.homes,
+                 report);
+  EXPECT_TRUE(report.has("redirect-miss")) << report.summary();
+}
+
+TEST(ScheduleAuditTest, OversubscribedReceiverIsNamed) {
+  CapacitySlot s;
+  s.hotspots[1].service_capacity = 1;
+  // Two redirected requests for video 1 land on hotspot 1, which can only
+  // serve one.
+  const std::vector<HotspotIndex> assignment{1, 1, kCdnServer};
+  AuditReport report;
+  audit_capacity(assignment, s.placements, s.hotspots, s.requests, s.homes,
+                 report);
+  EXPECT_TRUE(report.has("service-capacity")) << report.summary();
+}
+
+TEST(ScheduleAuditTest, ShapeMismatchShortCircuits) {
+  CapacitySlot s;
+  const std::vector<HotspotIndex> assignment{0};  // wrong length
+  AuditReport report;
+  audit_capacity(assignment, s.placements, s.hotspots, s.requests, s.homes,
+                 report);
+  EXPECT_TRUE(report.has("capacity-audit-shape")) << report.summary();
+}
+
+ReplicationResult small_replication() {
+  ReplicationResult result;
+  result.placements = {{1}, {1, 2}};
+  result.redirects.resize(2);
+  result.redirects[0] = {{/*video=*/1, {{/*hotspot=*/1, /*count=*/2}}}};
+  result.total_redirected = 2;
+  result.replicas = 3;
+  return result;
+}
+
+TEST(ReplicationAuditTest, WellFormedResultPasses) {
+  AuditReport report;
+  audit_replication(small_replication(), two_hotspots(), /*budget=*/3, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ReplicationAuditTest, BudgetViolationIsNamed) {
+  AuditReport report;
+  audit_replication(small_replication(), two_hotspots(), /*budget=*/2, report);
+  EXPECT_TRUE(report.has("replication-budget")) << report.summary();
+}
+
+TEST(ReplicationAuditTest, ReplicaCountMismatchIsNamed) {
+  ReplicationResult result = small_replication();
+  result.replicas = 5;  // placements only hold 3
+  AuditReport report;
+  audit_replication(result, two_hotspots(), /*budget=*/9, report);
+  EXPECT_TRUE(report.has("replica-count")) << report.summary();
+}
+
+TEST(ReplicationAuditTest, RedirectContractViolationsAreNamed) {
+  ReplicationResult result = small_replication();
+  // Target out of range, a zero-count redirect, and a redirect to a hotspot
+  // missing the video; the running total no longer matches either.
+  result.redirects[1] = {{/*video=*/2,
+                          {{/*hotspot=*/5, /*count=*/1},
+                           {/*hotspot=*/0, /*count=*/1},
+                           {/*hotspot=*/1, /*count=*/0}}}};
+  AuditReport report;
+  audit_replication(result, two_hotspots(), /*budget=*/9, report);
+  EXPECT_TRUE(report.has("redirect-target")) << report.summary();
+  EXPECT_TRUE(report.has("redirect-miss")) << report.summary();
+  EXPECT_TRUE(report.has("redirect-total")) << report.summary();
+}
+
+TEST(ScheduleAuditTest, AuditedRbcaerRunIsCleanAndDigested) {
+  // End-to-end: RBCAer at kFull + the simulator's own audit produce a clean
+  // run and one digest per slot. In NDEBUG builds the audit hooks compile
+  // out but the digests must still be recorded.
+  WorldConfig world_config = WorldConfig::evaluation_region();
+  world_config.num_hotspots = 40;
+  world_config.num_videos = 800;
+  world_config.num_users = 3000;
+  World world = generate_world(world_config);
+  assign_uniform_capacities(world, 0.05, 0.03);
+  TraceConfig trace_config;
+  trace_config.num_requests = 3000;
+  trace_config.duration_hours = 6;
+  const auto trace = generate_trace(world, trace_config);
+
+  SimulationConfig sim_config;
+  sim_config.slot_seconds = 3600;
+  sim_config.audit_level = AuditLevel::kFull;
+  Simulator simulator(world.hotspots(), VideoCatalog{world_config.num_videos},
+                      sim_config);
+  RbcaerConfig scheme_config;
+  scheme_config.audit_level = AuditLevel::kFull;
+  RbcaerScheme scheme(scheme_config);
+  const SimulationReport report = simulator.run(scheme, trace);
+
+  ASSERT_EQ(report.slot_digests().size(), report.slots().size());
+  for (const std::uint64_t digest : report.slot_digests()) {
+    EXPECT_NE(digest, 0u);
+  }
+}
+
+TEST(ScheduleAuditTest, SlotDigestsIdenticalAcrossThreadCounts) {
+  // The digest turns thread-determinism into a one-line cross-check: the
+  // parallel pipeline must produce bit-identical plans slot by slot.
+  WorldConfig world_config = WorldConfig::evaluation_region();
+  world_config.num_hotspots = 40;
+  world_config.num_videos = 800;
+  world_config.num_users = 3000;
+  World world = generate_world(world_config);
+  assign_uniform_capacities(world, 0.05, 0.03);
+  TraceConfig trace_config;
+  trace_config.num_requests = 4000;
+  trace_config.duration_hours = 8;
+  const auto trace = generate_trace(world, trace_config);
+
+  const auto run_with = [&](std::size_t threads) {
+    SimulationConfig sim_config;
+    sim_config.slot_seconds = 3600;
+    sim_config.num_threads = threads;
+    sim_config.audit_level = AuditLevel::kPlan;
+    Simulator simulator(world.hotspots(),
+                        VideoCatalog{world_config.num_videos}, sim_config);
+    RbcaerScheme scheme;
+    return simulator.run(scheme, trace);
+  };
+
+  const SimulationReport sequential = run_with(1);
+  const SimulationReport parallel = run_with(4);
+  ASSERT_FALSE(sequential.slot_digests().empty());
+  ASSERT_EQ(sequential.slot_digests().size(), parallel.slot_digests().size());
+  for (std::size_t s = 0; s < sequential.slot_digests().size(); ++s) {
+    EXPECT_EQ(sequential.slot_digests()[s], parallel.slot_digests()[s])
+        << "slot " << s;
+  }
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -1,0 +1,165 @@
+// audit_run — replay a trace through a scheme at maximum audit level and
+// report every invariant violation instead of throwing on the first.
+//
+//   audit_run [--scheme=rbcaer|virtual|nearest|random] [--in=trace.csv]
+//             [--hotspots=310] [--videos=15190] [--requests=20000]
+//             [--hours=24] [--seed=42] [--slot-seconds=3600]
+//             [--capacity=0.05] [--cache=0.03] [--quiet]
+//
+// Without --in a synthetic trace is generated from the world flags (the
+// same parameterization as `ccdn-trace generate`), so the tool is
+// self-contained for CI. The slot loop mirrors Simulator::run but audits
+// explicitly: the scheme-agnostic plan contract (assignment totality,
+// placement shape) for every scheme, plus capacity feasibility for the
+// RBCAer family, collecting violations into a per-slot report. Explicit
+// audits run in EVERY build — including NDEBUG, where the in-pipeline
+// CCDN_ASSERT hooks are compiled out — so a release binary still verifies
+// its own plans here. In checked builds the scheme-internal audits
+// (θ-sweep commits, Procedure 1, flow entries) run as well via
+// audit_level = kFull.
+//
+// Exit status: 0 when every slot is clean, 1 when any invariant failed,
+// 2 on usage errors.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nearest_scheme.h"
+#include "core/random_scheme.h"
+#include "core/rbcaer_scheme.h"
+#include "core/virtual_rbcaer_scheme.h"
+#include "model/timeslots.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/trace_io.h"
+#include "trace/world.h"
+#include "util/flags.h"
+#include "verify/schedule_audit.h"
+
+namespace {
+
+using namespace ccdn;
+
+struct SchemeChoice {
+  SchemePtr scheme;
+  /// RBCAer-family plans promise capacity feasibility; baselines do not.
+  bool audit_capacity = false;
+};
+
+SchemeChoice make_scheme(const std::string& name) {
+  SchemeChoice choice;
+  if (name == "rbcaer") {
+    RbcaerConfig config;
+    config.audit_level = AuditLevel::kFull;
+    choice.scheme = std::make_unique<RbcaerScheme>(config);
+    choice.audit_capacity = true;
+  } else if (name == "virtual") {
+    VirtualRbcaerConfig config;
+    config.regional.audit_level = AuditLevel::kFull;
+    choice.scheme = std::make_unique<VirtualRbcaerScheme>(config);
+    choice.audit_capacity = true;
+  } else if (name == "nearest") {
+    choice.scheme = std::make_unique<NearestScheme>();
+  } else if (name == "random") {
+    choice.scheme = std::make_unique<RandomScheme>();
+  }
+  return choice;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string scheme_name = flags.get_string("scheme", "rbcaer");
+  SchemeChoice choice = make_scheme(scheme_name);
+  if (!choice.scheme) {
+    std::fprintf(stderr,
+                 "unknown --scheme=%s (rbcaer|virtual|nearest|random)\n",
+                 scheme_name.c_str());
+    return 2;
+  }
+
+  WorldConfig world_config = WorldConfig::evaluation_region();
+  world_config.num_hotspots = static_cast<std::size_t>(
+      flags.get_int("hotspots",
+                    static_cast<std::int64_t>(world_config.num_hotspots)));
+  world_config.num_videos =
+      static_cast<std::uint32_t>(flags.get_int("videos",
+                                               world_config.num_videos));
+  world_config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  World world = generate_world(world_config);
+  assign_uniform_capacities(world, flags.get_double("capacity", 0.05),
+                            flags.get_double("cache", 0.03));
+
+  std::vector<Request> trace;
+  const std::string in = flags.get_string("in", "");
+  if (!in.empty()) {
+    trace = read_trace_csv(in);
+  } else {
+    TraceConfig trace_config;
+    trace_config.num_requests =
+        static_cast<std::size_t>(flags.get_int("requests", 20000));
+    trace_config.duration_hours =
+        static_cast<std::size_t>(flags.get_int("hours", 24));
+    trace_config.seed = world_config.seed;
+    trace = generate_trace(world, trace_config);
+  }
+
+  const std::int64_t slot_seconds = flags.get_int("slot-seconds", 3600);
+  const bool quiet = flags.get_bool("quiet", false);
+  for (const auto& unknown : flags.unused()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    return 2;
+  }
+
+  const GridIndex index(world.hotspot_locations(), /*cell_km=*/0.5);
+  const SchemeContext context{world.hotspots(), index,
+                              VideoCatalog{world.config().num_videos},
+                              kCdnDistanceKm};
+  const std::vector<SlotRange> slots =
+      partition_into_slots(trace, slot_seconds);
+
+  std::printf("audit_run: scheme=%s build=%s slots=%zu requests=%zu "
+              "hotspots=%zu\n",
+              choice.scheme->name().c_str(),
+              kCheckedBuild ? "checked" : "release", slots.size(),
+              trace.size(), world.hotspots().size());
+
+  std::size_t violations = 0;
+  std::size_t served = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const auto slot_requests =
+        std::span<const Request>(trace).subspan(slots[i].begin,
+                                                slots[i].size());
+    const SlotDemand demand(slot_requests, index);
+    const SlotPlan plan =
+        choice.scheme->plan_slot(context, slot_requests, demand);
+
+    AuditReport report;
+    audit_assignment(plan.assignment, slot_requests.size(),
+                     world.hotspots().size(), report);
+    audit_placements(plan.placements, world.hotspots(), report);
+    if (choice.audit_capacity) {
+      audit_capacity(plan.assignment, plan.placements, world.hotspots(),
+                     slot_requests, demand.request_home(), report);
+    }
+    const std::uint64_t digest = plan_digest(plan);
+    if (!report.ok()) {
+      violations += report.violations().size();
+      std::printf("slot %zu: FAIL %s\n", i, report.summary().c_str());
+    } else if (!quiet) {
+      std::printf("slot %zu: ok (%zu requests, digest %016llx)\n", i,
+                  slot_requests.size(),
+                  static_cast<unsigned long long>(digest));
+    }
+    const SlotMetrics metrics =
+        admit_slot(world.hotspots(), plan, slot_requests, kCdnDistanceKm);
+    served += metrics.served;
+  }
+
+  std::printf("audit_run: %zu violation(s) across %zu slot(s); "
+              "%zu/%zu requests served by hotspots\n",
+              violations, slots.size(), served, trace.size());
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Determinism-hygiene lint for the scheduler codebase.
+
+The simulator's cross-thread digest check (ScheduleAuditTest.
+SlotDigestsIdenticalAcrossThreadCounts) only proves determinism for the
+paths it runs. This lint closes the gap statically: it scans the shipped
+sources for constructs whose observable behaviour depends on the process
+environment rather than the seeded Rng —
+
+  * std::random_device / rand() / srand() / drand48(): nondeterministic
+    randomness. All randomness must flow through util/rng.h (seeded,
+    splittable).
+  * wall-clock reads (std::chrono::*_clock::now, time(), gettimeofday):
+    scheduling decisions keyed on real time cannot replay.
+  * std::unordered_map / std::unordered_set: iteration order is
+    implementation- and address-dependent. Allowed only where the file has
+    been audited to reduce results order-independently (sort with full
+    tie-breaks, or aggregate into order-insensitive values) and is listed
+    in the whitelist below with its justification.
+
+Each whitelist entry documents WHY the usage is safe; a new hazard in an
+unlisted file (or a new hazard class in a listed file) fails the lint.
+Run locally with `python3 tools/check_determinism_hygiene.py`; CI runs it
+in the static-analysis job.
+
+Exit status: 0 clean, 1 unwhitelisted hazards found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tools", "examples")
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+# hazard id -> (regex, human explanation)
+HAZARDS = {
+    "random-device": (
+        re.compile(r"std::random_device|\brandom_device\b"),
+        "std::random_device is nondeterministic; use the seeded util/rng.h",
+    ),
+    "libc-rand": (
+        re.compile(r"(?<![\w:.])s?rand\s*\(|\bdrand48\s*\("),
+        "rand()/srand()/drand48() share hidden global state; use util/rng.h",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"::now\s*\(\)|\bgettimeofday\s*\(|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+        ),
+        "wall-clock reads make runs unreplayable; derive time from the trace",
+    ),
+    "unordered-container": (
+        re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b"),
+        "unordered container iteration order is address-dependent; sort "
+        "results with full tie-breaks or use an ordered container",
+    ),
+}
+
+# (relative file, hazard id) -> justification from the audit that admitted it.
+WHITELIST = {
+    ("src/util/log.cc", "wall-clock"):
+        "timestamps are display-only log prefixes; they never feed a "
+        "scheduling decision",
+    ("src/util/stopwatch.h", "wall-clock"):
+        "steady_clock timing for reported stage durations; measured, never "
+        "branched on",
+    ("src/model/trace_stats.cc", "unordered-container"):
+        "dedup/count scratch; counts are extracted and sorted descending "
+        "before any consumer sees them",
+    ("src/cache/policies.h", "unordered-container"):
+        "O(1) lookup index into an ordered std::list; eviction order comes "
+        "from the list, never from map iteration",
+    ("src/sim/measurement.cc", "unordered-container"):
+        "per-hotspot first-seen dedup; extracted video ids are sorted before "
+        "use",
+    ("src/predict/demand_predictor.h", "unordered-container"):
+        "per-video series state queried by key; iteration feeds an "
+        "order-insensitive aggregate",
+    ("src/core/virtual_rbcaer_scheme.cc", "unordered-container"):
+        "region scratch maps; outputs are flattened and sorted with full "
+        "tie-breaks before they reach the plan",
+    ("src/core/replication.cc", "unordered-container"):
+        "dead-pair membership set used for contains() pruning only; never "
+        "iterated",
+    ("src/core/random_scheme.cc", "unordered-container"):
+        "neighbourhood demand merge; fed to top_k_videos which tie-breaks "
+        "(count desc, video asc) and sorts its output",
+}
+
+
+def scan_file(path: Path) -> list[tuple[int, str, str]]:
+    """Return (line number, hazard id, line text) findings for one file."""
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    findings = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        print(f"error: cannot read {rel}: {err}", file=sys.stderr)
+        sys.exit(1)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        code = line.split("//", 1)[0]
+        if not code.strip():
+            continue
+        for hazard, (pattern, _) in HAZARDS.items():
+            if (rel, hazard) in WHITELIST:
+                continue
+            if pattern.search(code):
+                findings.append((lineno, hazard, line.strip()))
+    return findings
+
+
+def main() -> int:
+    stale = [
+        f"{rel} ({hazard})"
+        for rel, hazard in WHITELIST
+        if not (REPO_ROOT / rel).is_file()
+    ]
+    if stale:
+        print("stale whitelist entries (file no longer exists):")
+        for entry in stale:
+            print(f"  {entry}")
+        return 1
+
+    failures = 0
+    for scan_dir in SCAN_DIRS:
+        root = REPO_ROOT / scan_dir
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES:
+                continue
+            for lineno, hazard, snippet in scan_file(path):
+                rel = path.relative_to(REPO_ROOT).as_posix()
+                print(f"{rel}:{lineno}: [{hazard}] {snippet}")
+                print(f"    {HAZARDS[hazard][1]}")
+                failures += 1
+
+    if failures:
+        print(
+            f"\n{failures} determinism hazard(s). Either fix the call site "
+            "or, if an audit shows the usage is order/time-insensitive, add "
+            "a whitelist entry with the justification in "
+            "tools/check_determinism_hygiene.py."
+        )
+        return 1
+    print(
+        "determinism hygiene: clean "
+        f"({len(WHITELIST)} audited whitelist entries)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
