@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <deque>
 #include <future>
 #include <utility>
 
@@ -139,74 +140,83 @@ struct SlotResult {
   std::optional<std::uint64_t> digest;
 };
 
+/// Plan + admit one slot. Pure in (scheme state, slot inputs), so distinct
+/// slots may run concurrently as long as each invocation owns its scheme
+/// instance. Shared verbatim by both run() overloads — this is what makes
+/// streaming results bit-identical to in-memory ones.
+SlotResult process_slot(const SimulationConfig& config,
+                        const SchemeContext& context,
+                        const std::vector<Hotspot>& hotspots,
+                        const GridIndex& index, RedirectionScheme& slot_scheme,
+                        std::span<const Request> slot_requests,
+                        std::span<const std::uint8_t> availability) {
+  SlotResult result;
+  Stopwatch clock;
+  const SlotDemand demand(slot_requests, index);
+  result.timings.demand_s = clock.elapsed_seconds();
+  result.plan = slot_scheme.plan_slot(context, slot_requests, demand);
+  if (config.audit_level != AuditLevel::kOff) {
+    // Scheme-agnostic plan audit: totality, range, placement shape.
+    // Capacity feasibility is a per-scheme guarantee (Nearest/Random
+    // over-assign by design and rely on admission), so it is audited
+    // inside the schemes that promise it, not here.
+    if constexpr (kCheckedBuild) {
+      AuditReport audit;
+      audit_assignment(result.plan.assignment, slot_requests.size(),
+                       hotspots.size(), audit);
+      audit_placements(result.plan.placements, hotspots, audit);
+      audit.require_clean("simulator slot plan");
+    }
+    result.digest = plan_digest(result.plan);
+  }
+  if (const StageTimings* plan_timings = slot_scheme.last_stage_timings()) {
+    result.timings.partition_s = plan_timings->partition_s;
+    result.timings.gc_build_s = plan_timings->gc_build_s;
+    result.timings.graph_s = plan_timings->graph_s;
+    result.timings.mcmf_s = plan_timings->mcmf_s;
+    result.timings.replication_s = plan_timings->replication_s;
+  }
+  clock.reset();
+  result.metrics = admit_slot(
+      hotspots, result.plan, slot_requests, config.cdn_distance_km,
+      config.record_hotspot_loads ? &result.served_at : nullptr, availability);
+  result.timings.admit_s = clock.elapsed_seconds();
+  return result;
+}
+
 }  // namespace
 
 SimulationReport Simulator::run(RedirectionScheme& scheme,
                                 std::span<const Request> requests) const {
-  SimulationReport report(catalog_.num_videos, config_.cdn_distance_km);
-  const std::vector<SlotRange> slots =
-      partition_into_slots(requests, config_.slot_seconds);
+  VectorSlotSource source(requests, config_.slot_seconds);
+  return run(scheme, source);
+}
 
-  const SchemeContext context{hotspots_, index_, catalog_,
-                              config_.cdn_distance_km};
+SimulationReport Simulator::run(RedirectionScheme& scheme,
+                                SlotSource& source) const {
+  CCDN_REQUIRE(source.slot_seconds() == config_.slot_seconds,
+               "slot source window differs from simulator slot length");
   CCDN_REQUIRE(config_.offline_probability >= 0.0 &&
                    config_.offline_probability < 1.0,
                "offline probability outside [0,1)");
+  SimulationReport report(catalog_.num_videos, config_.cdn_distance_km);
+  const SchemeContext context{hotspots_, index_, catalog_,
+                              config_.cdn_distance_km};
 
-  // Churn masks are drawn sequentially up front, in the same slot order and
-  // with the same per-slot draw count as the classic loop, so availability
-  // is identical no matter how slots are later scheduled across threads.
-  std::vector<std::vector<std::uint8_t>> availability(slots.size());
-  if (config_.offline_probability > 0.0) {
-    Rng churn_rng(config_.churn_seed);
-    for (auto& mask : availability) {
-      mask.assign(hotspots_.size(), 1);
-      for (std::size_t h = 0; h < hotspots_.size(); ++h) {
-        if (churn_rng.chance(config_.offline_probability)) mask[h] = 0;
-      }
+  // Churn masks are drawn on the pulling thread in slot order, with the
+  // same per-slot draw count no matter how slots are later scheduled
+  // across threads, so availability matches the classic sequential loop
+  // bit for bit.
+  Rng churn_rng(config_.churn_seed);
+  const bool churn = config_.offline_probability > 0.0;
+  const auto draw_mask = [&] {
+    std::vector<std::uint8_t> mask;
+    if (!churn) return mask;
+    mask.assign(hotspots_.size(), 1);
+    for (std::size_t h = 0; h < hotspots_.size(); ++h) {
+      if (churn_rng.chance(config_.offline_probability)) mask[h] = 0;
     }
-  }
-
-  // Plan + admit one slot. Safe to run concurrently for distinct slots as
-  // long as each invocation gets its own scheme instance.
-  const auto process_slot = [&](RedirectionScheme& slot_scheme,
-                                std::size_t slot_index) {
-    const SlotRange& range = slots[slot_index];
-    const auto slot_requests = requests.subspan(range.begin, range.size());
-    SlotResult result;
-    Stopwatch clock;
-    const SlotDemand demand(slot_requests, index_);
-    result.timings.demand_s = clock.elapsed_seconds();
-    result.plan = slot_scheme.plan_slot(context, slot_requests, demand);
-    if (config_.audit_level != AuditLevel::kOff) {
-      // Scheme-agnostic plan audit: totality, range, placement shape.
-      // Capacity feasibility is a per-scheme guarantee (Nearest/Random
-      // over-assign by design and rely on admission), so it is audited
-      // inside the schemes that promise it, not here.
-      if constexpr (kCheckedBuild) {
-        AuditReport audit;
-        audit_assignment(result.plan.assignment, slot_requests.size(),
-                         hotspots_.size(), audit);
-        audit_placements(result.plan.placements, hotspots_, audit);
-        audit.require_clean("simulator slot plan");
-      }
-      result.digest = plan_digest(result.plan);
-    }
-    if (const StageTimings* plan_timings = slot_scheme.last_stage_timings()) {
-      result.timings.partition_s = plan_timings->partition_s;
-      result.timings.gc_build_s = plan_timings->gc_build_s;
-      result.timings.graph_s = plan_timings->graph_s;
-      result.timings.mcmf_s = plan_timings->mcmf_s;
-      result.timings.replication_s = plan_timings->replication_s;
-    }
-    clock.reset();
-    result.metrics = admit_slot(
-        hotspots_, result.plan, slot_requests, config_.cdn_distance_km,
-        config_.record_hotspot_loads ? &result.served_at : nullptr,
-        availability.empty() ? std::span<const std::uint8_t>{}
-                             : availability[slot_index]);
-    result.timings.admit_s = clock.elapsed_seconds();
-    return result;
+    return mask;
   };
 
   // Placement-delta charging chains slot i to slot i-1, so it lives in this
@@ -225,32 +235,68 @@ SimulationReport Simulator::run(RedirectionScheme& scheme,
   const std::size_t num_threads = config_.num_threads == 0
                                       ? ThreadPool::default_threads()
                                       : config_.num_threads;
-  if (num_threads > 1 && slots.size() > 1) {
+  const std::size_t window = config_.max_inflight_slots == 0
+                                 ? 2 * num_threads
+                                 : config_.max_inflight_slots;
+
+  if (num_threads > 1 && window > 1) {
     if (SchemePtr probe = scheme.clone()) {
-      // Parallel pipeline: every slot plans against its own clone; the
-      // main thread consumes results in slot order.
-      std::vector<std::future<SlotResult>> futures;
-      futures.reserve(slots.size());
+      // Pipelined window executor: at most `window` slot batches are
+      // resident/in flight; slot k+W is not even pulled from the source
+      // until slot k's ordered reduction retired (backpressure). Each of
+      // the W lanes owns one scheme clone that is recycled across window
+      // generations (slots k, k+W, k+2W, ... reuse lane k%W), so per-slot
+      // scratch — candidate-edge buffers, ThetaSweeper scaffolds — is
+      // reallocated W times per run instead of once per slot. Lane reuse
+      // is race-free because a lane's previous slot has always been
+      // retired (its future consumed) before the lane is resubmitted.
       std::vector<SchemePtr> clones;
-      clones.reserve(slots.size());
+      clones.reserve(window);
       clones.push_back(std::move(probe));
-      for (std::size_t i = 1; i < slots.size(); ++i) {
-        clones.push_back(scheme.clone());
+      for (std::size_t i = 1; i < window; ++i) clones.push_back(scheme.clone());
+      std::vector<SlotBatch> lanes(window);
+      std::vector<std::vector<std::uint8_t>> masks(window);
+      ThreadPool pool(std::min(num_threads, window));
+      std::deque<std::future<SlotResult>> inflight;
+      std::size_t submitted = 0;
+      bool exhausted = false;
+      const auto pump = [&] {
+        while (!exhausted && inflight.size() < window) {
+          std::optional<SlotBatch> batch = source.next();
+          if (!batch.has_value()) {
+            exhausted = true;
+            break;
+          }
+          CCDN_ENSURE(batch->slot_index == submitted,
+                      "slot source emitted slots out of order");
+          const std::size_t lane = submitted % window;
+          lanes[lane] = std::move(*batch);
+          masks[lane] = draw_mask();
+          inflight.push_back(pool.submit([this, &context, &clones, &lanes,
+                                          &masks, lane] {
+            return process_slot(config_, context, hotspots_, index_,
+                                *clones[lane], lanes[lane].requests,
+                                masks[lane]);
+          }));
+          ++submitted;
+        }
+      };
+      pump();
+      while (!inflight.empty()) {
+        reduce_slot(inflight.front().get());
+        inflight.pop_front();
+        pump();
       }
-      ThreadPool pool(std::min(num_threads, slots.size()));
-      for (std::size_t i = 0; i < slots.size(); ++i) {
-        futures.push_back(pool.submit([&process_slot, &clones, i] {
-          return process_slot(*clones[i], i);
-        }));
-      }
-      for (auto& future : futures) reduce_slot(future.get());
       return report;
     }
     // Stateful scheme: planning order is part of its semantics, so fall
     // through to the sequential path.
   }
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    reduce_slot(process_slot(scheme, i));
+  // Sequential path: one batch resident at a time.
+  while (std::optional<SlotBatch> batch = source.next()) {
+    const std::vector<std::uint8_t> mask = draw_mask();
+    reduce_slot(process_slot(config_, context, hotspots_, index_, scheme,
+                             batch->requests, mask));
   }
   return report;
 }

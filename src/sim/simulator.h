@@ -16,6 +16,7 @@
 #include "core/scheme.h"
 #include "model/timeslots.h"
 #include "model/types.h"
+#include "trace/slot_source.h"
 #include "verify/audit.h"
 
 namespace ccdn {
@@ -50,6 +51,14 @@ struct SimulationConfig {
   /// Schemes with cross-slot state (clone() == nullptr, e.g. Random) fall
   /// back to the sequential path regardless of this setting.
   std::size_t num_threads = 1;
+  /// Bounded planning window for the pipelined executor: at most this many
+  /// slot batches are resident/in flight at once, and slot k+W may not
+  /// start until slot k's ordered reduction has retired (backpressure, not
+  /// barriers). 0 means "2x the worker threads". Both run() overloads use
+  /// the same executor, so peak memory is O(window x slot size) even for
+  /// the streaming SlotSource path; the window size never changes results
+  /// (bit-identical reports and digests at any window and thread count).
+  std::size_t max_inflight_slots = 0;
   /// Audit every slot plan before admission: assignment totality/range and
   /// placement shape (count, order, cache capacity). These are the
   /// invariants *every* scheme owes the simulator; scheme-specific
@@ -154,9 +163,22 @@ class Simulator {
   Simulator(std::vector<Hotspot> hotspots, VideoCatalog catalog,
             SimulationConfig config = {});
 
-  /// Run a scheme over the whole trace.
+  /// Run a scheme over the whole trace (delegates to the streaming
+  /// executor through a VectorSlotSource, so both overloads share one
+  /// pipeline and produce identical reports on equal traces).
   [[nodiscard]] SimulationReport run(RedirectionScheme& scheme,
                                      std::span<const Request> requests) const;
+
+  /// Run a scheme over a slot stream in bounded memory: at most
+  /// config().max_inflight_slots batches are ever resident. Churn masks
+  /// are drawn in slot order as batches are pulled and placement deltas
+  /// are charged in the ordered reduction, so the report and per-slot
+  /// digests are bit-identical to the in-memory run on the equivalent
+  /// materialized trace, at any thread count and window size. Schemes
+  /// without clone() are planned sequentially on the pulling thread
+  /// (still bounded: one batch resident).
+  [[nodiscard]] SimulationReport run(RedirectionScheme& scheme,
+                                     SlotSource& source) const;
 
   [[nodiscard]] const std::vector<Hotspot>& hotspots() const noexcept {
     return hotspots_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "stats/zipf.h"
 #include "util/error.h"
@@ -52,90 +53,114 @@ GeoPoint clamp_to(const BoundingBox& box, GeoPoint p) {
   return p;
 }
 
+void stable_sort_by_timestamp(std::vector<Request>& requests) {
+  // Stable, so equal timestamps keep draw order. This makes the order a
+  // total function of the seeds and lets windowed emission reproduce the
+  // monolithic trace segment by segment (see TraceGenerator).
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
 }  // namespace
 
-std::vector<Request> generate_trace(const World& world,
-                                    const TraceConfig& config) {
-  CCDN_REQUIRE(config.num_requests > 0, "empty trace requested");
-  CCDN_REQUIRE(config.duration_hours > 0, "zero-length trace");
-  CCDN_REQUIRE(config.local_skew >= 0.0 && config.local_skew <= 1.0,
+TraceGenerator::TraceGenerator(const World& world, TraceConfig config,
+                               std::int64_t slot_seconds)
+    : world_(world), config_(config), slot_seconds_(slot_seconds) {
+  CCDN_REQUIRE(config_.num_requests > 0, "empty trace requested");
+  CCDN_REQUIRE(config_.duration_hours > 0, "zero-length trace");
+  CCDN_REQUIRE(config_.local_skew >= 0.0 && config_.local_skew <= 1.0,
                "local_skew outside [0,1]");
+  CCDN_REQUIRE(slot_seconds_ > 0, "non-positive slot length");
 
-  const auto& zones = world.zones();
-  const auto& world_config = world.config();
-  Rng root(hash_combine64(world_config.seed, config.seed));
+  const auto& zones = world_.zones();
+  const auto& world_config = world_.config();
+  Rng root(hash_combine64(world_config.seed, config_.seed));
   Rng catalog_rng = root.fork(1);
-  Rng draw_rng = root.fork(2);
 
   // Per-zone local catalogs and their internal popularity law.
-  std::vector<std::vector<VideoId>> catalogs;
-  catalogs.reserve(zones.size());
+  catalogs_.reserve(zones.size());
   for (std::size_t z = 0; z < zones.size(); ++z) {
     Rng zone_rng = catalog_rng.fork(z);
-    catalogs.push_back(make_local_catalog(world, zones[z],
-                                          config.local_catalog_size, zone_rng));
+    catalogs_.push_back(make_local_catalog(
+        world_, zones[z], config_.local_catalog_size, zone_rng));
   }
-  const ZipfDistribution local_law(
-      std::max<std::size_t>(std::size_t{1}, config.local_catalog_size),
-      config.local_zipf_exponent);
-  const ZipfDistribution global_law(world_config.num_videos,
-                                    world.zipf_exponent());
-  const ZipfDistribution hot_law(
-      std::min<std::size_t>(config.hot_set_size, world_config.num_videos),
-      world.zipf_exponent());
 
   // (zone, hour) sampling weights: demand share x diurnal activity.
-  const std::size_t cells = zones.size() * config.duration_hours;
-  std::vector<double> cumulative(cells);
-  double total = 0.0;
+  const std::size_t cells = zones.size() * config_.duration_hours;
+  cumulative_.resize(cells);
+  total_weight_ = 0.0;
   for (std::size_t z = 0; z < zones.size(); ++z) {
-    for (std::size_t hour = 0; hour < config.duration_hours; ++hour) {
-      total += zones[z].weight * zones[z].hourly[hour % 24];
-      cumulative[z * config.duration_hours + hour] = total;
+    for (std::size_t hour = 0; hour < config_.duration_hours; ++hour) {
+      total_weight_ += zones[z].weight * zones[z].hourly[hour % 24];
+      cumulative_[z * config_.duration_hours + hour] = total_weight_;
     }
   }
-  CCDN_ENSURE(total > 0.0, "degenerate zone/hour weights");
+  CCDN_ENSURE(total_weight_ > 0.0, "degenerate zone/hour weights");
 
   // Users are partitioned across zones proportionally to demand weight.
-  std::vector<std::uint32_t> user_base(zones.size() + 1, 0);
+  user_base_.assign(zones.size() + 1, 0);
   {
     double weight_sum = 0.0;
     for (const auto& zone : zones) weight_sum += zone.weight;
     double acc = 0.0;
     for (std::size_t z = 0; z < zones.size(); ++z) {
       acc += zones[z].weight;
-      user_base[z + 1] = static_cast<std::uint32_t>(
+      user_base_[z + 1] = static_cast<std::uint32_t>(
           acc / weight_sum * static_cast<double>(world_config.num_users));
     }
-    user_base.back() = world_config.num_users;
+    user_base_.back() = world_config.num_users;
   }
+}
 
+void TraceGenerator::replay(std::int64_t window_begin,
+                            std::int64_t window_end,
+                            std::vector<Request>& out) const {
+  const auto& zones = world_.zones();
+  const auto& world_config = world_.config();
+  // The draw stream is a pure function of the seeds: every pass recreates
+  // the same child generator and consumes the same number of draws per
+  // request, so pass k sees exactly the requests pass 0 saw.
+  Rng root(hash_combine64(world_config.seed, config_.seed));
+  Rng draw_rng = root.fork(2);
+
+  const ZipfDistribution local_law(
+      std::max<std::size_t>(std::size_t{1}, config_.local_catalog_size),
+      config_.local_zipf_exponent);
+  const ZipfDistribution global_law(world_config.num_videos,
+                                    world_.zipf_exponent());
+  const ZipfDistribution hot_law(
+      std::min<std::size_t>(config_.hot_set_size, world_config.num_videos),
+      world_.zipf_exponent());
+
+  const bool keep_all = window_begin > window_end;
   const Projection projection(world_config.region.center());
-  std::vector<Request> requests;
-  requests.reserve(config.num_requests);
-  for (std::size_t r = 0; r < config.num_requests; ++r) {
-    const double pick = draw_rng.uniform(0.0, total);
+  min_timestamp_ = std::numeric_limits<std::int64_t>::max();
+  max_timestamp_ = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t r = 0; r < config_.num_requests; ++r) {
+    const double pick = draw_rng.uniform(0.0, total_weight_);
     const std::size_t cell = static_cast<std::size_t>(
-        std::lower_bound(cumulative.begin(), cumulative.end(), pick) -
-        cumulative.begin());
-    const std::size_t z = std::min(cell / config.duration_hours,
-                                   zones.size() - 1);
-    const std::size_t hour = cell % config.duration_hours;
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), pick) -
+        cumulative_.begin());
+    const std::size_t z =
+        std::min(cell / config_.duration_hours, zones.size() - 1);
+    const std::size_t hour = cell % config_.duration_hours;
     const Zone& zone = zones[z];
 
     Request request;
     request.timestamp = static_cast<std::int64_t>(hour) * 3600 +
                         draw_rng.uniform_int(0, 3599);
     const std::uint32_t users_in_zone =
-        std::max<std::uint32_t>(1, user_base[z + 1] - user_base[z]);
-    request.user = user_base[z] + static_cast<std::uint32_t>(
-                                      draw_rng.index(users_in_zone));
+        std::max<std::uint32_t>(1, user_base_[z + 1] - user_base_[z]);
+    request.user = user_base_[z] + static_cast<std::uint32_t>(
+                                       draw_rng.index(users_in_zone));
     const double mix = draw_rng.uniform();
-    if (!catalogs[z].empty() && mix < config.local_skew) {
+    if (!catalogs_[z].empty() && mix < config_.local_skew) {
       const std::size_t rank =
-          std::min(local_law.sample(draw_rng), catalogs[z].size() - 1);
-      request.video = catalogs[z][rank];
-    } else if (mix < config.local_skew + config.hot_skew) {
+          std::min(local_law.sample(draw_rng), catalogs_[z].size() - 1);
+      request.video = catalogs_[z][rank];
+    } else if (mix < config_.local_skew + config_.hot_skew) {
       // Hit shows: the global head every neighbourhood watches.
       request.video = static_cast<VideoId>(hot_law.sample(draw_rng));
     } else {
@@ -145,39 +170,81 @@ std::vector<Request> generate_trace(const World& world,
     const Projection::Xy xy{
         center.x_km + draw_rng.normal(0.0, zone.sigma_km),
         center.y_km + draw_rng.normal(0.0, zone.sigma_km)};
-    request.location =
-        clamp_to(world_config.region, projection.to_geo(xy));
-    if (config.micro_phase_max_shift_hours > 0) {
+    request.location = clamp_to(world_config.region, projection.to_geo(xy));
+    if (config_.micro_phase_max_shift_hours > 0) {
       // Deterministic per-micro-site hour shift (see TraceConfig).
       const auto final_xy = projection.to_xy(request.location);
       const auto col = static_cast<std::int64_t>(
-          std::floor(final_xy.x_km / config.micro_phase_cell_km));
+          std::floor(final_xy.x_km / config_.micro_phase_cell_km));
       const auto row = static_cast<std::int64_t>(
-          std::floor(final_xy.y_km / config.micro_phase_cell_km));
+          std::floor(final_xy.y_km / config_.micro_phase_cell_km));
       const std::uint64_t micro_cell = hash_combine64(
           hash_combine64(static_cast<std::uint64_t>(col),
                          static_cast<std::uint64_t>(row)),
           world_config.seed);
-      const int span = 2 * config.micro_phase_max_shift_hours + 1;
+      const int span = 2 * config_.micro_phase_max_shift_hours + 1;
       const int shift =
           static_cast<int>(micro_cell % static_cast<std::uint64_t>(span)) -
-          config.micro_phase_max_shift_hours;
+          config_.micro_phase_max_shift_hours;
       const auto duration =
-          static_cast<std::int64_t>(config.duration_hours) * 3600;
+          static_cast<std::int64_t>(config_.duration_hours) * 3600;
       request.timestamp =
           ((request.timestamp + static_cast<std::int64_t>(shift) * 3600) %
                duration +
            duration) %
           duration;
     }
-    requests.push_back(request);
+    min_timestamp_ = std::min(min_timestamp_, request.timestamp);
+    max_timestamp_ = std::max(max_timestamp_, request.timestamp);
+    if (keep_all || (request.timestamp >= window_begin &&
+                     request.timestamp < window_end)) {
+      out.push_back(request);
+    }
   }
+}
 
-  std::sort(requests.begin(), requests.end(),
-            [](const Request& a, const Request& b) {
-              return a.timestamp < b.timestamp;
-            });
+std::vector<Request> TraceGenerator::generate() const {
+  std::vector<Request> requests;
+  requests.reserve(config_.num_requests);
+  replay(/*window_begin=*/1, /*window_end=*/0, requests);  // keep everything
+  stable_sort_by_timestamp(requests);
   return requests;
+}
+
+void TraceGenerator::ensure_bounds() {
+  if (bounds_known_) return;
+  std::vector<Request> discard;
+  // Empty keep-window: this pass only records the timestamp bounds that
+  // anchor the slot grid (the same anchor partition_into_slots derives
+  // from the materialized trace's first request).
+  replay(/*window_begin=*/0, /*window_end=*/0, discard);
+  num_slots_ = static_cast<std::size_t>(
+                   (max_timestamp_ - min_timestamp_) / slot_seconds_) +
+               1;
+  bounds_known_ = true;
+}
+
+std::size_t TraceGenerator::num_slots() {
+  ensure_bounds();
+  return num_slots_;
+}
+
+std::optional<std::vector<Request>> TraceGenerator::next_slot_batch() {
+  ensure_bounds();
+  if (cursor_slot_ >= num_slots_) return std::nullopt;
+  const std::int64_t begin =
+      min_timestamp_ +
+      static_cast<std::int64_t>(cursor_slot_) * slot_seconds_;
+  std::vector<Request> batch;
+  replay(begin, begin + slot_seconds_, batch);
+  stable_sort_by_timestamp(batch);
+  ++cursor_slot_;
+  return batch;
+}
+
+std::vector<Request> generate_trace(const World& world,
+                                    const TraceConfig& config) {
+  return TraceGenerator(world, config).generate();
 }
 
 }  // namespace ccdn

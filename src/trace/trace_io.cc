@@ -1,8 +1,7 @@
 #include "trace/trace_io.h"
 
-#include <fstream>
+#include <utility>
 
-#include "util/csv.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -10,52 +9,99 @@ namespace ccdn {
 
 namespace {
 const char* const kHeader[] = {"user", "timestamp", "video", "lat", "lon"};
+
+[[noreturn]] void fail_row(std::size_t line, const std::string& what) {
+  throw ParseError("trace CSV line " + std::to_string(line) + ": " + what);
+}
+}  // namespace
+
+// --- TraceWriter -----------------------------------------------------------
+
+TraceWriter::TraceWriter(std::ostream& out) : out_(&out), writer_(*out_) {
+  writer_.row(kHeader[0], kHeader[1], kHeader[2], kHeader[3], kHeader[4]);
+}
+
+TraceWriter::TraceWriter(const std::string& path)
+    : owned_(path), out_(&owned_), writer_(*out_) {
+  if (!owned_) throw Error("cannot open for writing: " + path);
+  writer_.row(kHeader[0], kHeader[1], kHeader[2], kHeader[3], kHeader[4]);
+}
+
+void TraceWriter::append(std::span<const Request> batch) {
+  for (const Request& r : batch) {
+    writer_.row(std::uint64_t{r.user}, r.timestamp, std::uint64_t{r.video},
+                r.location.lat, r.location.lon);
+  }
+  rows_ += batch.size();
+  // One flush per batch: the caller controls durability granularity and
+  // nothing accumulates in user-space buffers between batches.
+  out_->flush();
 }
 
 void write_trace_csv(std::ostream& out, const std::vector<Request>& requests) {
-  CsvWriter writer(out);
-  writer.row(kHeader[0], kHeader[1], kHeader[2], kHeader[3], kHeader[4]);
-  for (const Request& r : requests) {
-    writer.row(std::uint64_t{r.user}, r.timestamp,
-               std::uint64_t{r.video}, r.location.lat, r.location.lon);
-  }
+  TraceWriter writer(out);
+  writer.append(requests);
 }
 
 void write_trace_csv(const std::string& path,
                      const std::vector<Request>& requests) {
-  std::ofstream out(path);
-  if (!out) throw Error("cannot open for writing: " + path);
-  write_trace_csv(out, requests);
+  TraceWriter writer(path);
+  writer.append(requests);
+}
+
+// --- TraceReader -----------------------------------------------------------
+
+TraceReader::TraceReader(std::istream& in) : in_(&in), reader_(*in_) {
+  read_header();
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : owned_(path), in_(&owned_), reader_(*in_) {
+  if (!owned_) throw Error("cannot open for reading: " + path);
+  read_header();
+}
+
+void TraceReader::read_header() {
+  line_ = 1;
+  if (!reader_.read_row(fields_) || fields_.size() != 5 ||
+      fields_[0] != kHeader[0]) {
+    throw ParseError("trace CSV: missing or malformed header");
+  }
+}
+
+std::optional<Request> TraceReader::next() {
+  if (!reader_.read_row(fields_)) return std::nullopt;
+  ++line_;
+  if (fields_.size() != 5) {
+    fail_row(line_, "expected 5 fields, got " +
+                        std::to_string(fields_.size()));
+  }
+  Request r;
+  try {
+    r.user = static_cast<UserId>(parse_int(fields_[0]));
+    r.timestamp = parse_int(fields_[1]);
+    r.video = static_cast<VideoId>(parse_int(fields_[2]));
+    r.location.lat = parse_double(fields_[3]);
+    r.location.lon = parse_double(fields_[4]);
+  } catch (const ParseError& error) {
+    fail_row(line_, error.what());
+  }
+  ++rows_;
+  return r;
 }
 
 std::vector<Request> read_trace_csv(std::istream& in) {
-  CsvReader reader(in);
-  std::vector<std::string> fields;
-  if (!reader.read_row(fields) || fields.size() != 5 ||
-      fields[0] != kHeader[0]) {
-    throw ParseError("trace CSV: missing or malformed header");
-  }
+  TraceReader reader(in);
   std::vector<Request> requests;
-  while (reader.read_row(fields)) {
-    if (fields.size() != 5) {
-      throw ParseError("trace CSV: expected 5 fields, got " +
-                       std::to_string(fields.size()));
-    }
-    Request r;
-    r.user = static_cast<UserId>(parse_int(fields[0]));
-    r.timestamp = parse_int(fields[1]);
-    r.video = static_cast<VideoId>(parse_int(fields[2]));
-    r.location.lat = parse_double(fields[3]);
-    r.location.lon = parse_double(fields[4]);
-    requests.push_back(r);
-  }
+  while (auto request = reader.next()) requests.push_back(*request);
   return requests;
 }
 
 std::vector<Request> read_trace_csv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw Error("cannot open for reading: " + path);
-  return read_trace_csv(in);
+  TraceReader reader(path);
+  std::vector<Request> requests;
+  while (auto request = reader.next()) requests.push_back(*request);
+  return requests;
 }
 
 }  // namespace ccdn

@@ -1,0 +1,215 @@
+// Streaming-vs-in-memory equivalence of the bounded-memory slot pipeline.
+//
+// Simulator::run(scheme, SlotSource&) must produce bit-identical reports
+// AND per-slot plan digests to the in-memory span overload, for every
+// scheme, at any thread count and inflight-window size — including under
+// device churn (masks drawn in pull order) and placement-delta charging
+// (ordered reduction). These tests drive the streaming path through a real
+// chunked CSV source (TraceReader over the round-tripped trace), so the
+// whole ingest-to-report chain is covered, not just the executor.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/nearest_scheme.h"
+#include "core/random_scheme.h"
+#include "core/rbcaer_scheme.h"
+#include "core/virtual_rbcaer_scheme.h"
+#include "trace/generator.h"
+#include "trace/slot_source.h"
+#include "trace/trace_io.h"
+#include "trace/world.h"
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+struct StreamWorkload {
+  World world;
+  std::vector<Request> trace;
+  std::string csv;
+
+  StreamWorkload()
+      : world(generate_world([] {
+          WorldConfig config = WorldConfig::evaluation_region();
+          config.num_hotspots = 40;
+          config.num_videos = 1200;
+          config.num_users = 5000;
+          return config;
+        }())),
+        trace(generate_trace(world, [] {
+          TraceConfig config;
+          config.num_requests = 6000;  // ~24 hourly slots
+          return config;
+        }())) {
+    assign_uniform_capacities(world, 0.05, 0.03);
+    std::stringstream buffer;
+    write_trace_csv(buffer, trace);
+    csv = buffer.str();
+  }
+
+  [[nodiscard]] SimulationConfig make_config(
+      std::size_t num_threads, std::size_t window,
+      double offline_probability) const {
+    SimulationConfig config;
+    config.slot_seconds = 3600;
+    config.charge_placement_deltas = true;
+    config.record_hotspot_loads = true;
+    config.offline_probability = offline_probability;
+    config.num_threads = num_threads;
+    config.max_inflight_slots = window;
+    config.audit_level = AuditLevel::kPlan;  // record per-slot digests
+    return config;
+  }
+
+  [[nodiscard]] SimulationReport run_in_memory(
+      RedirectionScheme& scheme, std::size_t num_threads = 1,
+      std::size_t window = 0, double offline_probability = 0.0) const {
+    Simulator simulator(world.hotspots(),
+                        VideoCatalog{world.config().num_videos},
+                        make_config(num_threads, window,
+                                    offline_probability));
+    return simulator.run(scheme, trace);
+  }
+
+  [[nodiscard]] SimulationReport run_streaming(
+      RedirectionScheme& scheme, std::size_t num_threads,
+      std::size_t window, double offline_probability = 0.0) const {
+    Simulator simulator(world.hotspots(),
+                        VideoCatalog{world.config().num_videos},
+                        make_config(num_threads, window,
+                                    offline_probability));
+    std::istringstream in(csv);
+    TraceReader reader(in);
+    CsvSlotSource source(reader, 3600);
+    return simulator.run(scheme, source);
+  }
+};
+
+void expect_identical(const SimulationReport& a, const SimulationReport& b) {
+  EXPECT_EQ(a.total_requests(), b.total_requests());
+  EXPECT_EQ(a.served_by_hotspots(), b.served_by_hotspots());
+  EXPECT_EQ(a.total_replicas(), b.total_replicas());
+  EXPECT_EQ(a.serving_ratio(), b.serving_ratio());
+  EXPECT_EQ(a.average_distance_km(), b.average_distance_km());
+  EXPECT_EQ(a.replication_cost(), b.replication_cost());
+  EXPECT_EQ(a.cdn_server_load(), b.cdn_server_load());
+  ASSERT_EQ(a.slots().size(), b.slots().size());
+  for (std::size_t s = 0; s < a.slots().size(); ++s) {
+    const SlotMetrics& sa = a.slots()[s];
+    const SlotMetrics& sb = b.slots()[s];
+    EXPECT_EQ(sa.requests, sb.requests) << "slot " << s;
+    EXPECT_EQ(sa.served, sb.served) << "slot " << s;
+    EXPECT_EQ(sa.rejected_capacity, sb.rejected_capacity) << "slot " << s;
+    EXPECT_EQ(sa.rejected_placement, sb.rejected_placement) << "slot " << s;
+    EXPECT_EQ(sa.rejected_offline, sb.rejected_offline) << "slot " << s;
+    EXPECT_EQ(sa.sent_to_cdn, sb.sent_to_cdn) << "slot " << s;
+    EXPECT_EQ(sa.replicas, sb.replicas) << "slot " << s;
+    EXPECT_EQ(sa.distance_sum_km, sb.distance_sum_km) << "slot " << s;
+  }
+  ASSERT_EQ(a.hotspot_loads().size(), b.hotspot_loads().size());
+  for (std::size_t s = 0; s < a.hotspot_loads().size(); ++s) {
+    EXPECT_EQ(a.hotspot_loads()[s], b.hotspot_loads()[s]) << "slot " << s;
+  }
+  // The per-slot digests are the strongest check: equal digests mean the
+  // exact (assignment, placements) decisions matched, slot by slot.
+  ASSERT_EQ(a.slot_digests().size(), b.slot_digests().size());
+  ASSERT_GT(a.slot_digests().size(), 0u);
+  for (std::size_t s = 0; s < a.slot_digests().size(); ++s) {
+    EXPECT_EQ(a.slot_digests()[s], b.slot_digests()[s]) << "slot " << s;
+  }
+}
+
+TEST(StreamingSimulator, RbcaerIdenticalAcrossThreadsAndWindows) {
+  const StreamWorkload workload;
+  RbcaerScheme reference_scheme;
+  const auto reference = workload.run_in_memory(reference_scheme);
+  ASSERT_GT(reference.slots().size(), 4u);
+  for (const std::size_t threads : {1u, 4u}) {
+    for (const std::size_t window : {1u, 3u}) {
+      RbcaerScheme scheme;
+      expect_identical(reference,
+                       workload.run_streaming(scheme, threads, window));
+    }
+  }
+}
+
+TEST(StreamingSimulator, VirtualRbcaerIdentical) {
+  const StreamWorkload workload;
+  VirtualRbcaerScheme reference_scheme;
+  const auto reference = workload.run_in_memory(reference_scheme);
+  for (const std::size_t threads : {1u, 4u}) {
+    VirtualRbcaerScheme scheme;
+    expect_identical(reference, workload.run_streaming(scheme, threads, 3));
+  }
+}
+
+TEST(StreamingSimulator, NearestIdentical) {
+  const StreamWorkload workload;
+  NearestScheme reference_scheme;
+  const auto reference = workload.run_in_memory(reference_scheme);
+  for (const std::size_t window : {1u, 3u}) {
+    NearestScheme scheme;
+    expect_identical(reference, workload.run_streaming(scheme, 4, window));
+  }
+}
+
+TEST(StreamingSimulator, StatefulRandomFallsBackAndStaysIdentical) {
+  const StreamWorkload workload;
+  RandomScheme reference_scheme(1.5, /*seed=*/99);
+  ASSERT_EQ(reference_scheme.clone(), nullptr);
+  const auto reference = workload.run_in_memory(reference_scheme);
+  // Even with threads/window requested, a clone()-less scheme must take the
+  // sequential streaming path and reproduce the same cross-slot RNG draws.
+  RandomScheme scheme(1.5, /*seed=*/99);
+  expect_identical(reference, workload.run_streaming(scheme, 4, 3));
+}
+
+TEST(StreamingSimulator, IdenticalUnderChurnAndDeltaCharging) {
+  const StreamWorkload workload;
+  RbcaerScheme reference_scheme;
+  const auto reference =
+      workload.run_in_memory(reference_scheme, 1, 0, 0.25);
+  const std::size_t offline = [&] {
+    std::size_t n = 0;
+    for (const auto& slot : reference.slots()) n += slot.rejected_offline;
+    return n;
+  }();
+  EXPECT_GT(offline, 0u);  // churn actually exercised
+  RbcaerScheme scheme;
+  expect_identical(reference, workload.run_streaming(scheme, 4, 3, 0.25));
+}
+
+TEST(StreamingSimulator, GeneratorSourceMatchesInMemory) {
+  // Synthetic end-to-end: the windowed TraceGenerator feeding the streaming
+  // executor equals materializing the same trace and running in memory.
+  const StreamWorkload workload;
+  TraceConfig trace_config;
+  trace_config.num_requests = 6000;
+  TraceGenerator generator(workload.world, trace_config, 3600);
+  GeneratorSlotSource source(generator);
+
+  NearestScheme streaming_scheme;
+  Simulator simulator(workload.world.hotspots(),
+                      VideoCatalog{workload.world.config().num_videos},
+                      workload.make_config(4, 3, 0.0));
+  const auto streamed = simulator.run(streaming_scheme, source);
+
+  NearestScheme reference_scheme;
+  expect_identical(workload.run_in_memory(reference_scheme), streamed);
+}
+
+TEST(StreamingSimulator, RejectsSlotLengthMismatch) {
+  const StreamWorkload workload;
+  NearestScheme scheme;
+  Simulator simulator(workload.world.hotspots(),
+                      VideoCatalog{workload.world.config().num_videos},
+                      workload.make_config(1, 1, 0.0));
+  VectorSlotSource source(workload.trace, /*slot_seconds=*/7200);
+  EXPECT_THROW((void)simulator.run(scheme, source), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -72,6 +72,84 @@ TEST(TraceIo, GeneratedTraceRoundTrips) {
   }
 }
 
+TEST(TraceReaderTest, StreamsRowsWithLineTracking) {
+  std::vector<Request> requests(3);
+  requests[0] = {7, 42, 100, {40.05, 116.5}};
+  requests[1] = {8, 43, 200, {40.06, 116.59}};
+  requests[2] = {9, 44, 300, {40.0, 116.4}};
+  std::stringstream buffer;
+  write_trace_csv(buffer, requests);
+
+  TraceReader reader(buffer);
+  std::size_t count = 0;
+  while (auto request = reader.next()) {
+    EXPECT_EQ(request->user, requests[count].user);
+    EXPECT_EQ(request->timestamp, requests[count].timestamp);
+    ++count;
+    // Header is physical line 1, so row k sits on line k + 1.
+    EXPECT_EQ(reader.line(), count + 1);
+    EXPECT_EQ(reader.rows_read(), count);
+  }
+  EXPECT_EQ(count, 3u);
+  EXPECT_FALSE(reader.next().has_value());  // EOF is sticky
+}
+
+TEST(TraceReaderTest, MalformedRowNamesExactLine) {
+  // Line 1 header, lines 2-3 good rows, line 4 has a bad video field.
+  std::istringstream in(
+      "user,timestamp,video,lat,lon\n"
+      "1,100,10,40.0,116.5\n"
+      "2,200,11,40.1,116.6\n"
+      "3,300,bogus,40.2,116.7\n");
+  TraceReader reader(in);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_TRUE(reader.next().has_value());
+  try {
+    (void)reader.next();
+    FAIL() << "expected ParseError on the malformed row";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 4"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(TraceReaderTest, WrongFieldCountNamesExactLine) {
+  std::istringstream in(
+      "user,timestamp,video,lat,lon\n"
+      "1,100,10,40.0,116.5\n"
+      "2,200,11\n");
+  TraceReader reader(in);
+  EXPECT_TRUE(reader.next().has_value());
+  try {
+    (void)reader.next();
+    FAIL() << "expected ParseError on the short row";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(TraceWriterTest, BatchedAppendsRoundTrip) {
+  std::vector<Request> requests(5);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i] = {static_cast<UserId>(i), static_cast<VideoId>(100 + i),
+                   static_cast<std::int64_t>(1000 + 50 * i),
+                   {40.0 + 0.01 * static_cast<double>(i), 116.5}};
+  }
+  std::stringstream buffer;
+  {
+    TraceWriter writer(buffer);
+    writer.append(std::span<const Request>(requests).subspan(0, 2));
+    writer.append(std::span<const Request>(requests).subspan(2, 0));
+    writer.append(std::span<const Request>(requests).subspan(2));
+    EXPECT_EQ(writer.rows_written(), requests.size());
+  }
+  // Three flushed batches (one empty) must equal one monolithic write.
+  std::stringstream monolithic;
+  write_trace_csv(monolithic, requests);
+  EXPECT_EQ(buffer.str(), monolithic.str());
+}
+
 TEST(TraceIo, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/ccdn_trace_test.csv";
   std::vector<Request> requests(2);

@@ -4,7 +4,7 @@
 //   audit_run [--scheme=rbcaer|virtual|nearest|random] [--in=trace.csv]
 //             [--hotspots=310] [--videos=15190] [--requests=20000]
 //             [--hours=24] [--seed=42] [--slot-seconds=3600]
-//             [--capacity=0.05] [--cache=0.03] [--quiet]
+//             [--capacity=0.05] [--cache=0.03] [--stream] [--quiet]
 //
 // Without --in a synthetic trace is generated from the world flags (the
 // same parameterization as `ccdn-trace generate`), so the tool is
@@ -18,8 +18,16 @@
 // (θ-sweep commits, Procedure 1, flow entries) run as well via
 // audit_level = kFull.
 //
+// With --stream the trace is never materialized: slots are pulled one at
+// a time from a CsvSlotSource (--in) or the windowed TraceGenerator
+// cursor (synthetic), so multi-day audits run in O(slot) memory. The
+// final line reports getrusage peak RSS either way — the CI bounded-
+// memory smoke job asserts on it.
+//
 // Exit status: 0 when every slot is clean, 1 when any invariant failed,
 // 2 on usage errors.
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -32,6 +40,7 @@
 #include "model/timeslots.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
+#include "trace/slot_source.h"
 #include "trace/trace_io.h"
 #include "trace/world.h"
 #include "util/flags.h"
@@ -67,6 +76,12 @@ SchemeChoice make_scheme(const std::string& name) {
   return choice;
 }
 
+double peak_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,46 +107,55 @@ int main(int argc, char** argv) {
   assign_uniform_capacities(world, flags.get_double("capacity", 0.05),
                             flags.get_double("cache", 0.03));
 
-  std::vector<Request> trace;
   const std::string in = flags.get_string("in", "");
-  if (!in.empty()) {
-    trace = read_trace_csv(in);
-  } else {
-    TraceConfig trace_config;
-    trace_config.num_requests =
-        static_cast<std::size_t>(flags.get_int("requests", 20000));
-    trace_config.duration_hours =
-        static_cast<std::size_t>(flags.get_int("hours", 24));
-    trace_config.seed = world_config.seed;
-    trace = generate_trace(world, trace_config);
-  }
-
   const std::int64_t slot_seconds = flags.get_int("slot-seconds", 3600);
+  const bool stream = flags.get_bool("stream", false);
   const bool quiet = flags.get_bool("quiet", false);
+  TraceConfig trace_config;
+  trace_config.num_requests =
+      static_cast<std::size_t>(flags.get_int("requests", 20000));
+  trace_config.duration_hours =
+      static_cast<std::size_t>(flags.get_int("hours", 24));
+  trace_config.seed = world_config.seed;
   for (const auto& unknown : flags.unused()) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     return 2;
+  }
+
+  // One pull-based loop serves all ingestion modes; only the source
+  // differs. Without --stream the trace is materialized first (the
+  // classic path); with it, at most one slot batch is ever resident.
+  std::vector<Request> trace;
+  std::unique_ptr<TraceGenerator> generator;
+  std::unique_ptr<SlotSource> source;
+  if (stream && !in.empty()) {
+    source = std::make_unique<CsvSlotSource>(in, slot_seconds);
+  } else if (stream) {
+    generator =
+        std::make_unique<TraceGenerator>(world, trace_config, slot_seconds);
+    source = std::make_unique<GeneratorSlotSource>(*generator);
+  } else {
+    trace = in.empty() ? generate_trace(world, trace_config)
+                       : read_trace_csv(in);
+    source = std::make_unique<VectorSlotSource>(trace, slot_seconds);
   }
 
   const GridIndex index(world.hotspot_locations(), /*cell_km=*/0.5);
   const SchemeContext context{world.hotspots(), index,
                               VideoCatalog{world.config().num_videos},
                               kCdnDistanceKm};
-  const std::vector<SlotRange> slots =
-      partition_into_slots(trace, slot_seconds);
 
-  std::printf("audit_run: scheme=%s build=%s slots=%zu requests=%zu "
-              "hotspots=%zu\n",
+  std::printf("audit_run: scheme=%s build=%s mode=%s hotspots=%zu\n",
               choice.scheme->name().c_str(),
-              kCheckedBuild ? "checked" : "release", slots.size(),
-              trace.size(), world.hotspots().size());
+              kCheckedBuild ? "checked" : "release",
+              stream ? "stream" : "in-memory", world.hotspots().size());
 
   std::size_t violations = 0;
   std::size_t served = 0;
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    const auto slot_requests =
-        std::span<const Request>(trace).subspan(slots[i].begin,
-                                                slots[i].size());
+  std::size_t total_requests = 0;
+  std::size_t num_slots = 0;
+  while (auto batch = source->next()) {
+    const std::span<const Request> slot_requests(batch->requests);
     const SlotDemand demand(slot_requests, index);
     const SlotPlan plan =
         choice.scheme->plan_slot(context, slot_requests, demand);
@@ -147,19 +171,23 @@ int main(int argc, char** argv) {
     const std::uint64_t digest = plan_digest(plan);
     if (!report.ok()) {
       violations += report.violations().size();
-      std::printf("slot %zu: FAIL %s\n", i, report.summary().c_str());
+      std::printf("slot %zu: FAIL %s\n", batch->slot_index,
+                  report.summary().c_str());
     } else if (!quiet) {
-      std::printf("slot %zu: ok (%zu requests, digest %016llx)\n", i,
-                  slot_requests.size(),
+      std::printf("slot %zu: ok (%zu requests, digest %016llx)\n",
+                  batch->slot_index, slot_requests.size(),
                   static_cast<unsigned long long>(digest));
     }
     const SlotMetrics metrics =
         admit_slot(world.hotspots(), plan, slot_requests, kCdnDistanceKm);
     served += metrics.served;
+    total_requests += slot_requests.size();
+    num_slots = batch->slot_index + 1;
   }
 
   std::printf("audit_run: %zu violation(s) across %zu slot(s); "
               "%zu/%zu requests served by hotspots\n",
-              violations, slots.size(), served, trace.size());
+              violations, num_slots, served, total_requests);
+  std::printf("audit_run: peak_rss_mb=%.1f\n", peak_rss_mb());
   return violations == 0 ? 0 : 1;
 }

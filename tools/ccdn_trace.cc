@@ -1,8 +1,11 @@
 // ccdn_trace — command-line front end for the trace pipeline.
 //
 //   ccdn_trace generate --out=trace.csv [--hotspots=310] [--requests=212472]
-//                       [--videos=15190] [--seed=42] [--hours=24]
+//                       [--videos=15190] [--seed=42] [--hours=24] [--stream]
 //       Generate a synthetic session trace (and print the world summary).
+//       --stream emits slot by slot through the windowed TraceGenerator
+//       cursor and flushes each batch, so traces larger than memory can be
+//       written (costs one draw-stream replay per emitted slot).
 //
 //   ccdn_trace stats --in=trace.csv [--hotspots=310] [--seed=42]
 //       Load a trace and print workload/balance/popularity statistics
@@ -10,7 +13,11 @@
 //
 //   ccdn_trace simulate --in=trace.csv --scheme=rbcaer|nearest|random|virtual
 //                       [--capacity=0.05] [--cache=0.03] [--hotspots=310]
+//                       [--stream] [--threads=1] [--window=0]
 //       Run one scheme over the trace and print the four paper metrics.
+//       --stream pulls slot batches straight off the CSV (bounded memory,
+//       bit-identical report); --threads/--window size the pipelined
+//       executor (window 0 = 2x threads).
 //
 // The world is regenerated from the same --seed/--hotspots/--videos flags,
 // so a trace file plus its generation flags fully reproduces a run.
@@ -28,6 +35,7 @@
 #include "stats/empirical_cdf.h"
 #include "stats/load_balance.h"
 #include "trace/generator.h"
+#include "trace/slot_source.h"
 #include "trace/trace_io.h"
 #include "trace/world.h"
 #include "util/flags.h"
@@ -62,11 +70,22 @@ int cmd_generate(const Flags& flags) {
   trace_config.duration_hours =
       static_cast<std::size_t>(flags.get_int("hours", 24));
   trace_config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-  const auto trace = generate_trace(world, trace_config);
-  write_trace_csv(out, trace);
+  std::size_t written = 0;
+  if (flags.get_bool("stream", false)) {
+    TraceGenerator generator(world, trace_config);
+    TraceWriter writer(out);
+    while (auto batch = generator.next_slot_batch()) {
+      writer.append(*batch);
+    }
+    written = writer.rows_written();
+  } else {
+    const auto trace = generate_trace(world, trace_config);
+    write_trace_csv(out, trace);
+    written = trace.size();
+  }
   std::printf("wrote %zu requests over %zu h to %s (world: %zu hotspots, "
               "%u videos, seed %llu)\n",
-              trace.size(), trace_config.duration_hours, out.c_str(),
+              written, trace_config.duration_hours, out.c_str(),
               world.hotspots().size(), world.config().num_videos,
               static_cast<unsigned long long>(world.config().seed));
   return 0;
@@ -118,7 +137,6 @@ int cmd_simulate(const Flags& flags) {
     std::fprintf(stderr, "simulate: --in=<path> is required\n");
     return 2;
   }
-  const auto trace = read_trace_csv(in);
   World world = world_from_flags(flags);
   assign_uniform_capacities(world, flags.get_double("capacity", 0.05),
                             flags.get_double("cache", 0.03));
@@ -141,12 +159,23 @@ int cmd_simulate(const Flags& flags) {
   }
   SimulationConfig sim_config;
   sim_config.slot_seconds = flags.get_int("slot_seconds", 24 * 3600);
+  sim_config.num_threads =
+      static_cast<std::size_t>(flags.get_int("threads", 1));
+  sim_config.max_inflight_slots =
+      static_cast<std::size_t>(flags.get_int("window", 0));
   const Simulator simulator(world.hotspots(),
                             VideoCatalog{world.config().num_videos},
                             sim_config);
-  const auto report = simulator.run(*scheme, trace);
+  SimulationReport report = [&] {
+    if (flags.get_bool("stream", false)) {
+      CsvSlotSource source(in, sim_config.slot_seconds);
+      return simulator.run(*scheme, source);
+    }
+    const auto trace = read_trace_csv(in);
+    return simulator.run(*scheme, trace);
+  }();
   std::printf("%s over %zu requests:\n", scheme->name().c_str(),
-              trace.size());
+              report.total_requests());
   std::printf("  serving_ratio        %.3f\n", report.serving_ratio());
   std::printf("  avg_distance_km      %.3f\n", report.average_distance_km());
   std::printf("  replication_cost     %.3f\n", report.replication_cost());

@@ -20,6 +20,10 @@ environment rather than the seeded Rng —
 
 Each whitelist entry documents WHY the usage is safe; a new hazard in an
 unlisted file (or a new hazard class in a listed file) fails the lint.
+bench/ is scanned too: the streaming-pipeline benchmarks assert digest
+equality between ingestion modes, so their own sources must obey the same
+hygiene (all timing through util/stopwatch.h, randomness through
+util/rng.h; getrusage reads memory, not time, and is not a hazard).
 Run locally with `python3 tools/check_determinism_hygiene.py`; CI runs it
 in the static-analysis job.
 
@@ -33,7 +37,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SCAN_DIRS = ("src", "tools", "examples")
+SCAN_DIRS = ("src", "tools", "examples", "bench")
 SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
 
 # hazard id -> (regex, human explanation)

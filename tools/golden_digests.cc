@@ -1,0 +1,245 @@
+// golden_digests — golden-trace regression harness for scheme plans.
+//
+//   golden_digests --regenerate=bench/golden/digests_small.json
+//       Recompute the per-slot plan digests for every scheme on the fixed
+//       golden workload and rewrite the golden file (the one-command
+//       regeneration path after an intentional algorithm change).
+//
+//   golden_digests --check=bench/golden/digests_small.json
+//       Recompute and compare against the golden file. Any per-slot digest
+//       drift, missing scheme, or slot-count mismatch is reported and the
+//       tool exits 1 — this is the ctest/CI gate.
+//
+//   golden_digests --check=... --perturb=<scheme>
+//       Flip one bit of one freshly computed digest before comparing, to
+//       prove the harness actually detects drift (wired into ctest with
+//       WILL_FAIL so a silently-green comparator fails the suite).
+//
+// The workload is fixed in code (not read from the file) so the golden
+// file cannot drift away from what the tool recomputes: a 40-hotspot /
+// 1500-video world at seed 7, uniform 5%/3% capacities, a 6000-request
+// 24 h trace at seed 7, hourly slots. Digests are the FNV-1a plan digests
+// the simulator records whenever audit_level != kOff, so this harness
+// pins the exact (assignment, placements) decisions of all four schemes —
+// any change to the solver pipeline that alters a single slot's plan shows
+// up as a named scheme/slot mismatch.
+//
+// Exit status: 0 clean, 1 drift detected, 2 usage/IO errors.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/nearest_scheme.h"
+#include "core/random_scheme.h"
+#include "core/rbcaer_scheme.h"
+#include "core/virtual_rbcaer_scheme.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace ccdn;
+
+constexpr std::size_t kHotspots = 40;
+constexpr std::uint32_t kVideos = 1500;
+constexpr std::uint64_t kSeed = 7;
+constexpr double kCapacityShare = 0.05;
+constexpr double kCacheShare = 0.03;
+constexpr std::size_t kRequests = 6000;
+constexpr std::size_t kHours = 24;
+constexpr std::int64_t kSlotSeconds = 3600;
+
+const char* const kSchemes[] = {"nearest", "random", "rbcaer", "virtual"};
+
+SchemePtr make_scheme(const std::string& name) {
+  if (name == "nearest") return std::make_unique<NearestScheme>();
+  if (name == "random") return std::make_unique<RandomScheme>();
+  if (name == "rbcaer") return std::make_unique<RbcaerScheme>();
+  if (name == "virtual") return std::make_unique<VirtualRbcaerScheme>();
+  return nullptr;
+}
+
+std::vector<std::uint64_t> compute_digests(const std::string& scheme_name,
+                                           const World& world,
+                                           std::span<const Request> trace) {
+  SchemePtr scheme = make_scheme(scheme_name);
+  SimulationConfig config;
+  config.slot_seconds = kSlotSeconds;
+  config.audit_level = AuditLevel::kPlan;  // record per-slot digests
+  const Simulator simulator(world.hotspots(), VideoCatalog{kVideos}, config);
+  const SimulationReport report = simulator.run(*scheme, trace);
+  return report.slot_digests();
+}
+
+std::string format_hex(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+// --- golden-file IO ------------------------------------------------------
+// The file is JSON for toolability, but the format is fixed and flat, so a
+// tiny purpose-built scanner suffices (no JSON dependency in the repo):
+// each scheme maps to an array of 16-hex-digit strings.
+
+void write_golden(const std::string& path,
+                  const std::vector<std::pair<std::string,
+                                              std::vector<std::uint64_t>>>&
+                      digests) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  out << "{\n";
+  out << "  \"workload\": {\n";
+  out << "    \"hotspots\": " << kHotspots << ",\n";
+  out << "    \"videos\": " << kVideos << ",\n";
+  out << "    \"seed\": " << kSeed << ",\n";
+  out << "    \"capacity_share\": " << kCapacityShare << ",\n";
+  out << "    \"cache_share\": " << kCacheShare << ",\n";
+  out << "    \"requests\": " << kRequests << ",\n";
+  out << "    \"hours\": " << kHours << ",\n";
+  out << "    \"slot_seconds\": " << kSlotSeconds << "\n";
+  out << "  },\n";
+  out << "  \"digests\": {\n";
+  for (std::size_t s = 0; s < digests.size(); ++s) {
+    out << "    \"" << digests[s].first << "\": [";
+    for (std::size_t i = 0; i < digests[s].second.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << '"' << format_hex(digests[s].second[i]) << '"';
+    }
+    out << ']' << (s + 1 < digests.size() ? "," : "") << '\n';
+  }
+  out << "  }\n";
+  out << "}\n";
+}
+
+/// Extract the digest array recorded for `scheme` in the golden file text:
+/// finds `"<scheme>": [` and collects the quoted hex strings up to `]`.
+/// Returns false when the scheme key is absent.
+bool scan_golden(const std::string& text, const std::string& scheme,
+                 std::vector<std::uint64_t>& out) {
+  const std::string key = '"' + scheme + '"';
+  std::size_t pos = text.find(key);
+  if (pos == std::string::npos) return false;
+  pos = text.find('[', pos + key.size());
+  if (pos == std::string::npos) return false;
+  const std::size_t end = text.find(']', pos);
+  if (end == std::string::npos) return false;
+  out.clear();
+  while (true) {
+    const std::size_t open = text.find('"', pos);
+    if (open == std::string::npos || open > end) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos || close > end) return false;
+    const std::string hex = text.substr(open + 1, close - open - 1);
+    out.push_back(std::strtoull(hex.c_str(), nullptr, 16));
+    pos = close + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string check_path = flags.get_string("check", "");
+  const std::string regen_path = flags.get_string("regenerate", "");
+  const std::string perturb = flags.get_string("perturb", "");
+  if (check_path.empty() == regen_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: golden_digests --check=<golden.json> "
+                 "[--perturb=<scheme>] | --regenerate=<golden.json>\n");
+    return 2;
+  }
+
+  WorldConfig world_config = WorldConfig::evaluation_region();
+  world_config.num_hotspots = kHotspots;
+  world_config.num_videos = kVideos;
+  world_config.seed = kSeed;
+  World world = generate_world(world_config);
+  assign_uniform_capacities(world, kCapacityShare, kCacheShare);
+  TraceConfig trace_config;
+  trace_config.num_requests = kRequests;
+  trace_config.duration_hours = kHours;
+  trace_config.seed = kSeed;
+  const auto trace = generate_trace(world, trace_config);
+
+  try {
+    if (!regen_path.empty()) {
+      std::vector<std::pair<std::string, std::vector<std::uint64_t>>> all;
+      for (const char* name : kSchemes) {
+        all.emplace_back(name, compute_digests(name, world, trace));
+        std::printf("golden_digests: %s -> %zu slot digest(s)\n", name,
+                    all.back().second.size());
+      }
+      write_golden(regen_path, all);
+      std::printf("golden_digests: wrote %s\n", regen_path.c_str());
+      return 0;
+    }
+
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "golden_digests: cannot read %s\n",
+                   check_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::size_t mismatches = 0;
+    for (const char* name : kSchemes) {
+      std::vector<std::uint64_t> expected;
+      if (!scan_golden(text, name, expected)) {
+        std::fprintf(stderr, "golden_digests: scheme '%s' missing from %s\n",
+                     name, check_path.c_str());
+        ++mismatches;
+        continue;
+      }
+      std::vector<std::uint64_t> actual = compute_digests(name, world, trace);
+      if (!perturb.empty() && perturb == name && !actual.empty()) {
+        actual.front() ^= 1;  // prove the comparator catches drift
+      }
+      if (actual.size() != expected.size()) {
+        std::fprintf(stderr,
+                     "golden_digests: %s slot count drifted (golden %zu, "
+                     "recomputed %zu)\n",
+                     name, expected.size(), actual.size());
+        ++mismatches;
+        continue;
+      }
+      std::size_t scheme_bad = 0;
+      for (std::size_t s = 0; s < actual.size(); ++s) {
+        if (actual[s] != expected[s]) {
+          std::fprintf(stderr,
+                       "golden_digests: %s slot %zu drifted (golden %s, "
+                       "recomputed %s)\n",
+                       name, s, format_hex(expected[s]).c_str(),
+                       format_hex(actual[s]).c_str());
+          ++scheme_bad;
+        }
+      }
+      mismatches += scheme_bad;
+      std::printf("golden_digests: %s %zu slot(s) %s\n", name, actual.size(),
+                  scheme_bad == 0 ? "ok" : "DRIFTED");
+    }
+    if (mismatches != 0) {
+      std::fprintf(stderr, "golden_digests: %zu mismatch(es) vs %s\n",
+                   mismatches, check_path.c_str());
+      return 1;
+    }
+    std::printf("golden_digests: all schemes match %s\n", check_path.c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "golden_digests: error: %s\n", error.what());
+    return 2;
+  }
+}
