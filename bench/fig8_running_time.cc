@@ -34,6 +34,7 @@
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "verify/schedule_audit.h"
 
 namespace {
 
@@ -134,10 +135,196 @@ FlowBenchRow flow_bench_mode(const std::string& name, bool aggregation,
   return row;
 }
 
+// --- Cross-slot online scheduler vs per-slot rebuild. ---
+// Steady-state per-slot graph-build + MCMF seconds over a multi-slot
+// sequence with bounded demand churn. The rebuild scheme re-derives the
+// candidate set and scaffold every slot; the --online scheme patches the
+// previous slot's scaffold (membership permitting) and carries the MCMF
+// potentials across the boundary, so its steady-state cost tracks the
+// churn, not the instance size. The final slot is a demand spike that
+// flips a hotspot's membership, forcing (and timing) the fallback rebuild.
+
+struct OnlineBenchRow {
+  std::string name;
+  std::size_t hotspots = 0;
+  std::size_t steady_slots = 0;  // slots timed (excludes cold start + spike)
+  std::size_t churn = 0;         // re-aimed + re-videoed requests per slot
+  double rebuild_graph_s = 0.0;
+  double rebuild_mcmf_s = 0.0;
+  double online_graph_s = 0.0;
+  double online_mcmf_s = 0.0;
+  std::size_t online_patches = 0;   // slots served by a scaffold patch
+  std::size_t spike_rebuilds = 0;   // non-first slots that fell back
+  std::size_t reprices = 0;         // online potential reprices, steady slots
+  bool identical = false;           // per-slot digests: online == rebuild
+
+  [[nodiscard]] double rebuild_s() const {
+    return rebuild_graph_s + rebuild_mcmf_s;
+  }
+  [[nodiscard]] double online_s() const {
+    return online_graph_s + online_mcmf_s;
+  }
+  [[nodiscard]] double speedup() const {
+    return online_s() > 0.0 ? rebuild_s() / online_s() : 0.0;
+  }
+};
+
+/// Build a multi-slot request sequence with controlled demand churn. Per
+/// slot, `churn` location swaps between requests homed at the two most
+/// overloaded hotspots churn the demand vectors (λ_hv) while leaving every
+/// hotspot's total load — and hence the partition membership the online
+/// patch requires — provably unchanged; `churn` re-videoed requests churn
+/// the content mix that drives Gc clustering; and a few requests migrate
+/// between the two lanes outright so φ itself moves slot to slot. The last
+/// slot is a demand spike at the slackest hotspot, sized to flip it
+/// overloaded and force the online scheduler's fallback rebuild.
+std::vector<std::vector<Request>> make_online_slots(
+    const SchemeContext& context, std::span<const Request> base,
+    const SlotDemand& base_demand, std::size_t num_slots, std::size_t churn,
+    std::uint32_t num_videos) {
+  const std::size_t m = context.hotspots.size();
+  std::size_t lane_a = m, lane_b = m;  // two most-overloaded hotspots
+  std::size_t slack_h = m;             // slackest hotspot, spiked last
+  std::int64_t best_a = 0, best_b = 0, best_slack = 0;
+  for (std::size_t h = 0; h < m; ++h) {
+    const auto margin =
+        static_cast<std::int64_t>(base_demand.load(h)) -
+        static_cast<std::int64_t>(context.hotspots[h].service_capacity);
+    if (margin > best_a) {
+      lane_b = lane_a;
+      best_b = best_a;
+      lane_a = h;
+      best_a = margin;
+    } else if (margin > best_b) {
+      lane_b = h;
+      best_b = margin;
+    }
+    if (-margin > best_slack) {
+      slack_h = h;
+      best_slack = -margin;
+    }
+  }
+  std::vector<std::vector<Request>> slots;
+  slots.emplace_back(base.begin(), base.end());
+  if (lane_b >= m || slack_h >= m) {
+    std::fprintf(stderr, "online bench: degenerate partition, no churn "
+                         "lanes — running identical slots\n");
+  }
+  const auto homes = base_demand.request_home();
+  std::vector<std::size_t> homed_a, homed_b;
+  for (std::size_t r = 0; r < homes.size(); ++r) {
+    if (homes[r] == lane_a) homed_a.push_back(r);
+    if (homes[r] == lane_b) homed_b.push_back(r);
+  }
+  const std::size_t swaps =
+      std::min({churn, homed_a.size(), homed_b.size()});
+  for (std::size_t s = 1; s < num_slots; ++s) {
+    std::vector<Request> slot(base.begin(), base.end());
+    for (std::size_t i = 0; i < swaps; ++i) {
+      const std::size_t ra = homed_a[(s * swaps + i) % homed_a.size()];
+      const std::size_t rb = homed_b[(s * swaps + i) % homed_b.size()];
+      std::swap(slot[ra].location, slot[rb].location);
+    }
+    for (std::size_t i = 0; i < churn; ++i) {
+      Request& r = slot[(s * 131071 + i * 8191) % slot.size()];
+      r.video = static_cast<VideoId>((r.video + 1 + s) % num_videos);
+    }
+    // φ churn: net-migrate a few lane-A requests to lane B (lane A's
+    // margin over s_h covers the loss, so membership still holds).
+    if (swaps > 0 && best_a > 8) {
+      const std::size_t moves = 1 + (s & 3u);
+      for (std::size_t i = 0; i < moves; ++i) {
+        slot[homed_a[(s * 7 + i) % homed_a.size()]].location =
+            context.hotspots[lane_b].location;
+      }
+    }
+    slots.push_back(std::move(slot));
+  }
+  // Spike slot: enough fresh demand at the slackest hotspot to flip it.
+  std::vector<Request> spike(base.begin(), base.end());
+  if (slack_h < m) {
+    const std::size_t extra = static_cast<std::size_t>(best_slack) + 16;
+    for (std::size_t i = 0; i < extra; ++i) {
+      Request r = base[i % base.size()];
+      r.location = context.hotspots[slack_h].location;
+      r.video = static_cast<VideoId>(i % num_videos);
+      spike.push_back(r);
+    }
+  }
+  slots.push_back(std::move(spike));
+  return slots;
+}
+
+OnlineBenchRow online_bench_mode(const std::string& name, bool aggregation,
+                                 const SchemeContext& context,
+                                 const std::vector<std::vector<Request>>& slots,
+                                 std::size_t churn, std::size_t repeats) {
+  OnlineBenchRow row;
+  row.name = name;
+  row.hotspots = context.hotspots.size();
+  row.churn = churn;
+  row.identical = true;
+  // Slots can't be repeated in place (online state advances), so the noise
+  // reduction repeats the whole sequence with fresh schemes and keeps the
+  // best steady-state total per side.
+  double best_rebuild = 1e300;
+  double best_online = 1e300;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    RbcaerConfig config;
+    config.content_aggregation = aggregation;
+    config.incremental_sweep = true;
+    RbcaerScheme rebuild(config);
+    config.online = true;
+    RbcaerScheme online(config);
+
+    double rebuild_graph = 0.0, rebuild_mcmf = 0.0;
+    double online_graph = 0.0, online_mcmf = 0.0;
+    std::size_t reprices = 0, patches = 0, spikes = 0, steady = 0;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      const SlotDemand demand(slots[s], context.hotspot_index);
+      const SlotPlan rebuild_plan =
+          rebuild.plan_slot(context, slots[s], demand);
+      const SlotPlan online_plan =
+          online.plan_slot(context, slots[s], demand);
+      row.identical = row.identical &&
+                      plan_digest(online_plan) == plan_digest(rebuild_plan);
+      const auto& od = online.last_diagnostics();
+      patches += od.online_patches;
+      if (s > 0 && od.online_patches == 0) ++spikes;
+      if (s > 0 && s + 1 < slots.size()) {  // steady state
+        const StageTimings* rt = rebuild.last_stage_timings();
+        const StageTimings* ot = online.last_stage_timings();
+        rebuild_graph += rt->graph_s;
+        rebuild_mcmf += rt->mcmf_s;
+        online_graph += ot->graph_s;
+        online_mcmf += ot->mcmf_s;
+        reprices += od.potential_reprices;
+        ++steady;
+      }
+    }
+    row.online_patches = patches;
+    row.spike_rebuilds = spikes;
+    row.steady_slots = steady;
+    if (rebuild_graph + rebuild_mcmf < best_rebuild) {
+      best_rebuild = rebuild_graph + rebuild_mcmf;
+      row.rebuild_graph_s = rebuild_graph;
+      row.rebuild_mcmf_s = rebuild_mcmf;
+    }
+    if (online_graph + online_mcmf < best_online) {
+      best_online = online_graph + online_mcmf;
+      row.online_graph_s = online_graph;
+      row.online_mcmf_s = online_mcmf;
+      row.reprices = reprices;
+    }
+  }
+  return row;
+}
+
 /// Machine-readable perf trajectory for cross-PR tracking; same shape as
 /// hierarchical_scalability's BENCH_gc.json.
 void write_flow_json(const std::string& path,
-                     const std::vector<FlowBenchRow>& rows) {
+                     const std::vector<FlowBenchRow>& rows,
+                     const std::vector<OnlineBenchRow>& online_rows) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -159,7 +346,25 @@ void write_flow_json(const std::string& path,
         static_cast<long long>(r.moved), r.cold_graph_s, r.cold_mcmf_s,
         r.warm_graph_s, r.warm_mcmf_s, r.cold_s(), r.warm_s(), r.speedup(),
         r.reprices, r.identical ? "true" : "false",
-        i + 1 < rows.size() ? "," : "");
+        i + 1 < rows.size() || !online_rows.empty() ? "," : "");
+  }
+  for (std::size_t i = 0; i < online_rows.size(); ++i) {
+    const OnlineBenchRow& r = online_rows[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"online/%s/H=%zu\", \"hotspots\": %zu, "
+        "\"steady_slots\": %zu, \"churn\": %zu, "
+        "\"rebuild_graph_s\": %.6f, \"rebuild_mcmf_s\": %.6f, "
+        "\"online_graph_s\": %.6f, \"online_mcmf_s\": %.6f, "
+        "\"rebuild_s\": %.6f, \"online_s\": %.6f, \"speedup\": %.2f, "
+        "\"online_patches\": %zu, \"spike_rebuilds\": %zu, "
+        "\"potential_reprices\": %zu, \"identical\": %s}%s\n",
+        r.name.c_str(), r.hotspots, r.hotspots, r.steady_slots, r.churn,
+        r.rebuild_graph_s, r.rebuild_mcmf_s, r.online_graph_s,
+        r.online_mcmf_s, r.rebuild_s(), r.online_s(), r.speedup(),
+        r.online_patches, r.spike_rebuilds, r.reprices,
+        r.identical ? "true" : "false",
+        i + 1 < online_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -218,7 +423,34 @@ void run_flow_bench(const Flags& flags) {
                 row.cold_mcmf_s, row.warm_graph_s, row.warm_mcmf_s,
                 row.speedup(), row.identical ? "identical" : "MISMATCH!");
   }
-  write_flow_json(flags.get_string("flow_json_out", "BENCH_flow.json"), rows);
+
+  const auto online_slots =
+      static_cast<std::size_t>(flags.get_int("online_slots", 6));
+  const auto online_churn =
+      static_cast<std::size_t>(flags.get_int("online_churn", 96));
+  const auto slot_traces =
+      make_online_slots(context, trace, demand, online_slots, online_churn,
+                        world_config.num_videos);
+  std::printf("\n=== cross-slot online scheduler vs per-slot rebuild ===\n");
+  std::printf("%zu slots (cold + %zu steady + spike), churn %zu req/slot, "
+              "steady-state graph+MCMF seconds\n",
+              slot_traces.size(), slot_traces.size() - 2, online_churn);
+  std::printf("%-10s %12s %12s %9s %8s %9s %9s %10s\n", "graph", "rebuild",
+              "online", "speedup", "patches", "fallback", "reprices",
+              "oracle");
+  std::vector<OnlineBenchRow> online_rows;
+  online_rows.push_back(online_bench_mode("gc", true, context, slot_traces,
+                                          online_churn, repeats));
+  online_rows.push_back(online_bench_mode("gd", false, context, slot_traces,
+                                          online_churn, repeats));
+  for (const OnlineBenchRow& row : online_rows) {
+    std::printf("%-10s %11.3fs %11.3fs %8.1fx %8zu %9zu %9zu %10s\n",
+                row.name.c_str(), row.rebuild_s(), row.online_s(),
+                row.speedup(), row.online_patches, row.spike_rebuilds,
+                row.reprices, row.identical ? "identical" : "MISMATCH!");
+  }
+  write_flow_json(flags.get_string("flow_json_out", "BENCH_flow.json"), rows,
+                  online_rows);
 }
 
 }  // namespace

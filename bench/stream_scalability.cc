@@ -33,6 +33,7 @@
 #include "trace/trace_io.h"
 #include "trace/world.h"
 #include "util/flags.h"
+#include "util/peak_rss.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -133,8 +134,7 @@ CaseResult run_case_isolated(const CaseConfig& config) {
     std::fprintf(stderr, "child failed (status %d)\n", status);
     std::exit(2);
   }
-  result.peak_rss_mb =
-      static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+  result.peak_rss_mb = peak_rss_mb(usage);
   return result;
 }
 

@@ -1,0 +1,51 @@
+#include "core/candidate_cache.h"
+
+#include "geo/geo_point.h"
+#include "util/error.h"
+
+namespace ccdn {
+
+std::vector<CandidateEdge> CandidateCache::collect(
+    std::span<const Hotspot> hotspots, const HotspotPartition& partition,
+    double radius_km, const GridIndex& index) {
+  CCDN_REQUIRE(radius_km >= 0.0, "negative radius");
+  CCDN_REQUIRE(index.size() == hotspots.size(),
+               "index/hotspot count mismatch");
+  if (radius_km != radius_km_ || hotspots.size() != num_hotspots_) {
+    radius_km_ = radius_km;
+    num_hotspots_ = hotspots.size();
+    near_.assign(num_hotspots_, {});
+    filled_.assign(num_hotspots_, 0);
+    is_receiver_.assign(num_hotspots_, 0);
+  }
+
+  for (const std::uint32_t j : partition.underutilized) is_receiver_[j] = 1;
+  std::vector<CandidateEdge> edges;
+  for (const std::uint32_t i : partition.overloaded) {
+    if (!filled_[i]) {
+      // First appearance of this sender: run the same widened grid query
+      // and exact cut candidate_edges() runs, but against the FULL index —
+      // the cached list is role-independent, so any later slot's receiver
+      // subset is a mask over it. Grid results come back ascending by
+      // index, matching the Subset query's per-sender order.
+      const double query_radius = radius_km * 1.001 + 1e-6;
+      index.within_radius(hotspots[i].location, query_radius, query_buf_);
+      auto& list = near_[i];
+      for (const std::size_t j : query_buf_) {
+        const double d =
+            distance_km(hotspots[i].location, hotspots[j].location);
+        if (d < radius_km) {
+          list.push_back({static_cast<std::uint32_t>(j), d});
+        }
+      }
+      filled_[i] = 1;
+    }
+    for (const auto& nb : near_[i]) {
+      if (is_receiver_[nb.id]) edges.push_back({i, nb.id, nb.distance_km});
+    }
+  }
+  for (const std::uint32_t j : partition.underutilized) is_receiver_[j] = 0;
+  return edges;
+}
+
+}  // namespace ccdn

@@ -1,0 +1,51 @@
+// Cross-slot candidate-pair cache for the online scheduler.
+//
+// candidate_edges() answers "which (overloaded, under-utilized) pairs sit
+// within the sweep radius" with one spatial query per overloaded hotspot,
+// every slot. But hotspot locations never move: the set of hotspots within
+// radius of a given sender is a property of the geometry alone, and only
+// the *roles* (who is overloaded, who can receive) change from slot to
+// slot. CandidateCache memoizes the full-radius neighbour list per sender
+// the first time that sender appears, then serves every later slot with a
+// mask-filter over the cached list — no grid walk, no distance math.
+//
+// The output is bit-identical to candidate_edges(): cached entries keep the
+// exact distance_km values and the ascending-receiver-index order the grid
+// query produces, and senders are emitted in partition.overloaded order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/balance_graph.h"
+#include "geo/grid_index.h"
+#include "model/types.h"
+
+namespace ccdn {
+
+class CandidateCache {
+ public:
+  /// Candidate pairs for this slot — same contract and same result as
+  /// candidate_edges(hotspots, partition, radius_km, index). `hotspots`
+  /// and `index` must describe the same (immutable) world every call;
+  /// a changed radius or hotspot count drops the cache and refills.
+  [[nodiscard]] std::vector<CandidateEdge> collect(
+      std::span<const Hotspot> hotspots, const HotspotPartition& partition,
+      double radius_km, const GridIndex& index);
+
+ private:
+  struct Neighbour {
+    std::uint32_t id = 0;  // hotspot index, ascending within each list
+    double distance_km = 0.0;
+  };
+
+  double radius_km_ = -1.0;
+  std::size_t num_hotspots_ = 0;
+  std::vector<std::vector<Neighbour>> near_;  // per-sender, lazily filled
+  std::vector<char> filled_;
+  std::vector<char> is_receiver_;       // per-slot mask, cleared on exit
+  std::vector<std::size_t> query_buf_;  // within_radius scratch
+};
+
+}  // namespace ccdn

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "verify/schedule_audit.h"
 
 namespace ccdn {
 
@@ -44,6 +45,17 @@ SlotPlan LpScheme::plan_slot(const SchemeContext& context,
   SlotPlan plan;
   plan.placements = schedule.placements;
   plan.assignment = schedule.assignment;
+  if constexpr (kCheckedBuild) {
+    if (options_.audit_level != AuditLevel::kOff) {
+      AuditReport report;
+      audit_assignment(plan.assignment, requests.size(),
+                       context.hotspots.size(), report);
+      audit_placements(plan.placements, context.hotspots, report);
+      audit_total_capacity(plan.assignment, plan.placements, context.hotspots,
+                           requests, report);
+      report.require_clean("lp slot plan");
+    }
+  }
   return plan;
 }
 

@@ -9,6 +9,7 @@
 
 #include "core/scheme.h"
 #include "lp/u_relaxation.h"
+#include "verify/audit.h"
 
 namespace ccdn {
 
@@ -19,6 +20,13 @@ struct LpSchemeOptions {
   /// dense simplex would need hours/memory beyond the experiment scale.
   std::size_t max_requests = 5000;
   SimplexOptions simplex;
+  /// Invariant auditing of the rounded plan (checked builds only): at any
+  /// level != kOff, assignment totality, placement shape, and the total
+  /// service-capacity invariant — the rounding assigns home and non-home
+  /// requests alike, so per hotspot the TOTAL assigned load must fit s_h
+  /// and every assigned request's video must be placed (see
+  /// audit_total_capacity). Violations throw InvariantError.
+  AuditLevel audit_level = AuditLevel::kOff;
 };
 
 class LpScheme final : public RedirectionScheme {

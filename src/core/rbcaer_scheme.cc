@@ -23,6 +23,8 @@ RbcaerScheme::RbcaerScheme(RbcaerConfig config)
   CCDN_REQUIRE(config_.top_fraction > 0.0 && config_.top_fraction <= 1.0,
                "top_fraction outside (0,1]");
   CCDN_REQUIRE(config_.bpeak_multiplier > 0.0, "non-positive B_peak");
+  CCDN_REQUIRE(!config_.online || config_.incremental_sweep,
+               "online mode requires the incremental sweep");
   sweeper_.set_audit_level(config_.audit_level);
 }
 
@@ -108,18 +110,32 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
   };
 
   if (has_work) {
-    stage_clock.reset();
-    // Radius query per overloaded hotspot via the shared spatial index,
-    // instead of scanning every (overloaded, under-utilized) pair.
-    std::vector<CandidateEdge> candidates =
-        candidate_edges(context.hotspots, partition, config_.theta2_km,
-                        context.hotspot_index);
-    stage_timings_.graph_s += stage_clock.elapsed_seconds();
     constexpr double kThetaEps = 1e-9;
+    // Radius query per overloaded hotspot via the shared spatial index,
+    // instead of scanning every (overloaded, under-utilized) pair. The
+    // cold path needs the candidates up front; the incremental path only
+    // when the online scaffold patch does not apply, so it generates them
+    // inside its own branch.
+    const auto generate_candidates = [&] {
+      return candidate_edges(context.hotspots, partition, config_.theta2_km,
+                             context.hotspot_index);
+    };
     if (config_.incremental_sweep) {
       const std::size_t reprices_before = sweeper_.potential_reprices();
+      const std::size_t patches_before = sweeper_.online_patches();
       stage_clock.reset();
-      sweeper_.begin_slot(partition, std::move(candidates));
+      // Online slots first try the cross-slot patch; when membership
+      // changed (or on the first slot) fall back to a full begin_slot,
+      // with candidate generation served from the cross-slot cache.
+      if (!config_.online || !sweeper_.begin_slot_online(partition)) {
+        std::vector<CandidateEdge> candidates =
+            config_.online
+                ? candidate_cache_.collect(context.hotspots, partition,
+                                           config_.theta2_km,
+                                           context.hotspot_index)
+                : generate_candidates();
+        sweeper_.begin_slot(partition, std::move(candidates));
+      }
       stage_timings_.graph_s += stage_clock.elapsed_seconds();
       double theta = config_.theta1_km;
       while (theta <= config_.theta2_km + kThetaEps &&
@@ -139,7 +155,12 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
       sweeper_.end_slot();
       diagnostics_.potential_reprices =
           sweeper_.potential_reprices() - reprices_before;
+      diagnostics_.online_patches =
+          sweeper_.online_patches() - patches_before;
     } else {
+      stage_clock.reset();
+      const std::vector<CandidateEdge> candidates = generate_candidates();
+      stage_timings_.graph_s += stage_clock.elapsed_seconds();
       double theta = config_.theta1_km;
       while (theta <= config_.theta2_km + kThetaEps &&
              diagnostics_.moved < diagnostics_.max_movable) {

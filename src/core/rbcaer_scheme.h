@@ -20,6 +20,7 @@
 
 #include "cluster/hierarchical.h"
 #include "core/balance_graph.h"
+#include "core/candidate_cache.h"
 #include "core/scheme.h"
 #include "core/theta_sweep.h"
 #include "flow/mcmf.h"
@@ -65,6 +66,15 @@ struct RbcaerConfig {
   /// frozen residual state. false falls back to the cold rebuild-per-θ
   /// path, kept as the differential oracle (see DESIGN.md §3.7).
   bool incremental_sweep = true;
+  /// Cross-slot online mode: when consecutive slots keep the same
+  /// overloaded/under-utilized membership, start the sweep by patching the
+  /// previous slot's scaffold (ThetaSweeper::begin_slot_online) instead of
+  /// regenerating candidates and rebuilding — steady-state per-slot cost
+  /// becomes O(demand churn). When membership does change, candidate
+  /// generation falls back to a cross-slot CandidateCache mask-filter
+  /// rather than fresh grid queries. Plans are bit-identical to the
+  /// rebuild path either way (DESIGN.md §3.10). Requires incremental_sweep.
+  bool online = false;
   /// Invariant auditing of the planning pipeline (checked builds only;
   /// compiled out under NDEBUG). kPlan audits the slot's flows against the
   /// initial slack, Procedure 1's result against B_peak, and the finished
@@ -104,9 +114,14 @@ class RbcaerScheme final : public RedirectionScheme {
     std::size_t theta_iterations = 0;
     std::size_t replicas = 0;
     std::size_t miss_rerouted = 0;  // local cache misses sent to neighbours
-    /// SPFA re-prices the warm sweep needed when an appended edge broke the
-    /// carried Dijkstra potentials (0 under SPFA or the cold path).
+    /// Re-prices the warm sweep needed when an appended edge (or, online, a
+    /// re-armed capacity) broke carried potentials — the Gd Dijkstra
+    /// engine's and, under SPFA, the Gc epochs' carried price vector
+    /// (0 on the cold path).
     std::size_t potential_reprices = 0;
+    /// 1 when this slot was started via the cross-slot scaffold patch
+    /// (config.online and membership unchanged), else 0.
+    std::size_t online_patches = 0;
   };
   [[nodiscard]] const Diagnostics& last_diagnostics() const noexcept {
     return diagnostics_;
@@ -132,6 +147,10 @@ class RbcaerScheme final : public RedirectionScheme {
   /// Persistent across slots so the warm sweep's buffers stop churning the
   /// allocator; clones get their own (planning stays pure per clone).
   ThetaSweeper sweeper_;
+  /// Online mode's fallback candidate generator (membership changed, so
+  /// the scaffold patch did not apply): memoized per-sender neighbour
+  /// lists instead of fresh grid queries. Also per clone.
+  CandidateCache candidate_cache_;
 };
 
 }  // namespace ccdn

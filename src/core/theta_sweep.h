@@ -33,7 +33,16 @@
 //    scaffold: truncate back to the scaffold checkpoint, append the current
 //    Gc structure from pre-allocated buffers, augment. Because the φ-shaped
 //    caps match a cold rebuild exactly, this regime reproduces the cold
-//    path's flows bit for bit.
+//    path's flows bit for bit. Under the SPFA engine the transient epochs
+//    additionally carry node potentials from epoch to epoch (harvested from
+//    each epoch's final search, re-certified by reprice_from on the next) —
+//    SPFA never reads them, so the flows are untouched, but the Johnson
+//    machinery stays live and auditable across the teardowns.
+//
+// A third entry point, begin_slot_online, extends the reuse across SLOT
+// boundaries: when consecutive slots share their overloaded/under-utilized
+// membership, the scaffold and candidate index survive and only the arc
+// capacities are re-armed to the new slot's φ — see DESIGN.md §3.10.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +86,26 @@ class ThetaSweeper {
   void begin_slot(HotspotPartition& partition,
                   std::vector<CandidateEdge> candidates);
 
+  /// Cross-slot fast path: start a slot by *patching* the previous slot's
+  /// scaffold instead of rebuilding it. Resumable exactly when the new
+  /// partition's overloaded and under-utilized member lists equal the
+  /// previous slot's — then the candidate set, the node mapping, and the
+  /// scaffold's construction order are all bit-identical to what
+  /// begin_slot would build, and only the φ-shaped arc capacities need
+  /// re-arming (FlowNetwork::reset_edge per scaffold arc). Returns false —
+  /// leaving the sweeper untouched — when membership changed or no
+  /// scaffold is held; the caller falls back to begin_slot. On success the
+  /// Gd Dijkstra potentials survive from the previous slot (re-certified
+  /// by a full-arc reprice_from before the first warm augment), so
+  /// steady-state per-slot cost is O(demand churn). Plan digests are
+  /// bit-identical to the rebuild path either way (DESIGN.md §3.10).
+  [[nodiscard]] bool begin_slot_online(HotspotPartition& partition);
+
+  /// Slots started via the begin_slot_online patch path (vs full rebuilds).
+  [[nodiscard]] std::size_t online_patches() const noexcept {
+    return online_patches_;
+  }
+
   /// Advance the sweep to θ on the plain distance graph Gd.
   SweepStep step_gd(double theta_km);
 
@@ -96,9 +125,11 @@ class ThetaSweeper {
 
   /// At AuditLevel::kFull (and only in checked builds), every step commit
   /// audits the persistent network — flow conservation, capacity bounds,
-  /// post-freeze residual costs — and the warm Gd steps additionally audit
-  /// the carried potentials' reduced-cost validity. A violation throws
-  /// InvariantError naming the invariant. No-op below kFull.
+  /// post-freeze residual costs — the warm Gd steps additionally audit
+  /// the carried potentials' reduced-cost validity, and every transient
+  /// (Gc / residual-Gd) step certifies its residual graph min-cost via
+  /// audit_epoch_residual *before* truncate() discards it. A violation
+  /// throws InvariantError naming the invariant. No-op below kFull.
   void set_audit_level(AuditLevel level) noexcept { audit_level_ = level; }
   [[nodiscard]] AuditLevel audit_level() const noexcept {
     return audit_level_;
@@ -120,7 +151,14 @@ class ThetaSweeper {
   /// kFull commit-time audit of the persistent network (checked builds).
   void audit_commit() const;
 
-  McmfSolver solver_;  // Gc steps: resets per rebuilt transient graph
+  /// Gc steps' engine. Under kSpfa it doubles as the transient regime's
+  /// price carrier: SPFA never reads potential_, so the sweeper harvests
+  /// the final failed search's distance labels into it after each epoch's
+  /// augment and re-certifies them (reprice_from over the rebuilt epoch)
+  /// before the next — making reprices() observable on Gc sweeps without
+  /// perturbing the search itself. Under kDijkstraPotentials it resets per
+  /// epoch (carrying prices would change zero-cost tie-breaking).
+  McmfSolver solver_;
   /// Gd steps: Dijkstra with potentials carried across the persistent
   /// regime's appends. Tight potentials make the next path price at
   /// reduced cost ~0, so the sink's tentative label appears almost
@@ -162,6 +200,20 @@ class ThetaSweeper {
   std::int64_t last_flow_ = 0;
   std::size_t last_guide_nodes_ = 0;
   AuditLevel audit_level_ = AuditLevel::kOff;
+
+  // Cross-slot state for begin_slot_online: the previous slot's partition
+  // membership (the resumability key), the inverse of map_.node_of for
+  // re-arming scaffold arc capacities, and whether a scaffold is held.
+  std::vector<std::uint32_t> prev_overloaded_;
+  std::vector<std::uint32_t> prev_underutilized_;
+  std::vector<std::uint32_t> hotspot_of_node_;
+  bool have_scaffold_ = false;
+  // After an online patch the carried Gd potentials are a whole slot old
+  // and capacity re-arming can resurrect violations on *any* arc, not just
+  // appended ones — the first warm step re-prices from edge 0 instead of
+  // from its append point.
+  bool needs_full_reprice_ = false;
+  std::size_t online_patches_ = 0;
 };
 
 }  // namespace ccdn

@@ -82,6 +82,16 @@ void FlowNetwork::truncate(const Checkpoint& cp) {
   original_caps_.resize(cp.stored_edges);
 }
 
+void FlowNetwork::reset_edge(EdgeId e, std::int64_t cap) {
+  CCDN_REQUIRE(e + 1 < edges_.size() && (e & 1u) == 0,
+               "not a forward edge id");
+  CCDN_REQUIRE(cap >= 0, "negative capacity");
+  edges_[e].capacity = cap;
+  edges_[e ^ 1u].capacity = 0;
+  original_caps_[e] = cap;
+  original_caps_[e ^ 1u] = 0;
+}
+
 void FlowNetwork::freeze_residuals() noexcept {
   // Backward arcs sit at odd ids (add_edge interleaves them).
   for (std::size_t e = 1; e < edges_.size(); e += 2) {

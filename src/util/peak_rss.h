@@ -1,0 +1,35 @@
+// Peak-RSS readings from getrusage(), normalized to MiB.
+//
+// POSIX leaves ru_maxrss's unit to the platform: Linux reports KiB, macOS
+// (and other BSDs following the historical convention) reports bytes.
+// Every call site that divides by 1024 unconditionally is therefore 1024x
+// off on one of the two — this header is the single shared conversion.
+#pragma once
+
+#include <sys/resource.h>
+
+namespace ccdn {
+
+/// Convert a raw ru_maxrss reading to MiB.
+inline double maxrss_to_mb(long ru_maxrss) {
+#ifdef __APPLE__
+  return static_cast<double>(ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru_maxrss) / 1024.0;  // KiB (Linux)
+#endif
+}
+
+/// Peak RSS in MiB from an already-collected rusage (e.g. wait4's child
+/// accounting).
+inline double peak_rss_mb(const rusage& usage) {
+  return maxrss_to_mb(usage.ru_maxrss);
+}
+
+/// Peak RSS of the calling process in MiB.
+inline double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return peak_rss_mb(usage);
+}
+
+}  // namespace ccdn

@@ -87,6 +87,36 @@ void audit_reduced_costs(const FlowNetwork& net,
   }
 }
 
+void audit_epoch_residual(const FlowNetwork& net, AuditReport& report) {
+  const std::size_t n = net.num_nodes();
+  const auto stored = static_cast<EdgeId>(2 * net.num_edges());
+  // Everywhere-seeded Bellman-Ford: with every node at 0 there is no
+  // reachability question — only a negative cycle can keep a label falling
+  // for n rounds.
+  std::vector<double> pot(n, 0.0);
+  bool changed = true;
+  for (std::size_t round = 0; round < n && changed; ++round) {
+    changed = false;
+    for (EdgeId e = 0; e < stored; ++e) {
+      const auto& edge = net.edge(e);
+      if (edge.capacity <= 0) continue;
+      const double candidate = pot[edge.from] + edge.cost;
+      if (candidate + kEps < pot[edge.to]) {
+        pot[edge.to] = candidate;
+        changed = true;
+      }
+    }
+  }
+  if (changed) {
+    report.add("negative-residual-cycle",
+               "residual graph relaxation did not converge in " +
+                   std::to_string(n) +
+                   " rounds: the committed flow is not min-cost");
+    return;
+  }
+  audit_reduced_costs(net, pot, report);
+}
+
 void audit_flow_entries(std::span<const FlowEntry> flows,
                         const HotspotPartition& partition,
                         std::span<const std::int64_t> initial_phi,

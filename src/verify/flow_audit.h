@@ -34,6 +34,20 @@ void audit_reduced_costs(const FlowNetwork& net,
                          std::span<const double> potentials,
                          AuditReport& report);
 
+/// Optimality certificate for a transient epoch's residual graph *before*
+/// truncate() discards it. A min-cost flow's residual graph admits no
+/// negative-cost cycle; equivalently, a potential vector exists under which
+/// every positive-capacity arc prices non-negatively. This audit derives
+/// such a vector itself — an everywhere-seeded Bellman-Ford over edge
+/// storage (every node starts at 0, so no reachability assumptions) — and
+/// reports "negative-residual-cycle" when the relaxation fails to converge
+/// within num_nodes rounds, which happens exactly when such a cycle exists.
+/// On convergence the derived potentials are fed through
+/// audit_reduced_costs() as a self-check. Unlike audit_reduced_costs()
+/// against solver-carried potentials, this never false-positives on
+/// networks whose carried prices are merely stale.
+void audit_epoch_residual(const FlowNetwork& net, AuditReport& report);
+
 /// The per-pair flows extracted from a slot's sweep, checked against the
 /// partition's *initial* slack (phi as of HotspotPartition::from_loads):
 ///  - entries are positive with in-range endpoints

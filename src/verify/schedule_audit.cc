@@ -133,6 +133,41 @@ void audit_capacity(std::span<const HotspotIndex> assignment,
   }
 }
 
+void audit_total_capacity(std::span<const HotspotIndex> assignment,
+                          const std::vector<std::vector<VideoId>>& placements,
+                          std::span<const Hotspot> hotspots,
+                          std::span<const Request> requests,
+                          AuditReport& report) {
+  const std::size_t m = hotspots.size();
+  if (assignment.size() != requests.size() || placements.size() != m) {
+    report.add("capacity-audit-shape",
+               "assignment/placements sizes do not match the slot");
+    return;
+  }
+  std::vector<std::int64_t> assigned(m, 0);
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const HotspotIndex target = assignment[r];
+    if (target == kCdnServer || target >= m) continue;
+    if (!placed_at(placements, target, requests[r].video)) {
+      report.add("assignment-miss",
+                 "request " + std::to_string(r) + " assigned to hotspot " +
+                     std::to_string(target) + " which lacks video " +
+                     std::to_string(requests[r].video));
+      continue;
+    }
+    ++assigned[target];
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto s_j = static_cast<std::int64_t>(hotspots[j].service_capacity);
+    if (assigned[j] > s_j) {
+      report.add("total-capacity",
+                 "hotspot " + std::to_string(j) + " is assigned " +
+                     std::to_string(assigned[j]) + " requests > s_h " +
+                     std::to_string(s_j));
+    }
+  }
+}
+
 void audit_replication(const ReplicationResult& result,
                        std::span<const Hotspot> hotspots,
                        std::size_t replica_budget, AuditReport& report) {

@@ -62,6 +62,23 @@ void audit_capacity(std::span<const HotspotIndex> assignment,
                     std::span<const Request> requests,
                     std::span<const HotspotIndex> homes, AuditReport& report);
 
+/// Total service-capacity invariant for schemes that place every request
+/// directly (the LP rounding, which decides x_ij for home and non-home
+/// targets alike — there is no privileged "home demand" admission can be
+/// assumed to cover):
+///  - per hotspot j, the TOTAL number of requests assigned to j fits in
+///    s_j ("total-capacity"),
+///  - every assigned request's video is placed at its target
+///    ("assignment-miss").
+/// Stricter than audit_capacity, which only bounds inbound redirects
+/// against the residual after servable home demand and tolerates
+/// over-assigned homes.
+void audit_total_capacity(std::span<const HotspotIndex> assignment,
+                          const std::vector<std::vector<VideoId>>& placements,
+                          std::span<const Hotspot> hotspots,
+                          std::span<const Request> requests,
+                          AuditReport& report);
+
 /// Procedure 1 output contracts:
 ///  - replicas == total placements and both within `replica_budget`
 ///    ("replica-count" / "replication-budget"),

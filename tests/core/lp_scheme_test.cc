@@ -62,6 +62,20 @@ TEST(LpScheme, ProducesFeasiblePlan) {
   EXPECT_LE(served[1], 5u);
 }
 
+TEST(LpScheme, AuditedPlanIsClean) {
+  // The rounded plan must satisfy the total service-capacity invariant by
+  // construction; with auditing enabled a violation would throw
+  // InvariantError out of plan_slot.
+  Fixture fixture;
+  const auto requests = small_slot();
+  const SlotDemand demand(requests, fixture.index);
+  LpSchemeOptions options;
+  options.audit_level = AuditLevel::kFull;
+  LpScheme scheme(options);
+  const SlotPlan plan = scheme.plan_slot(fixture.context(), requests, demand);
+  EXPECT_EQ(plan.assignment.size(), requests.size());
+}
+
 TEST(LpScheme, ServesEverythingWhenCapacityAmple) {
   Fixture fixture;
   const auto requests = small_slot();

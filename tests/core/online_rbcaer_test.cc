@@ -1,0 +1,342 @@
+// Cross-slot online scheduler differential suite: the --online patch path
+// must produce bit-identical plans to the per-slot rebuild path on every
+// slot, take the scaffold patch whenever consecutive slots keep the same
+// partition membership, and fall back (then re-arm) across a demand spike
+// that forces scaffold re-expansion. Runs under AuditLevel::kFull so every
+// cross-slot patch is followed by the carried-potentials and epoch-residual
+// validity audits inside the sweep itself (checked builds).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/balance_graph.h"
+#include "core/rbcaer_scheme.h"
+#include "core/theta_sweep.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Synthetic multi-slot workload with exact load control. Hotspot h receives
+// loads[h] requests at its own location, so the partition membership is
+// known by construction: with s_h = 10, hotspots 0..5 are overloaded and
+// 6..11 under-utilized. Churn slots perturb videos and migrate a few
+// requests between the two most overloaded hotspots ("lanes" 0 and 1, whose
+// margins over s_h dwarf the migration), keeping membership stable; the
+// spike slot floods hotspot 11 until it flips overloaded.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kService = 10;
+constexpr std::size_t kLaneA = 0;
+constexpr std::size_t kLaneB = 1;
+constexpr std::size_t kSpikeHotspot = 11;
+
+struct OnlineFixture {
+  std::vector<Hotspot> hotspots;
+  std::vector<std::size_t> loads{40, 35, 18, 16, 14, 12, 2, 3, 4, 5, 6, 7};
+  std::vector<std::size_t> start;  // base-trace offset of hotspot h's block
+  GridIndex index;
+  VideoCatalog catalog{30};
+  std::vector<Request> base;
+
+  OnlineFixture()
+      : hotspots([] {
+          Rng rng(2026);
+          std::vector<Hotspot> h(12);
+          for (auto& hotspot : h) {
+            hotspot.location = {40.000 + rng.uniform(0.0, 0.020),
+                                116.500 + rng.uniform(0.0, 0.025)};
+            hotspot.service_capacity = kService;
+            hotspot.cache_capacity = 20;
+          }
+          return h;
+        }()),
+        index(
+            [this] {
+              std::vector<GeoPoint> pts;
+              for (const auto& h : hotspots) pts.push_back(h.location);
+              return pts;
+            }(),
+            0.5) {
+    for (std::size_t h = 0; h < hotspots.size(); ++h) {
+      start.push_back(base.size());
+      for (std::size_t i = 0; i < loads[h]; ++i) {
+        Request r;
+        r.user = static_cast<UserId>(base.size());
+        r.video = static_cast<VideoId>((h * 3 + i) % 30);
+        r.location = hotspots[h].location;
+        base.push_back(r);
+      }
+    }
+  }
+
+  SchemeContext context() const { return {hotspots, index, catalog, 20.0}; }
+
+  /// Churn variant s of the base slot: re-video a sliding window of lane
+  /// requests (content churn reshaping the Gc clustering) and migrate a few
+  /// lane-A requests to lane B (load churn moving φ without flipping
+  /// membership: lane A's margin is 30, lane B only gains).
+  std::vector<Request> churn_slot(std::size_t s) const {
+    std::vector<Request> slot = base;
+    for (std::size_t i = 0; i < 6; ++i) {
+      Request& r = slot[start[kLaneA] + (s * 5 + i) % loads[kLaneA]];
+      r.video = static_cast<VideoId>((r.video + 7 + s) % 30);
+    }
+    const std::size_t moves = 1 + (s % 3);
+    for (std::size_t i = 0; i < moves; ++i) {
+      slot[start[kLaneA] + (s * 7 + i) % loads[kLaneA]].location =
+          hotspots[kLaneB].location;
+    }
+    return slot;
+  }
+
+  /// Spike slot: 20 extra requests at under-utilized hotspot 11 flip it
+  /// overloaded (7 + 20 > s_h), changing the membership the online patch
+  /// requires and forcing the fallback rebuild + scaffold re-expansion.
+  std::vector<Request> spike_slot() const {
+    std::vector<Request> slot = base;
+    for (std::size_t i = 0; i < 20; ++i) {
+      Request r;
+      r.user = static_cast<UserId>(slot.size());
+      r.video = static_cast<VideoId>(i % 30);
+      r.location = hotspots[kSpikeHotspot].location;
+      slot.push_back(r);
+    }
+    return slot;
+  }
+
+  /// The suite's slot sequence: cold start, two churn slots (patched), the
+  /// spike (fallback), a churn slot right after it (fallback again — its
+  /// membership differs from the spike's), and one more (patched again).
+  std::vector<std::vector<Request>> slot_sequence() const {
+    return {base,          churn_slot(1), churn_slot(2),
+            spike_slot(),  churn_slot(3), churn_slot(4)};
+  }
+};
+
+/// Expected per-slot patch counts for slot_sequence(): see its comment.
+const std::size_t kExpectedPatches[] = {0, 1, 1, 0, 0, 1};
+
+struct DifferentialOutcome {
+  std::size_t patches = 0;
+  std::size_t reprices = 0;
+};
+
+DifferentialOutcome run_differential(const OnlineFixture& fixture,
+                                     RbcaerConfig config) {
+  config.incremental_sweep = true;
+  config.audit_level = AuditLevel::kFull;
+  RbcaerScheme rebuild(config);
+  config.online = true;
+  RbcaerScheme online(config);
+
+  DifferentialOutcome outcome;
+  const auto slots = fixture.slot_sequence();
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const SlotDemand demand(slots[s], fixture.index);
+    const SlotPlan rebuild_plan =
+        rebuild.plan_slot(fixture.context(), slots[s], demand);
+    const SlotPlan online_plan =
+        online.plan_slot(fixture.context(), slots[s], demand);
+    EXPECT_EQ(online_plan.assignment, rebuild_plan.assignment)
+        << "slot " << s;
+    EXPECT_EQ(online_plan.placements, rebuild_plan.placements)
+        << "slot " << s;
+    const auto& d = online.last_diagnostics();
+    EXPECT_EQ(d.online_patches, kExpectedPatches[s]) << "slot " << s;
+    outcome.patches += d.online_patches;
+    outcome.reprices += d.potential_reprices;
+  }
+  return outcome;
+}
+
+TEST(OnlineRbcaer, MatchesRebuildAndPatchesSteadySlots) {
+  OnlineFixture fixture;
+  RbcaerConfig config;
+  config.theta1_km = 0.3;
+  config.theta2_km = 1.5;
+  config.delta_km = 0.1;
+  const DifferentialOutcome outcome = run_differential(fixture, config);
+  EXPECT_EQ(outcome.patches, 3u);
+}
+
+TEST(OnlineRbcaer, GcSweepReportsRepriceWork) {
+  // The Gc dead-spot fix: transient per-θ epochs carry SPFA potentials
+  // through reprice_from, so a warm Gc sweep on a realistically sized slot
+  // must report repricing work (the counter was structurally zero before —
+  // every epoch's network died in truncate() with its prices unread).
+  WorldConfig world_config = WorldConfig::evaluation_region();
+  world_config.num_hotspots = 80;
+  world_config.num_videos = 2000;
+  World world = generate_world(world_config);
+  assign_uniform_capacities(world, 0.05, 0.03);
+  TraceConfig trace_config;
+  trace_config.num_requests = 12000;
+  const auto trace = generate_trace(world, trace_config);
+
+  std::vector<GeoPoint> pts;
+  for (const auto& h : world.hotspots()) pts.push_back(h.location);
+  const GridIndex index(std::move(pts), 0.75);
+  const SchemeContext context{world.hotspots(), index,
+                              VideoCatalog{world_config.num_videos}, 20.0};
+  const SlotDemand demand(trace, index);
+
+  RbcaerConfig config;
+  config.theta1_km = 0.3;
+  config.theta2_km = 1.5;
+  config.delta_km = 0.1;
+  config.audit_level = AuditLevel::kFull;
+  RbcaerScheme scheme(config);
+  (void)scheme.plan_slot(context, trace, demand);
+  EXPECT_GT(scheme.last_diagnostics().potential_reprices, 0u);
+}
+
+TEST(OnlineRbcaer, MatchesRebuildWithoutAggregation) {
+  OnlineFixture fixture;
+  RbcaerConfig config;
+  config.content_aggregation = false;
+  config.theta1_km = 0.3;
+  config.theta2_km = 1.5;
+  config.delta_km = 0.1;
+  const DifferentialOutcome outcome = run_differential(fixture, config);
+  EXPECT_EQ(outcome.patches, 3u);
+}
+
+TEST(OnlineRbcaer, MatchesRebuildUnderDijkstra) {
+  // Under kDijkstraPotentials the Gc epochs deliberately reset their price
+  // vector (zero-cost tie-breaking must match the cold build), but the
+  // cross-slot Gd potential carry is live — plans must still be identical.
+  OnlineFixture fixture;
+  RbcaerConfig config;
+  config.mcmf_strategy = McmfStrategy::kDijkstraPotentials;
+  config.theta1_km = 0.3;
+  config.theta2_km = 1.5;
+  config.delta_km = 0.1;
+  const DifferentialOutcome outcome = run_differential(fixture, config);
+  EXPECT_EQ(outcome.patches, 3u);
+}
+
+TEST(OnlineRbcaer, SweeperRejectsMembershipChange) {
+  OnlineFixture fixture;
+  std::vector<std::uint32_t> loads(fixture.loads.size());
+  for (std::size_t h = 0; h < loads.size(); ++h) {
+    loads[h] = static_cast<std::uint32_t>(fixture.loads[h]);
+  }
+  HotspotPartition first =
+      HotspotPartition::from_loads(fixture.hotspots, loads);
+  const auto candidates =
+      candidate_edges_pairscan(fixture.hotspots, first, 1.5);
+
+  ThetaSweeper sweeper;
+  sweeper.begin_slot(first, candidates);
+  (void)sweeper.step_gd(1.5);
+  sweeper.end_slot();
+
+  // Same loads => same membership: the patch must be taken.
+  HotspotPartition same = HotspotPartition::from_loads(fixture.hotspots, loads);
+  EXPECT_TRUE(sweeper.begin_slot_online(same));
+  (void)sweeper.step_gd(1.5);
+  sweeper.end_slot();
+  EXPECT_EQ(sweeper.online_patches(), 1u);
+
+  // Flipping one under-utilized hotspot overloaded changes the membership
+  // vectors; the sweeper must refuse and leave the caller on the rebuild
+  // path.
+  std::vector<std::uint32_t> spiked = loads;
+  spiked[kSpikeHotspot] += 3 * kService;
+  HotspotPartition changed =
+      HotspotPartition::from_loads(fixture.hotspots, spiked);
+  EXPECT_FALSE(sweeper.begin_slot_online(changed));
+  EXPECT_EQ(sweeper.online_patches(), 1u);
+}
+
+TEST(OnlineRbcaer, SweeperOnlineStepMatchesFreshBuild) {
+  OnlineFixture fixture;
+  std::vector<std::uint32_t> loads(fixture.loads.size());
+  for (std::size_t h = 0; h < loads.size(); ++h) {
+    loads[h] = static_cast<std::uint32_t>(fixture.loads[h]);
+  }
+  const auto partition_of = [&] {
+    return HotspotPartition::from_loads(fixture.hotspots, loads);
+  };
+  HotspotPartition first = partition_of();
+  const auto candidates =
+      candidate_edges_pairscan(fixture.hotspots, first, 1.5);
+
+  ThetaSweeper online;
+  online.begin_slot(first, candidates);
+  (void)online.step_gd(1.5);
+  online.end_slot();
+  HotspotPartition patched = partition_of();
+  ASSERT_TRUE(online.begin_slot_online(patched));
+  const SweepStep online_step = online.step_gd(1.5);
+  online.end_slot();
+
+  ThetaSweeper fresh;
+  HotspotPartition rebuilt = partition_of();
+  fresh.begin_slot(rebuilt, candidates);
+  const SweepStep fresh_step = fresh.step_gd(1.5);
+  fresh.end_slot();
+
+  EXPECT_EQ(online_step.moved, fresh_step.moved);
+  ASSERT_EQ(online_step.flows.size(), fresh_step.flows.size());
+  for (std::size_t i = 0; i < online_step.flows.size(); ++i) {
+    EXPECT_EQ(online_step.flows[i].from, fresh_step.flows[i].from);
+    EXPECT_EQ(online_step.flows[i].to, fresh_step.flows[i].to);
+    EXPECT_EQ(online_step.flows[i].amount, fresh_step.flows[i].amount);
+  }
+  EXPECT_EQ(patched.phi, rebuilt.phi);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator-level differential on a generated world: --online must be
+// digest-identical to the rebuild path under every executor shape — the
+// windowed lanes hand each clone only every W-th slot, which the
+// membership-equality patch gate must absorb.
+// ---------------------------------------------------------------------------
+
+TEST(OnlineRbcaer, SimulatorDigestsMatchAcrossThreadsAndWindows) {
+  WorldConfig world_config = WorldConfig::evaluation_region();
+  world_config.num_hotspots = 40;
+  world_config.num_videos = 800;
+  world_config.seed = 11;
+  World world = generate_world(world_config);
+  assign_uniform_capacities(world, 0.05, 0.03);
+  TraceConfig trace_config;
+  trace_config.num_requests = 5000;
+  trace_config.duration_hours = 8;
+  trace_config.seed = 11;
+  const auto trace = generate_trace(world, trace_config);
+
+  SimulationConfig base_config;
+  base_config.slot_seconds = 3600;
+  base_config.audit_level = AuditLevel::kPlan;  // records slot digests
+
+  const auto run = [&](bool online, std::size_t threads, std::size_t window,
+                       bool purity) {
+    SimulationConfig config = base_config;
+    config.num_threads = threads;
+    config.max_inflight_slots = window;
+    config.verify_clone_purity = purity;
+    RbcaerConfig scheme_config;
+    scheme_config.online = online;
+    RbcaerScheme scheme(scheme_config);
+    const Simulator simulator(world.hotspots(),
+                              VideoCatalog{world_config.num_videos}, config);
+    return simulator.run(scheme, trace).slot_digests();
+  };
+
+  const auto baseline = run(false, 1, 0, false);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(run(true, 1, 0, false), baseline);
+  EXPECT_EQ(run(true, 2, 2, false), baseline);
+  EXPECT_EQ(run(true, 4, 3, true), baseline);
+}
+
+}  // namespace
+}  // namespace ccdn

@@ -111,6 +111,31 @@ TEST(FlowAuditTest, ShortPotentialSpanIsReported) {
   EXPECT_TRUE(report.has("potentials-missing")) << report.summary();
 }
 
+TEST(FlowAuditTest, EpochResidualCleanOnOptimalFlow) {
+  // The residual of a min-cost flow has no negative cycle, and the audit
+  // must certify that without any caller-supplied potentials — this is the
+  // transient-epoch check that runs before truncate() discards the network.
+  Diamond d;
+  (void)MinCostMaxFlow::solve(d.net, d.source, d.sink, McmfStrategy::kSpfa);
+  AuditReport report;
+  audit_epoch_residual(d.net, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FlowAuditTest, NegativeResidualCycleIsNamed) {
+  // Seeded corruption: a two-arc cycle of total cost -1 with live capacity
+  // in both directions. Such a cycle means the committed flow was not
+  // cost-optimal (cancelling around it would lower the cost), which is
+  // exactly the state a broken warm-start would leave behind.
+  FlowNetwork net{2};
+  (void)net.add_edge(0, 1, 1, 1.0);
+  (void)net.add_edge(1, 0, 1, -2.0);
+  AuditReport report;
+  audit_epoch_residual(net, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("negative-residual-cycle")) << report.summary();
+}
+
 /// Two-hotspot partition: 0 overloaded with slack 5, 1 under-utilized with
 /// slack 4.
 struct TinyPartition {

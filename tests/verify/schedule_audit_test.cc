@@ -125,6 +125,51 @@ TEST(ScheduleAuditTest, ShapeMismatchShortCircuits) {
   EXPECT_TRUE(report.has("capacity-audit-shape")) << report.summary();
 }
 
+TEST(ScheduleAuditTest, TotalCapacityFeasiblePlanPasses) {
+  CapacitySlot s;
+  // Hotspot 0 serves both video-1 requests (s_0 = 3); the video-2 request
+  // goes to the CDN — within the total-capacity invariant the LP rounding
+  // promises.
+  const std::vector<HotspotIndex> assignment{0, 0, kCdnServer};
+  AuditReport report;
+  audit_total_capacity(assignment, s.placements, s.hotspots, s.requests,
+                       report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ScheduleAuditTest, TotalAssignedLoadPastCapacityIsNamed) {
+  CapacitySlot s;
+  s.hotspots[0].service_capacity = 1;
+  // Both video-1 requests assigned to hotspot 0, but s_0 = 1. Unlike
+  // audit_capacity — which treats home demand as admission's problem and
+  // would pass this — the total invariant must flag it.
+  const std::vector<HotspotIndex> assignment{0, 0, kCdnServer};
+  AuditReport report;
+  audit_total_capacity(assignment, s.placements, s.hotspots, s.requests,
+                       report);
+  EXPECT_TRUE(report.has("total-capacity")) << report.summary();
+}
+
+TEST(ScheduleAuditTest, AssignmentToMissingVideoIsNamed) {
+  CapacitySlot s;
+  // Request 2 wants video 2, which hotspot 0 does not cache; a direct
+  // assignment there is infeasible no matter the capacity.
+  const std::vector<HotspotIndex> assignment{0, 0, 0};
+  AuditReport report;
+  audit_total_capacity(assignment, s.placements, s.hotspots, s.requests,
+                       report);
+  EXPECT_TRUE(report.has("assignment-miss")) << report.summary();
+}
+
+TEST(ScheduleAuditTest, TotalCapacityShapeMismatchShortCircuits) {
+  CapacitySlot s;
+  const std::vector<HotspotIndex> assignment{0};  // wrong length
+  AuditReport report;
+  audit_total_capacity(assignment, s.placements, s.hotspots, s.requests,
+                       report);
+  EXPECT_TRUE(report.has("capacity-audit-shape")) << report.summary();
+}
+
 ReplicationResult small_replication() {
   ReplicationResult result;
   result.placements = {{1}, {1, 2}};

@@ -4,7 +4,8 @@
 //   audit_run [--scheme=rbcaer|virtual|nearest|random] [--in=trace.csv]
 //             [--hotspots=310] [--videos=15190] [--requests=20000]
 //             [--hours=24] [--seed=42] [--slot-seconds=3600]
-//             [--capacity=0.05] [--cache=0.03] [--stream] [--quiet]
+//             [--capacity=0.05] [--cache=0.03] [--stream] [--online]
+//             [--quiet]
 //
 // Without --in a synthetic trace is generated from the world flags (the
 // same parameterization as `ccdn-trace generate`), so the tool is
@@ -26,8 +27,6 @@
 //
 // Exit status: 0 when every slot is clean, 1 when any invariant failed,
 // 2 on usage errors.
-#include <sys/resource.h>
-
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -44,6 +43,7 @@
 #include "trace/trace_io.h"
 #include "trace/world.h"
 #include "util/flags.h"
+#include "util/peak_rss.h"
 #include "verify/schedule_audit.h"
 
 namespace {
@@ -56,16 +56,18 @@ struct SchemeChoice {
   bool audit_capacity = false;
 };
 
-SchemeChoice make_scheme(const std::string& name) {
+SchemeChoice make_scheme(const std::string& name, bool online) {
   SchemeChoice choice;
   if (name == "rbcaer") {
     RbcaerConfig config;
     config.audit_level = AuditLevel::kFull;
+    config.online = online;
     choice.scheme = std::make_unique<RbcaerScheme>(config);
     choice.audit_capacity = true;
   } else if (name == "virtual") {
     VirtualRbcaerConfig config;
     config.regional.audit_level = AuditLevel::kFull;
+    config.regional.online = online;
     choice.scheme = std::make_unique<VirtualRbcaerScheme>(config);
     choice.audit_capacity = true;
   } else if (name == "nearest") {
@@ -76,18 +78,17 @@ SchemeChoice make_scheme(const std::string& name) {
   return choice;
 }
 
-double peak_rss_mb() {
-  struct rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::string scheme_name = flags.get_string("scheme", "rbcaer");
-  SchemeChoice choice = make_scheme(scheme_name);
+  // Cross-slot online scheduling (RBCAer family; the stateless baselines
+  // ignore it). The audited invariants are the same either way — that is
+  // the point: the patched path must produce plans the full audit stack
+  // cannot tell from the rebuild path's.
+  const bool online = flags.get_bool("online", false);
+  SchemeChoice choice = make_scheme(scheme_name, online);
   if (!choice.scheme) {
     std::fprintf(stderr,
                  "unknown --scheme=%s (rbcaer|virtual|nearest|random)\n",

@@ -13,11 +13,13 @@
 //
 //   ccdn_trace simulate --in=trace.csv --scheme=rbcaer|nearest|random|virtual
 //                       [--capacity=0.05] [--cache=0.03] [--hotspots=310]
-//                       [--stream] [--threads=1] [--window=0]
+//                       [--stream] [--threads=1] [--window=0] [--online]
 //       Run one scheme over the trace and print the four paper metrics.
 //       --stream pulls slot batches straight off the CSV (bounded memory,
 //       bit-identical report); --threads/--window size the pipelined
-//       executor (window 0 = 2x threads).
+//       executor (window 0 = 2x threads); --online carries the RBCAer
+//       θ-sweep scaffold across slot boundaries (bit-identical plans,
+//       steady-state cost O(demand churn)).
 //
 // The world is regenerated from the same --seed/--hotspots/--videos flags,
 // so a trace file plus its generation flags fully reproduces a run.
@@ -141,15 +143,23 @@ int cmd_simulate(const Flags& flags) {
   assign_uniform_capacities(world, flags.get_double("capacity", 0.05),
                             flags.get_double("cache", 0.03));
   const std::string scheme_name = flags.get_string("scheme", "rbcaer");
+  // Cross-slot online scheduling for the RBCAer family: patch the previous
+  // slot's θ-sweep scaffold instead of rebuilding when the partition
+  // membership holds. Plans are bit-identical to the rebuild path.
+  const bool online = flags.get_bool("online", false);
   SchemePtr scheme;
   if (scheme_name == "rbcaer") {
-    scheme = std::make_unique<RbcaerScheme>();
+    RbcaerConfig config;
+    config.online = online;
+    scheme = std::make_unique<RbcaerScheme>(config);
   } else if (scheme_name == "nearest") {
     scheme = std::make_unique<NearestScheme>();
   } else if (scheme_name == "random") {
     scheme = std::make_unique<RandomScheme>(1.5);
   } else if (scheme_name == "virtual") {
-    scheme = std::make_unique<VirtualRbcaerScheme>();
+    VirtualRbcaerConfig config;
+    config.regional.online = online;
+    scheme = std::make_unique<VirtualRbcaerScheme>(config);
   } else {
     std::fprintf(stderr,
                  "simulate: unknown --scheme '%s' (rbcaer|nearest|random|"

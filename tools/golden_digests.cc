@@ -31,6 +31,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/nearest_scheme.h"
@@ -55,14 +56,71 @@ constexpr std::size_t kRequests = 6000;
 constexpr std::size_t kHours = 24;
 constexpr std::int64_t kSlotSeconds = 3600;
 
-const char* const kSchemes[] = {"nearest", "random", "rbcaer", "virtual"};
+// The "-online" variants run the same schemes with cross-slot online
+// scheduling enabled (a no-op for the stateless baselines). Pinning them
+// alongside the base schemes makes the golden gate prove the online
+// scheduler's bit-identity promise on every CI run, not just in the unit
+// suite — and the explicit online-vs-base comparison below turns any
+// divergence into a named failure even before the golden file is consulted.
+const char* const kSchemes[] = {"nearest",        "random",
+                                "rbcaer",         "virtual",
+                                "nearest-online", "random-online",
+                                "rbcaer-online",  "virtual-online"};
 
 SchemePtr make_scheme(const std::string& name) {
-  if (name == "nearest") return std::make_unique<NearestScheme>();
-  if (name == "random") return std::make_unique<RandomScheme>();
-  if (name == "rbcaer") return std::make_unique<RbcaerScheme>();
-  if (name == "virtual") return std::make_unique<VirtualRbcaerScheme>();
+  constexpr std::string_view kOnlineSuffix = "-online";
+  std::string base = name;
+  bool online = false;
+  if (base.size() > kOnlineSuffix.size() &&
+      base.compare(base.size() - kOnlineSuffix.size(), kOnlineSuffix.size(),
+                   kOnlineSuffix) == 0) {
+    base.resize(base.size() - kOnlineSuffix.size());
+    online = true;
+  }
+  if (base == "nearest") return std::make_unique<NearestScheme>();
+  if (base == "random") return std::make_unique<RandomScheme>();
+  if (base == "rbcaer") {
+    RbcaerConfig config;
+    config.online = online;
+    return std::make_unique<RbcaerScheme>(config);
+  }
+  if (base == "virtual") {
+    VirtualRbcaerConfig config;
+    config.regional.online = online;
+    return std::make_unique<VirtualRbcaerScheme>(config);
+  }
   return nullptr;
+}
+
+/// Compare every "-online" digest array against its base scheme's; any
+/// difference is a violation of the online scheduler's bit-identity
+/// contract. Returns the number of mismatching scheme pairs.
+std::size_t check_online_identity(
+    const std::vector<std::pair<std::string, std::vector<std::uint64_t>>>&
+        digests) {
+  const auto find = [&](const std::string& name)
+      -> const std::vector<std::uint64_t>* {
+    for (const auto& entry : digests) {
+      if (entry.first == name) return &entry.second;
+    }
+    return nullptr;
+  };
+  std::size_t mismatches = 0;
+  for (const auto& entry : digests) {
+    const std::string& name = entry.first;
+    if (name.size() < 8 || name.substr(name.size() - 7) != "-online") {
+      continue;
+    }
+    const auto* base = find(name.substr(0, name.size() - 7));
+    if (base == nullptr || *base != entry.second) {
+      std::fprintf(stderr,
+                   "golden_digests: %s plans diverge from the rebuild "
+                   "path's (online bit-identity broken)\n",
+                   name.c_str());
+      ++mismatches;
+    }
+  }
+  return mismatches;
 }
 
 std::vector<std::uint64_t> compute_digests(const std::string& scheme_name,
@@ -180,6 +238,12 @@ int main(int argc, char** argv) {
         std::printf("golden_digests: %s -> %zu slot digest(s)\n", name,
                     all.back().second.size());
       }
+      if (check_online_identity(all) != 0) {
+        std::fprintf(stderr,
+                     "golden_digests: refusing to write a golden file with "
+                     "online/base divergence\n");
+        return 1;
+      }
       write_golden(regen_path, all);
       std::printf("golden_digests: wrote %s\n", regen_path.c_str());
       return 0;
@@ -196,6 +260,9 @@ int main(int argc, char** argv) {
     const std::string text = buffer.str();
 
     std::size_t mismatches = 0;
+    // Freshly computed (pre-perturb) digests, kept for the online-vs-base
+    // identity cross-check after the golden comparison.
+    std::vector<std::pair<std::string, std::vector<std::uint64_t>>> computed;
     for (const char* name : kSchemes) {
       std::vector<std::uint64_t> expected;
       if (!scan_golden(text, name, expected)) {
@@ -205,6 +272,7 @@ int main(int argc, char** argv) {
         continue;
       }
       std::vector<std::uint64_t> actual = compute_digests(name, world, trace);
+      computed.emplace_back(name, actual);
       if (!perturb.empty() && perturb == name && !actual.empty()) {
         actual.front() ^= 1;  // prove the comparator catches drift
       }
@@ -231,6 +299,7 @@ int main(int argc, char** argv) {
       std::printf("golden_digests: %s %zu slot(s) %s\n", name, actual.size(),
                   scheme_bad == 0 ? "ok" : "DRIFTED");
     }
+    mismatches += check_online_identity(computed);
     if (mismatches != 0) {
       std::fprintf(stderr, "golden_digests: %zu mismatch(es) vs %s\n",
                    mismatches, check_path.c_str());
