@@ -1,0 +1,366 @@
+// Pre-refactor flow solver, frozen for in-binary before/after comparison.
+//
+// This is the FlowNetwork + McmfSolver pair exactly as it stood before the
+// mechanical-sympathy pass (vector-of-vectors adjacency, 32-byte AoS edges,
+// double-only costs, binary-heap Dijkstra), lifted from the pre-CSR tree and
+// wrapped in `namespace legacy` so the layout micro-benches can race the two
+// engines inside one binary on identical inputs. Bench-only: nothing under
+// src/ may include this header, and it must never be "fixed" to track the
+// live engine — its whole value is standing still.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ccdn::legacy {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// Directed flow network with residual edges — the pre-CSR representation:
+/// one heap-allocated adjacency vector per node, interleaved fwd/residual
+/// edge records of {from, to, capacity, cost}.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::size_t num_nodes) : heads_(num_nodes) {}
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return heads_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size() / 2;
+  }
+
+  NodeId add_node() {
+    heads_.emplace_back();
+    return static_cast<NodeId>(heads_.size() - 1);
+  }
+
+  EdgeId add_edge(NodeId from, NodeId to, std::int64_t capacity, double cost) {
+    CCDN_REQUIRE(from < heads_.size() && to < heads_.size(),
+                 "edge endpoint out of range");
+    CCDN_REQUIRE(capacity >= 0, "negative capacity");
+    const auto id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back({from, to, capacity, cost});
+    edges_.push_back({to, from, 0, -cost});
+    original_caps_.push_back(capacity);
+    original_caps_.push_back(0);
+    heads_[from].push_back(id);
+    heads_[to].push_back(id + 1);
+    return id;
+  }
+
+  struct Edge {
+    NodeId from = 0;
+    NodeId to = 0;
+    std::int64_t capacity = 0;  // residual capacity
+    double cost = 0.0;
+  };
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    CCDN_REQUIRE(e < edges_.size(), "edge id out of range");
+    return edges_[e];
+  }
+
+  [[nodiscard]] std::int64_t flow(EdgeId e) const {
+    CCDN_REQUIRE(e < edges_.size() && (e & 1u) == 0, "not a forward edge id");
+    return original_caps_[e] - edges_[e].capacity;
+  }
+
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId node) const {
+    CCDN_REQUIRE(node < heads_.size(), "node id out of range");
+    return heads_[node];
+  }
+
+  void reset_flows() noexcept {
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      edges_[e].capacity = original_caps_[e];
+    }
+  }
+
+  void reserve(std::size_t nodes, std::size_t edges) {
+    heads_.reserve(nodes);
+    edges_.reserve(2 * edges);
+    original_caps_.reserve(2 * edges);
+  }
+
+  void clear(std::size_t num_nodes) {
+    for (std::size_t n = 0; n < heads_.size() && n < num_nodes; ++n) {
+      heads_[n].clear();
+    }
+    heads_.resize(num_nodes);
+    edges_.clear();
+    original_caps_.clear();
+  }
+
+  void freeze_residuals() noexcept {
+    for (std::size_t e = 1; e < edges_.size(); e += 2) {
+      edges_[e].capacity = 0;
+    }
+  }
+
+  [[nodiscard]] EdgeId paired(EdgeId e) const noexcept { return e ^ 1u; }
+
+  void push(EdgeId e, std::int64_t amount) {
+    CCDN_REQUIRE(e < edges_.size(), "edge id out of range");
+    CCDN_REQUIRE(amount >= 0 && amount <= edges_[e].capacity,
+                 "push exceeds residual capacity");
+    edges_[e].capacity -= amount;
+    edges_[paired(e)].capacity += amount;
+  }
+
+ private:
+  std::vector<Edge> edges_;                  // interleaved fwd/residual
+  std::vector<std::int64_t> original_caps_;  // per stored edge
+  std::vector<std::vector<EdgeId>> heads_;   // adjacency: node -> edge ids
+};
+
+enum class McmfStrategy {
+  kSpfa,
+  kDijkstraPotentials,
+};
+
+struct McmfResult {
+  std::int64_t flow = 0;
+  double cost = 0.0;
+};
+
+/// The pre-refactor successive-shortest-path engine: double costs, AoS edge
+/// reads on the relax hot path, binary-heap Dijkstra over (double, NodeId)
+/// pairs. Trimmed to the surface the benches race (augment + potentials);
+/// the incremental reprice machinery is not part of the layout comparison.
+class McmfSolver {
+ public:
+  static constexpr std::int64_t kUnlimited =
+      std::numeric_limits<std::int64_t>::max();
+
+  explicit McmfSolver(McmfStrategy strategy = McmfStrategy::kSpfa)
+      : strategy_(strategy) {}
+
+  McmfResult augment(FlowNetwork& net, NodeId source, NodeId sink,
+                     std::int64_t flow_limit = kUnlimited) {
+    CCDN_REQUIRE(source < net.num_nodes() && sink < net.num_nodes(),
+                 "source/sink out of range");
+    CCDN_REQUIRE(source != sink, "source equals sink");
+    CCDN_REQUIRE(flow_limit >= 0, "negative flow limit");
+    if (strategy_ == McmfStrategy::kDijkstraPotentials) {
+      CCDN_REQUIRE(potential_.size() == net.num_nodes(),
+                   "potentials not sized for this network");
+    }
+    McmfResult result;
+    while (result.flow < flow_limit) {
+      const bool found = strategy_ == McmfStrategy::kSpfa
+                             ? spfa(net, source, sink)
+                             : dijkstra(net, source, sink);
+      if (!found) break;
+      if (strategy_ == McmfStrategy::kDijkstraPotentials) {
+        update_potentials(sink);
+      }
+      const std::int64_t room = flow_limit - result.flow;
+      std::int64_t bottleneck = std::numeric_limits<std::int64_t>::max();
+      for (NodeId node = sink; node != source;) {
+        const EdgeId e = state_.parent_edge[node];
+        bottleneck = std::min(bottleneck, net.edge(e).capacity);
+        node = net.edge(e).from;
+      }
+      const std::int64_t amount = std::min(room, bottleneck);
+      CCDN_ENSURE(amount > 0, "augmenting path with zero bottleneck");
+      double path_cost = 0.0;
+      for (NodeId node = sink; node != source;) {
+        const EdgeId e = state_.parent_edge[node];
+        path_cost += net.edge(e).cost;
+        node = net.edge(e).from;
+        net.push(e, amount);
+      }
+      result.flow += amount;
+      result.cost += path_cost * static_cast<double>(amount);
+    }
+    return result;
+  }
+
+  void reset_potentials(std::size_t num_nodes) {
+    potential_.assign(num_nodes, 0.0);
+  }
+
+  [[nodiscard]] std::span<const double> potentials() const noexcept {
+    return potential_;
+  }
+
+ private:
+  static constexpr double kEps = 1e-9;
+
+  struct SearchState {
+    std::vector<double> dist;
+    std::vector<EdgeId> parent_edge;
+    std::vector<std::uint32_t> seen;
+    std::vector<std::uint32_t> settled;
+    std::vector<NodeId> touched;
+    std::vector<char> in_queue;
+    std::vector<NodeId> queue;
+    std::vector<std::pair<double, NodeId>> heap;
+    std::uint32_t stamp = 0;
+
+    void begin_search(std::size_t n) {
+      if (++stamp == 0) {
+        std::fill(seen.begin(), seen.end(), 0);
+        std::fill(settled.begin(), settled.end(), 0);
+        stamp = 1;
+      }
+      touched.clear();
+      if (dist.size() < n) {
+        dist.resize(n);
+        parent_edge.resize(n);
+        seen.resize(n, 0);
+        settled.resize(n, 0);
+        in_queue.resize(n, 0);
+      }
+    }
+  };
+
+  bool spfa(const FlowNetwork& net, NodeId source, NodeId sink) {
+    const std::size_t n = net.num_nodes();
+    state_.begin_search(n);
+    const std::uint32_t stamp = state_.stamp;
+    const std::size_t cap = n + 1;
+    state_.queue.resize(cap);
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    const auto queue_empty = [&] { return head == tail; };
+    const auto push_back = [&](NodeId v) {
+      state_.queue[tail] = v;
+      tail = (tail + 1) % cap;
+    };
+    const auto push_front = [&](NodeId v) {
+      head = (head + cap - 1) % cap;
+      state_.queue[head] = v;
+    };
+    state_.dist[source] = 0.0;
+    state_.seen[source] = stamp;
+    state_.touched.push_back(source);
+    push_back(source);
+    state_.in_queue[source] = 1;
+    while (!queue_empty()) {
+      const NodeId node = state_.queue[head];
+      head = (head + 1) % cap;
+      state_.in_queue[node] = 0;
+      for (const EdgeId e : net.out_edges(node)) {
+        const auto& edge = net.edge(e);
+        if (edge.capacity <= 0) continue;
+        const double candidate = state_.dist[node] + edge.cost;
+        if (state_.seen[edge.to] != stamp ||
+            candidate + kEps < state_.dist[edge.to]) {
+          if (state_.seen[edge.to] != stamp) {
+            state_.touched.push_back(edge.to);
+          }
+          state_.dist[edge.to] = candidate;
+          state_.parent_edge[edge.to] = e;
+          state_.seen[edge.to] = stamp;
+          if (!state_.in_queue[edge.to]) {
+            if (!queue_empty() &&
+                candidate < state_.dist[state_.queue[head]]) {
+              push_front(edge.to);
+            } else {
+              push_back(edge.to);
+            }
+            state_.in_queue[edge.to] = 1;
+          }
+        }
+      }
+    }
+    return state_.seen[sink] == stamp;
+  }
+
+  bool dijkstra(const FlowNetwork& net, NodeId source, NodeId sink) {
+    const std::size_t n = net.num_nodes();
+    state_.begin_search(n);
+    const std::uint32_t stamp = state_.stamp;
+    auto& heap = state_.heap;
+    heap.clear();
+    const auto min_first = std::greater<>{};
+    state_.dist[source] = 0.0;
+    state_.seen[source] = stamp;
+    state_.touched.push_back(source);
+    heap.emplace_back(0.0, source);
+    while (!heap.empty()) {
+      if (state_.seen[sink] == stamp &&
+          heap.front().first >= state_.dist[sink]) {
+        state_.settled[sink] = stamp;
+        return true;
+      }
+      const auto [d, node] = heap.front();
+      std::pop_heap(heap.begin(), heap.end(), min_first);
+      heap.pop_back();
+      if (state_.settled[node] == stamp) continue;
+      state_.settled[node] = stamp;
+      if (node == sink) return true;
+      for (const EdgeId e : net.out_edges(node)) {
+        const auto& edge = net.edge(e);
+        if (edge.capacity <= 0 || state_.settled[edge.to] == stamp) continue;
+        double reduced = edge.cost + potential_[node] - potential_[edge.to];
+        CCDN_ENSURE(reduced >= -kEps,
+                    "negative reduced cost: stale potentials");
+        reduced = std::max(0.0, reduced);
+        const double candidate = d + reduced;
+        if (edge.to != sink && state_.seen[sink] == stamp &&
+            candidate >= state_.dist[sink]) {
+          continue;
+        }
+        if (state_.seen[edge.to] != stamp ||
+            candidate + kEps < state_.dist[edge.to]) {
+          if (state_.seen[edge.to] != stamp) {
+            state_.touched.push_back(edge.to);
+          }
+          state_.dist[edge.to] = candidate;
+          state_.parent_edge[edge.to] = e;
+          state_.seen[edge.to] = stamp;
+          if (edge.to == sink || !net.out_edges(edge.to).empty()) {
+            heap.emplace_back(candidate, edge.to);
+            std::push_heap(heap.begin(), heap.end(), min_first);
+          }
+        }
+      }
+    }
+    return state_.settled[sink] == stamp;
+  }
+
+  void update_potentials(NodeId sink) {
+    const std::uint32_t stamp = state_.stamp;
+    if (state_.settled[sink] == stamp) {
+      const double d_sink = state_.dist[sink];
+      for (const NodeId v : state_.touched) {
+        potential_[v] += std::min(state_.dist[v], d_sink) - d_sink;
+      }
+      return;
+    }
+    double max_reached = 0.0;
+    for (const NodeId v : state_.touched) {
+      if (state_.settled[v] == stamp) {
+        max_reached = std::max(max_reached, state_.dist[v]);
+      }
+    }
+    for (const NodeId v : state_.touched) {
+      if (state_.settled[v] == stamp) {
+        potential_[v] += state_.dist[v] - max_reached;
+      }
+    }
+  }
+
+  McmfStrategy strategy_;
+  SearchState state_;
+  std::vector<double> potential_;
+};
+
+/// One-shot wrapper matching the old MinCostMaxFlow::solve surface.
+inline McmfResult solve_mcmf(FlowNetwork& net, NodeId source, NodeId sink,
+                             McmfStrategy strategy = McmfStrategy::kSpfa) {
+  McmfSolver solver(strategy);
+  solver.reset_potentials(net.num_nodes());
+  return solver.augment(net, source, sink);
+}
+
+}  // namespace ccdn::legacy

@@ -3,9 +3,15 @@
 // (backs the paper's §V-D scalability discussion).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "legacy_solver.h"
 
 #include "cluster/content_distance.h"
 #include "cluster/hierarchical.h"
@@ -21,10 +27,19 @@
 #include "stats/zipf.h"
 #include "trace/generator.h"
 #include "trace/world.h"
+#include "util/arena.h"
+#include "util/radix_heap.h"
 
 namespace {
 
 using namespace ccdn;
+
+/// Min-of-repeats: the headline statistic for every bench here and the one
+/// tools/bench_gate.py gates on — the minimum over repetitions is the run
+/// least disturbed by the machine, so it tracks the code, not the noise.
+double min_stat(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
 
 FlowNetwork make_bipartite(Rng& rng, std::size_t side, double density) {
   FlowNetwork net(2 + 2 * side);
@@ -56,7 +71,7 @@ void BM_McmfSpfa(benchmark::State& state) {
         MinCostMaxFlow::solve(net, 0, 1, McmfStrategy::kSpfa));
   }
 }
-BENCHMARK(BM_McmfSpfa)->Arg(50)->Arg(150)->Arg(400);
+BENCHMARK(BM_McmfSpfa)->Arg(50)->Arg(150)->Arg(400)->ComputeStatistics("min", min_stat);
 
 void BM_McmfDijkstra(benchmark::State& state) {
   Rng rng(1);
@@ -68,7 +83,7 @@ void BM_McmfDijkstra(benchmark::State& state) {
         net, 0, 1, McmfStrategy::kDijkstraPotentials));
   }
 }
-BENCHMARK(BM_McmfDijkstra)->Arg(50)->Arg(150)->Arg(400);
+BENCHMARK(BM_McmfDijkstra)->Arg(50)->Arg(150)->Arg(400)->ComputeStatistics("min", min_stat);
 
 void BM_DinicMaxflow(benchmark::State& state) {
   Rng rng(2);
@@ -79,7 +94,275 @@ void BM_DinicMaxflow(benchmark::State& state) {
     benchmark::DoNotOptimize(Dinic::solve(net, 0, 1));
   }
 }
-BENCHMARK(BM_DinicMaxflow)->Arg(50)->Arg(150)->Arg(400);
+BENCHMARK(BM_DinicMaxflow)->Arg(50)->Arg(150)->Arg(400)->ComputeStatistics("min", min_stat);
+
+// --- Layout micro-benches: mechanical-sympathy pass, before vs after. ---
+// The frozen pre-refactor engine (bench/legacy_solver.h: vector-of-vectors
+// adjacency, 32-byte AoS edges, double-only costs, binary-heap Dijkstra)
+// races the live CSR/SoA engine inside this binary on identical inputs, so
+// the deltas isolate data layout and heap discipline, not algorithm changes.
+
+/// Same topology, capacities, and costs as make_bipartite (same Rng seed and
+/// draw order), built into the legacy representation.
+legacy::FlowNetwork make_bipartite_legacy(Rng& rng, std::size_t side,
+                                          double density) {
+  legacy::FlowNetwork net(2 + 2 * side);
+  for (std::size_t i = 0; i < side; ++i) {
+    (void)net.add_edge(0, static_cast<legacy::NodeId>(2 + i),
+                       rng.uniform_int(1, 100), 0.0);
+    (void)net.add_edge(static_cast<legacy::NodeId>(2 + side + i), 1,
+                       rng.uniform_int(1, 100), 0.0);
+  }
+  for (std::size_t i = 0; i < side; ++i) {
+    for (std::size_t j = 0; j < side; ++j) {
+      if (rng.chance(density)) {
+        (void)net.add_edge(static_cast<legacy::NodeId>(2 + i),
+                           static_cast<legacy::NodeId>(2 + side + j),
+                           rng.uniform_int(1, 50), rng.uniform(0.1, 5.0));
+      }
+    }
+  }
+  return net;
+}
+
+void BM_LegacyMcmfSpfa(benchmark::State& state) {
+  Rng rng(1);
+  const legacy::FlowNetwork base =
+      make_bipartite_legacy(rng, static_cast<std::size_t>(state.range(0)), 0.2);
+  for (auto _ : state) {
+    legacy::FlowNetwork net = base;
+    benchmark::DoNotOptimize(
+        legacy::solve_mcmf(net, 0, 1, legacy::McmfStrategy::kSpfa));
+  }
+}
+BENCHMARK(BM_LegacyMcmfSpfa)->Arg(50)->Arg(150)->Arg(400)
+    ->ComputeStatistics("min", min_stat);
+
+void BM_LegacyMcmfDijkstra(benchmark::State& state) {
+  Rng rng(1);
+  const legacy::FlowNetwork base =
+      make_bipartite_legacy(rng, static_cast<std::size_t>(state.range(0)), 0.2);
+  for (auto _ : state) {
+    legacy::FlowNetwork net = base;
+    benchmark::DoNotOptimize(legacy::solve_mcmf(
+        net, 0, 1, legacy::McmfStrategy::kDijkstraPotentials));
+  }
+}
+BENCHMARK(BM_LegacyMcmfDijkstra)->Arg(50)->Arg(150)->Arg(400)
+    ->ComputeStatistics("min", min_stat);
+
+/// Fixed-point engine on the same graphs: int32 quantized costs, exact
+/// comparisons, radix-heap Dijkstra (McmfConfig::integer_costs).
+void BM_McmfIntSpfa(benchmark::State& state) {
+  Rng rng(1);
+  FlowNetwork base =
+      make_bipartite(rng, static_cast<std::size_t>(state.range(0)), 0.2);
+  base.set_cost_quantization(kDefaultCostScale);
+  for (auto _ : state) {
+    FlowNetwork net = base;
+    McmfSolver solver(McmfConfig{McmfStrategy::kSpfa, true});
+    benchmark::DoNotOptimize(solver.augment(net, 0, 1));
+  }
+}
+BENCHMARK(BM_McmfIntSpfa)->Arg(50)->Arg(150)->Arg(400)
+    ->ComputeStatistics("min", min_stat);
+
+void BM_McmfIntDijkstra(benchmark::State& state) {
+  Rng rng(1);
+  FlowNetwork base =
+      make_bipartite(rng, static_cast<std::size_t>(state.range(0)), 0.2);
+  base.set_cost_quantization(kDefaultCostScale);
+  for (auto _ : state) {
+    FlowNetwork net = base;
+    McmfSolver solver(McmfConfig{McmfStrategy::kDijkstraPotentials, true});
+    solver.reset_potentials(net.num_nodes());
+    benchmark::DoNotOptimize(solver.augment(net, 0, 1));
+  }
+}
+BENCHMARK(BM_McmfIntDijkstra)->Arg(50)->Arg(150)->Arg(400)
+    ->ComputeStatistics("min", min_stat);
+
+/// Full residual-graph walk (every arc of every node, summing residuals):
+/// the access pattern of one SPFA relaxation sweep, isolated from solver
+/// logic. CSR keeps each slice contiguous in one pool; the legacy layout
+/// chases one heap vector per node and 32-byte AoS edge records.
+void BM_ArcWalkCsr(benchmark::State& state) {
+  Rng rng(21);
+  const FlowNetwork net =
+      make_bipartite(rng, static_cast<std::size_t>(state.range(0)), 0.2);
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      for (const EdgeId e : net.out_edges(n)) sum += net.residual(e);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * net.num_edges()));
+}
+BENCHMARK(BM_ArcWalkCsr)->Arg(400)->Arg(1200)
+    ->ComputeStatistics("min", min_stat);
+
+void BM_ArcWalkLegacy(benchmark::State& state) {
+  Rng rng(21);
+  const legacy::FlowNetwork net =
+      make_bipartite_legacy(rng, static_cast<std::size_t>(state.range(0)), 0.2);
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (legacy::NodeId n = 0; n < net.num_nodes(); ++n) {
+      for (const legacy::EdgeId e : net.out_edges(n)) {
+        sum += net.edge(e).capacity;
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * net.num_edges()));
+}
+BENCHMARK(BM_ArcWalkLegacy)->Arg(400)->Arg(1200)
+    ->ComputeStatistics("min", min_stat);
+
+/// Monotone-key Dijkstra on a shared random digraph: binary heap of
+/// (uint64, node) pairs vs the 64-bucket radix heap the integer engine uses.
+struct IntGraph {
+  std::vector<std::uint32_t> offsets;  // node -> first arc
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs;  // (to, weight)
+};
+
+IntGraph make_int_graph(std::size_t nodes, std::size_t degree) {
+  Rng rng(9);
+  IntGraph g;
+  g.offsets.reserve(nodes + 1);
+  g.arcs.reserve(nodes * degree);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    g.offsets.push_back(static_cast<std::uint32_t>(g.arcs.size()));
+    for (std::size_t d = 0; d < degree; ++d) {
+      g.arcs.emplace_back(static_cast<std::uint32_t>(rng.index(nodes)),
+                          static_cast<std::uint32_t>(rng.index(10000)));
+    }
+  }
+  g.offsets.push_back(static_cast<std::uint32_t>(g.arcs.size()));
+  return g;
+}
+
+constexpr std::uint64_t kUnreached = ~std::uint64_t{0};
+
+template <typename PushPop>
+void int_dijkstra(const IntGraph& g, std::vector<std::uint64_t>& dist,
+                  PushPop&& heap_loop) {
+  dist.assign(g.offsets.size() - 1, kUnreached);
+  dist[0] = 0;
+  heap_loop(dist);
+}
+
+void BM_DijkstraBinaryHeap(benchmark::State& state) {
+  const IntGraph g = make_int_graph(static_cast<std::size_t>(state.range(0)), 8);
+  std::vector<std::uint64_t> dist;
+  for (auto _ : state) {
+    int_dijkstra(g, dist, [&](std::vector<std::uint64_t>& d) {
+      std::priority_queue<std::pair<std::uint64_t, std::uint32_t>,
+                          std::vector<std::pair<std::uint64_t, std::uint32_t>>,
+                          std::greater<>>
+          heap;
+      heap.emplace(0, 0);
+      while (!heap.empty()) {
+        const auto [key, node] = heap.top();
+        heap.pop();
+        if (key != d[node]) continue;  // lazy deletion
+        for (std::uint32_t a = g.offsets[node]; a < g.offsets[node + 1]; ++a) {
+          const auto [to, w] = g.arcs[a];
+          if (key + w < d[to]) {
+            d[to] = key + w;
+            heap.emplace(d[to], to);
+          }
+        }
+      }
+    });
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_DijkstraBinaryHeap)->Arg(4096)->Arg(32768)
+    ->ComputeStatistics("min", min_stat);
+
+void BM_DijkstraRadixHeap(benchmark::State& state) {
+  const IntGraph g = make_int_graph(static_cast<std::size_t>(state.range(0)), 8);
+  std::vector<std::uint64_t> dist;
+  RadixHeap64 heap;
+  for (auto _ : state) {
+    int_dijkstra(g, dist, [&](std::vector<std::uint64_t>& d) {
+      heap.clear();
+      heap.push(0, 0);
+      while (!heap.empty()) {
+        const auto [key, node] = heap.pop();
+        if (key != d[node]) continue;  // lazy deletion
+        for (std::uint32_t a = g.offsets[node]; a < g.offsets[node + 1]; ++a) {
+          const auto [to, w] = g.arcs[a];
+          if (key + w < d[to]) {
+            d[to] = key + w;
+            heap.push(d[to], to);
+          }
+        }
+      }
+    });
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_DijkstraRadixHeap)->Arg(4096)->Arg(32768)
+    ->ComputeStatistics("min", min_stat);
+
+/// Per-lane solver scratch: four worker vectors built, filled, and dropped
+/// per iteration — from the general-purpose heap vs a reset BumpArena (the
+/// ThetaSweeper's steady-state discipline, which performs zero upstream
+/// allocations once warm).
+void BM_SolverScratchHeap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::uint64_t> dist(n);
+    std::vector<std::uint32_t> parent(n);
+    std::vector<std::uint32_t> touched(n);
+    std::vector<char> in_queue(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dist[i] = i;
+      parent[i] = static_cast<std::uint32_t>(i);
+      touched[i] = static_cast<std::uint32_t>(n - i);
+      in_queue[i] = static_cast<char>(i & 1u);
+    }
+    benchmark::DoNotOptimize(dist.data());
+    benchmark::DoNotOptimize(parent.data());
+    benchmark::DoNotOptimize(touched.data());
+    benchmark::DoNotOptimize(in_queue.data());
+  }
+}
+BENCHMARK(BM_SolverScratchHeap)->Arg(512)->Arg(8192)
+    ->ComputeStatistics("min", min_stat);
+
+void BM_SolverScratchArena(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BumpArena arena(1 << 16);
+  for (auto _ : state) {
+    arena.reset();
+    ArenaVector<std::uint64_t> dist(n, ArenaAllocator<std::uint64_t>(&arena));
+    ArenaVector<std::uint32_t> parent(n,
+                                      ArenaAllocator<std::uint32_t>(&arena));
+    ArenaVector<std::uint32_t> touched(n,
+                                       ArenaAllocator<std::uint32_t>(&arena));
+    ArenaVector<char> in_queue(n, ArenaAllocator<char>(&arena));
+    for (std::size_t i = 0; i < n; ++i) {
+      dist[i] = i;
+      parent[i] = static_cast<std::uint32_t>(i);
+      touched[i] = static_cast<std::uint32_t>(n - i);
+      in_queue[i] = static_cast<char>(i & 1u);
+    }
+    benchmark::DoNotOptimize(dist.data());
+    benchmark::DoNotOptimize(parent.data());
+    benchmark::DoNotOptimize(touched.data());
+    benchmark::DoNotOptimize(in_queue.data());
+  }
+}
+BENCHMARK(BM_SolverScratchArena)->Arg(512)->Arg(8192)
+    ->ComputeStatistics("min", min_stat);
 
 void BM_HierarchicalClustering(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -95,7 +378,7 @@ void BM_HierarchicalClustering(benchmark::State& state) {
         hierarchical_cluster(matrix, Linkage::kComplete, 0.5));
   }
 }
-BENCHMARK(BM_HierarchicalClustering)->Arg(100)->Arg(310)->Arg(600);
+BENCHMARK(BM_HierarchicalClustering)->Arg(100)->Arg(310)->Arg(600)->ComputeStatistics("min", min_stat);
 
 /// Zipf-skewed synthetic top-sets shaped like a city-scale slot (shared
 /// popular head + sparse tails), cached per hotspot count.
@@ -129,7 +412,7 @@ void BM_ContentDistanceScalar(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContentDistanceScalar)->Arg(310)->Arg(1000)->Arg(2000)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->ComputeStatistics("min", min_stat);
 
 void BM_ContentDistanceBitmap(benchmark::State& state) {
   const auto& sets = synthetic_top_sets(static_cast<std::size_t>(state.range(0)));
@@ -139,7 +422,7 @@ void BM_ContentDistanceBitmap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContentDistanceBitmap)->Arg(310)->Arg(1000)->Arg(2000)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->ComputeStatistics("min", min_stat);
 
 void BM_TopsetBitmapPack(benchmark::State& state) {
   const auto& sets = synthetic_top_sets(static_cast<std::size_t>(state.range(0)));
@@ -148,7 +431,7 @@ void BM_TopsetBitmapPack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopsetBitmapPack)->Arg(310)->Arg(2000)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->ComputeStatistics("min", min_stat);
 
 void BM_GridIndexNearest(benchmark::State& state) {
   Rng rng(4);
@@ -166,7 +449,7 @@ void BM_GridIndexNearest(benchmark::State& state) {
     ++cursor;
   }
 }
-BENCHMARK(BM_GridIndexNearest)->Arg(310)->Arg(5000);
+BENCHMARK(BM_GridIndexNearest)->Arg(310)->Arg(5000)->ComputeStatistics("min", min_stat);
 
 void BM_ZipfSample(benchmark::State& state) {
   const ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 1.0);
@@ -175,7 +458,7 @@ void BM_ZipfSample(benchmark::State& state) {
     benchmark::DoNotOptimize(zipf.sample(rng));
   }
 }
-BENCHMARK(BM_ZipfSample)->Arg(15190)->Arg(400000);
+BENCHMARK(BM_ZipfSample)->Arg(15190)->Arg(400000)->ComputeStatistics("min", min_stat);
 
 void BM_SimplexSmallLp(benchmark::State& state) {
   // Random dense LP with n variables and 2n constraints.
@@ -198,7 +481,7 @@ void BM_SimplexSmallLp(benchmark::State& state) {
     benchmark::DoNotOptimize(SimplexSolver().solve(problem));
   }
 }
-BENCHMARK(BM_SimplexSmallLp)->Arg(10)->Arg(30)->Arg(60);
+BENCHMARK(BM_SimplexSmallLp)->Arg(10)->Arg(30)->Arg(60)->ComputeStatistics("min", min_stat);
 
 /// Whole-slot planning cost for RBCAer at the paper's scale — the number
 /// behind Fig. 8's RBCAer bar.
@@ -219,7 +502,7 @@ void BM_RbcaerPlanSlot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RbcaerPlanSlot)->Arg(50000)->Arg(212472)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->ComputeStatistics("min", min_stat);
 
 void BM_SlotDemandAggregation(benchmark::State& state) {
   World world = generate_world(WorldConfig::evaluation_region());
@@ -232,7 +515,7 @@ void BM_SlotDemandAggregation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SlotDemandAggregation)->Arg(50000)->Arg(212472)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->ComputeStatistics("min", min_stat);
 
 void BM_TopSets(benchmark::State& state) {
   World world = generate_world(WorldConfig::evaluation_region());
@@ -249,19 +532,31 @@ BENCHMARK(BM_TopSets)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 // BENCHMARK_MAIN, plus a default machine-readable JSON dump (BENCH_micro.json
-// in the working directory) so the perf trajectory is tracked across PRs.
-// Pass your own --benchmark_out=... to override.
+// in the working directory) so the perf trajectory is tracked across PRs,
+// and default min-of-repeats reporting (3 repetitions, aggregates only —
+// tools/bench_gate.py compares the "min" aggregate). Pass your own
+// --benchmark_out=... / --benchmark_repetitions=... to override.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
+  bool has_reps = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_repetitions", 23) == 0) {
+      has_reps = true;
+    }
   }
   std::string out_flag = "--benchmark_out=BENCH_micro.json";
   std::string format_flag = "--benchmark_out_format=json";
+  std::string reps_flag = "--benchmark_repetitions=3";
+  std::string aggregates_flag = "--benchmark_report_aggregates_only=true";
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(format_flag.data());
+  }
+  if (!has_reps) {
+    args.push_back(reps_flag.data());
+    args.push_back(aggregates_flag.data());
   }
   int effective_argc = static_cast<int>(args.size());
   benchmark::Initialize(&effective_argc, args.data());

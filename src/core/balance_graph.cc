@@ -198,7 +198,10 @@ std::size_t append_gc_edges(FlowNetwork& net, const ScaffoldMap& map,
   // off; cost_scale then biases toward (<1) or away from (>1) guides.
   double scale = options.cost_scale;
   if (options.auto_scale && !scratch.raw_guide_costs.empty()) {
-    auto median_of = [](std::vector<double> v) {
+    // In place: neither buffer is read again this call (the guide loop
+    // recomputes raw costs from phi_sum), and both refill from scratch on
+    // the next call — selecting in the buffer avoids a per-step copy.
+    auto median_of = [](auto& v) {
       std::nth_element(
           v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
           v.end());

@@ -28,6 +28,7 @@
 #include "flow/network.h"
 #include "geo/grid_index.h"
 #include "model/types.h"
+#include "util/arena.h"
 
 namespace ccdn {
 
@@ -130,19 +131,30 @@ struct GuideOptions {
 };
 
 /// Reusable buffers for append_gc_edges; a caller that derives the guide
-/// structure once per θ step keeps one of these across steps.
+/// structure once per θ step keeps one of these across steps. Construct
+/// with a BumpArena to fold the buffers into a lane's arena working set
+/// (default-constructed scratch stays heap-backed for one-shot callers).
 struct GcScratch {
   struct Key {
     std::uint32_t j = 0;    // under-utilized receiver
     std::uint32_t k = 0;    // sender's content cluster
     std::uint32_t idx = 0;  // position in `live` (keeps sorting unique)
   };
-  std::vector<Key> keys;
-  std::vector<std::uint32_t> group_start;  // boundaries into keys
-  std::vector<std::int64_t> phi_sum;       // Σ φ_ij per group
-  std::vector<std::uint8_t> guided;        // per-group guide decision
-  std::vector<double> direct_distances;
-  std::vector<double> raw_guide_costs;
+  GcScratch() = default;
+  explicit GcScratch(BumpArena* arena)
+      : keys(ArenaAllocator<Key>(arena)),
+        group_start(ArenaAllocator<std::uint32_t>(arena)),
+        phi_sum(ArenaAllocator<std::int64_t>(arena)),
+        guided(ArenaAllocator<std::uint8_t>(arena)),
+        direct_distances(ArenaAllocator<double>(arena)),
+        raw_guide_costs(ArenaAllocator<double>(arena)) {}
+
+  ArenaVector<Key> keys;
+  ArenaVector<std::uint32_t> group_start;  // boundaries into keys
+  ArenaVector<std::int64_t> phi_sum;       // Σ φ_ij per group
+  ArenaVector<std::uint8_t> guided;        // per-group guide decision
+  ArenaVector<double> direct_distances;
+  ArenaVector<double> raw_guide_costs;
 };
 
 /// Append the Gc structure over `live` (filtered as for append_gd_edges):

@@ -8,6 +8,16 @@ namespace ccdn {
 std::vector<CandidateEdge> CandidateCache::collect(
     std::span<const Hotspot> hotspots, const HotspotPartition& partition,
     double radius_km, const GridIndex& index) {
+  std::vector<CandidateEdge> edges;
+  collect(hotspots, partition, radius_km, index, edges);
+  return edges;
+}
+
+void CandidateCache::collect(std::span<const Hotspot> hotspots,
+                             const HotspotPartition& partition,
+                             double radius_km, const GridIndex& index,
+                             std::vector<CandidateEdge>& edges) {
+  edges.clear();
   CCDN_REQUIRE(radius_km >= 0.0, "negative radius");
   CCDN_REQUIRE(index.size() == hotspots.size(),
                "index/hotspot count mismatch");
@@ -20,7 +30,6 @@ std::vector<CandidateEdge> CandidateCache::collect(
   }
 
   for (const std::uint32_t j : partition.underutilized) is_receiver_[j] = 1;
-  std::vector<CandidateEdge> edges;
   for (const std::uint32_t i : partition.overloaded) {
     if (!filled_[i]) {
       // First appearance of this sender: run the same widened grid query
@@ -45,7 +54,6 @@ std::vector<CandidateEdge> CandidateCache::collect(
     }
   }
   for (const std::uint32_t j : partition.underutilized) is_receiver_[j] = 0;
-  return edges;
 }
 
 }  // namespace ccdn

@@ -34,6 +34,13 @@ class CandidateCache {
       std::span<const Hotspot> hotspots, const HotspotPartition& partition,
       double radius_km, const GridIndex& index);
 
+  /// Same, appending into a caller-owned buffer (cleared first) — a slot
+  /// loop that reuses one buffer stops allocating a fresh vector per slot
+  /// once the buffer reaches steady-state capacity.
+  void collect(std::span<const Hotspot> hotspots,
+               const HotspotPartition& partition, double radius_km,
+               const GridIndex& index, std::vector<CandidateEdge>& out);
+
  private:
   struct Neighbour {
     std::uint32_t id = 0;  // hotspot index, ascending within each list

@@ -15,7 +15,9 @@
 namespace ccdn {
 
 RbcaerScheme::RbcaerScheme(RbcaerConfig config)
-    : config_(config), sweeper_(config.mcmf_strategy) {
+    : config_(config),
+      sweeper_(config.mcmf_strategy, config.integer_costs,
+               config.cost_scale) {
   CCDN_REQUIRE(config_.theta1_km >= 0.0, "negative theta1");
   CCDN_REQUIRE(config_.theta2_km >= config_.theta1_km,
                "theta2 below theta1");
@@ -25,6 +27,10 @@ RbcaerScheme::RbcaerScheme(RbcaerConfig config)
   CCDN_REQUIRE(config_.bpeak_multiplier > 0.0, "non-positive B_peak");
   CCDN_REQUIRE(!config_.online || config_.incremental_sweep,
                "online mode requires the incremental sweep");
+  CCDN_REQUIRE(!config_.integer_costs || config_.incremental_sweep,
+               "integer costs require the incremental sweep (the cold "
+               "oracle path is double-only)");
+  CCDN_REQUIRE(config_.cost_scale > 0.0, "non-positive cost scale");
   sweeper_.set_audit_level(config_.audit_level);
 }
 
@@ -128,13 +134,15 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
       // changed (or on the first slot) fall back to a full begin_slot,
       // with candidate generation served from the cross-slot cache.
       if (!config_.online || !sweeper_.begin_slot_online(partition)) {
-        std::vector<CandidateEdge> candidates =
-            config_.online
-                ? candidate_cache_.collect(context.hotspots, partition,
-                                           config_.theta2_km,
-                                           context.hotspot_index)
-                : generate_candidates();
-        sweeper_.begin_slot(partition, std::move(candidates));
+        if (config_.online) {
+          candidate_cache_.collect(context.hotspots, partition,
+                                   config_.theta2_km, context.hotspot_index,
+                                   candidate_buf_);
+        } else {
+          candidate_buf_ = generate_candidates();
+        }
+        sweeper_.begin_slot(partition,
+                            std::span<const CandidateEdge>(candidate_buf_));
       }
       stage_timings_.graph_s += stage_clock.elapsed_seconds();
       double theta = config_.theta1_km;

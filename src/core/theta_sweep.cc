@@ -9,9 +9,12 @@
 namespace ccdn {
 
 void ThetaSweeper::begin_slot(HotspotPartition& partition,
-                              std::vector<CandidateEdge> candidates) {
+                              std::span<const CandidateEdge> candidates) {
   partition_ = &partition;
-  candidates_ = std::move(candidates);
+  candidates_.assign(candidates.begin(), candidates.end());
+  // Sticky on the persistent network, but cheap and idempotent — arming it
+  // every slot keeps the first slot and every later one on the same path.
+  if (integer_costs_) net_.set_cost_quantization(cost_scale_);
 
   // Sort flat (distance, index) keys rather than indices with an indirect
   // comparator: the sort is once-per-slot but over every candidate pair, and
@@ -320,9 +323,14 @@ SweepStep ThetaSweeper::step_gd(double theta_km) {
         if (audit_level_ >= AuditLevel::kFull) {
           // The carried potentials must still price every live residual
           // arc non-negatively after the augment, or the next step's
-          // Dijkstra would settle suboptimal paths.
+          // Dijkstra would settle suboptimal paths. Each domain audits
+          // its own prices — see audit_reduced_costs_int.
           AuditReport report;
-          audit_reduced_costs(net_, gd_solver_.potentials(), report);
+          if (integer_costs_) {
+            audit_reduced_costs_int(net_, gd_solver_.ipotentials(), report);
+          } else {
+            audit_reduced_costs(net_, gd_solver_.potentials(), report);
+          }
           report.require_clean("theta-sweep carried potentials");
         }
       }
@@ -367,9 +375,14 @@ SweepStep ThetaSweeper::step_gd(double theta_km) {
   if constexpr (kCheckedBuild) {
     if (audit_level_ >= AuditLevel::kFull) {
       // Certify this transient epoch min-cost before commit() freezes it
-      // and the next step's truncate() discards the evidence.
+      // and the next step's truncate() discards the evidence, in the
+      // domain the engine actually optimized.
       AuditReport report;
-      audit_epoch_residual(net_, report);
+      if (integer_costs_) {
+        audit_epoch_residual_int(net_, report);
+      } else {
+        audit_epoch_residual(net_, report);
+      }
       report.require_clean("theta-sweep gd transient epoch");
     }
   }
@@ -427,7 +440,11 @@ SweepStep ThetaSweeper::step_gc(double theta_km,
     if constexpr (kCheckedBuild) {
       if (audit_level_ >= AuditLevel::kFull) {
         AuditReport report;
-        audit_reduced_costs(net_, solver_.potentials(), report);
+        if (integer_costs_) {
+          audit_reduced_costs_int(net_, solver_.ipotentials(), report);
+        } else {
+          audit_reduced_costs(net_, solver_.potentials(), report);
+        }
         report.require_clean("theta-sweep gc repriced potentials");
       }
     }
@@ -446,7 +463,11 @@ SweepStep ThetaSweeper::step_gc(double theta_km,
       // carried-potential reprice above checks price validity, this checks
       // the flow itself.
       AuditReport report;
-      audit_epoch_residual(net_, report);
+      if (integer_costs_) {
+        audit_epoch_residual_int(net_, report);
+      } else {
+        audit_epoch_residual(net_, report);
+      }
       report.require_clean("theta-sweep gc transient epoch");
     }
   }

@@ -75,8 +75,31 @@ class ThetaSweeper {
   /// bit-for-bit identical. Gd steps always use the carried-potentials
   /// Dijkstra engine (see gd_solver_); plain distance costs make ties
   /// measure-zero, so the flows still match the cold path's solutions.
-  explicit ThetaSweeper(McmfStrategy strategy = McmfStrategy::kSpfa)
-      : solver_(strategy), strategy_(strategy) {}
+  ///
+  /// `integer_costs` switches both engines into the fixed-point domain
+  /// (McmfConfig::integer_costs): every slot's network carries the
+  /// quantized cost mirror at `cost_scale` units per km, searches compare
+  /// exactly, and the Gd engine's Dijkstra runs on the monotone radix
+  /// heap. Plan-equality variant, not a digest oracle — and under
+  /// strategy == kDijkstraPotentials the Gc epochs' zero-cost ties pop in
+  /// heap-specific order, so only the plan's VALUE (moved, min cost) is
+  /// guaranteed there; every other regime/strategy combination reproduces
+  /// the double plans exactly (DESIGN.md §3.11).
+  explicit ThetaSweeper(McmfStrategy strategy = McmfStrategy::kSpfa,
+                        bool integer_costs = false,
+                        double cost_scale = kDefaultCostScale)
+      : solver_(McmfConfig{strategy, integer_costs}, &arena_),
+        gd_solver_(McmfConfig{McmfStrategy::kDijkstraPotentials,
+                              integer_costs},
+                   &arena_),
+        strategy_(strategy),
+        integer_costs_(integer_costs),
+        cost_scale_(cost_scale) {}
+
+  // The lane arena hands out interior pointers to members; moving the
+  // sweeper would leave the solvers' buffers pointing into the old object.
+  ThetaSweeper(const ThetaSweeper&) = delete;
+  ThetaSweeper& operator=(const ThetaSweeper&) = delete;
 
   /// Start a slot: build the scaffold for `partition` into the persistent
   /// network and index `candidates` by distance. The partition outlives the
@@ -84,7 +107,14 @@ class ThetaSweeper {
   /// contract as the cold path's absorb loop). Candidates are taken in the
   /// order produced by candidate_edges().
   void begin_slot(HotspotPartition& partition,
-                  std::vector<CandidateEdge> candidates);
+                  std::span<const CandidateEdge> candidates);
+  /// Owning-vector convenience overload (tests and one-shot callers); the
+  /// sweeper copies into its arena-backed candidate buffer either way, so
+  /// prefer the span overload with a reused caller buffer in slot loops.
+  void begin_slot(HotspotPartition& partition,
+                  const std::vector<CandidateEdge>& candidates) {
+    begin_slot(partition, std::span<const CandidateEdge>(candidates));
+  }
 
   /// Cross-slot fast path: start a slot by *patching* the previous slot's
   /// scaffold instead of rebuilding it. Resumable exactly when the new
@@ -135,6 +165,14 @@ class ThetaSweeper {
     return audit_level_;
   }
 
+  /// The lane arena backing the sweeper's scratch and both solvers' search
+  /// state. Observability only: the steady-state no-allocation property is
+  /// asserted by the tests (upstream_blocks()/bytes_reserved() must stop
+  /// moving once identical slots repeat) and reported by the layout benches.
+  [[nodiscard]] const BumpArena& scratch_arena() const noexcept {
+    return arena_;
+  }
+
  private:
   enum class StepKind { kNone, kGdPersistent, kGdTransient, kGc };
 
@@ -151,6 +189,14 @@ class ThetaSweeper {
   /// kFull commit-time audit of the persistent network (checked builds).
   void audit_commit() const;
 
+  /// Lane arena backing every per-slot scratch buffer below and both
+  /// solvers' search state (util/arena.h): one sweeper = one clone-ring
+  /// lane = one contiguous working set, and once each buffer reaches its
+  /// steady-state size a slot performs no allocation at all. Declared
+  /// first so it destructs last — the arena must outlive every container
+  /// it backs.
+  BumpArena arena_;
+
   /// Gc steps' engine. Under kSpfa it doubles as the transient regime's
   /// price carrier: SPFA never reads potential_, so the sweeper harvests
   /// the final failed search's distance labels into it after each epoch's
@@ -164,15 +210,22 @@ class ThetaSweeper {
   /// reduced cost ~0, so the sink's tentative label appears almost
   /// immediately and the sink-bound prune cuts nearly every other label —
   /// measured ~3x fewer arc scans than SPFA on the same warm graph.
-  McmfSolver gd_solver_{McmfStrategy::kDijkstraPotentials};
+  McmfSolver gd_solver_;
   McmfStrategy strategy_;
+  bool integer_costs_ = false;
+  double cost_scale_ = kDefaultCostScale;
 
   HotspotPartition* partition_ = nullptr;
-  std::vector<CandidateEdge> candidates_;   // original candidate_edges order
-  std::vector<std::uint32_t> by_distance_;  // indices sorted by (d, index)
-  std::vector<KeyedIndex> order_scratch_;
-  std::vector<KeyedIndex> radix_swap_;
-  std::vector<std::uint32_t> radix_hist_;
+  // original candidate_edges order
+  ArenaVector<CandidateEdge> candidates_{ArenaAllocator<CandidateEdge>(
+      &arena_)};
+  // indices sorted by (d, index)
+  ArenaVector<std::uint32_t> by_distance_{ArenaAllocator<std::uint32_t>(
+      &arena_)};
+  ArenaVector<KeyedIndex> order_scratch_{ArenaAllocator<KeyedIndex>(&arena_)};
+  ArenaVector<KeyedIndex> radix_swap_{ArenaAllocator<KeyedIndex>(&arena_)};
+  ArenaVector<std::uint32_t> radix_hist_{ArenaAllocator<std::uint32_t>(
+      &arena_)};
   std::size_t cursor_ = 0;                  // consumed prefix of by_distance_
 
   FlowNetwork net_{0};
@@ -184,17 +237,24 @@ class ThetaSweeper {
   // Per-node id of the scaffold's source→sender arc, and the focused subset
   // (this step's arrival senders, deduplicated) handed to the network and
   // to reprice_from each persistent step.
-  std::vector<EdgeId> source_arc_of_;
-  std::vector<EdgeId> step_source_arcs_;
-  std::vector<std::uint32_t> sender_mark_;  // stamp: already focused this step
+  ArenaVector<EdgeId> source_arc_of_{ArenaAllocator<EdgeId>(&arena_)};
+  ArenaVector<EdgeId> step_source_arcs_{ArenaAllocator<EdgeId>(&arena_)};
+  // stamp: already focused this step
+  ArenaVector<std::uint32_t> sender_mark_{ArenaAllocator<std::uint32_t>(
+      &arena_)};
   std::uint32_t mark_stamp_ = 0;
 
   bool transient_ = false;
   bool gd_batch_done_ = false;  // first non-empty persistent step solved
-  std::vector<std::uint32_t> live_;      // live candidate indices, ascending
-  std::vector<std::uint32_t> arrivals_;  // scratch: this step's new indices
-  std::vector<CandidateEdge> live_edges_;  // scratch for append_* calls
-  GcScratch gc_scratch_;
+  // live candidate indices, ascending
+  ArenaVector<std::uint32_t> live_{ArenaAllocator<std::uint32_t>(&arena_)};
+  // scratch: this step's new indices
+  ArenaVector<std::uint32_t> arrivals_{ArenaAllocator<std::uint32_t>(
+      &arena_)};
+  // scratch for append_* calls
+  ArenaVector<CandidateEdge> live_edges_{ArenaAllocator<CandidateEdge>(
+      &arena_)};
+  GcScratch gc_scratch_{&arena_};
 
   StepKind last_kind_ = StepKind::kNone;
   std::int64_t last_flow_ = 0;

@@ -24,8 +24,8 @@ std::vector<FlowPath> decompose_flow(const FlowNetwork& net, NodeId source,
   // Verify conservation before decomposing.
   std::vector<std::int64_t> balance(net.num_nodes(), 0);
   for (EdgeId e = 0; e < net.num_edges() * 2; e += 2) {
-    balance[net.edge(e).from] -= remaining[e];
-    balance[net.edge(e).to] += remaining[e];
+    balance[net.arc_from(e)] -= remaining[e];
+    balance[net.arc_to(e)] += remaining[e];
   }
   for (NodeId v = 0; v < net.num_nodes(); ++v) {
     if (v == source || v == sink) continue;
@@ -52,7 +52,7 @@ std::vector<FlowPath> decompose_flow(const FlowNetwork& net, NodeId source,
       for (const EdgeId e : net.out_edges(node)) {
         if ((e & 1u) != 0) continue;  // forward edges only
         if (remaining[e] <= 0) continue;
-        const NodeId next = net.edge(e).to;
+        const NodeId next = net.arc_to(e);
         if (on_path[next]) continue;  // avoid cycles
         parent[next] = e;
         on_path[next] = true;
@@ -67,12 +67,12 @@ std::vector<FlowPath> decompose_flow(const FlowNetwork& net, NodeId source,
     // Bottleneck and cost along the recorded path.
     FlowPath path;
     std::int64_t bottleneck = std::numeric_limits<std::int64_t>::max();
-    for (NodeId v = sink; v != source; v = net.edge(parent[v]).from) {
+    for (NodeId v = sink; v != source; v = net.arc_from(parent[v])) {
       bottleneck = std::min(bottleneck, remaining[parent[v]]);
     }
-    for (NodeId v = sink; v != source; v = net.edge(parent[v]).from) {
+    for (NodeId v = sink; v != source; v = net.arc_from(parent[v])) {
       remaining[parent[v]] -= bottleneck;
-      path.unit_cost += net.edge(parent[v]).cost;
+      path.unit_cost += net.cost(parent[v]);
       path.nodes.push_back(v);
     }
     path.nodes.push_back(source);

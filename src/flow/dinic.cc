@@ -17,10 +17,10 @@ bool build_levels(const FlowNetwork& net, NodeId source, NodeId sink,
     const NodeId node = frontier.front();
     frontier.pop();
     for (const EdgeId e : net.out_edges(node)) {
-      const auto& edge = net.edge(e);
-      if (edge.capacity > 0 && level[edge.to] < 0) {
-        level[edge.to] = level[node] + 1;
-        frontier.push(edge.to);
+      const NodeId to = net.arc_to(e);
+      if (net.residual(e) > 0 && level[to] < 0) {
+        level[to] = level[node] + 1;
+        frontier.push(to);
       }
     }
   }
@@ -33,11 +33,10 @@ std::int64_t augment(FlowNetwork& net, NodeId node, NodeId sink,
   if (node == sink) return limit;
   for (std::size_t& i = next_edge[node]; i < net.out_edges(node).size(); ++i) {
     const EdgeId e = net.out_edges(node)[i];
-    const auto& edge = net.edge(e);
-    if (edge.capacity <= 0 || level[edge.to] != level[node] + 1) continue;
-    const std::int64_t pushed =
-        augment(net, edge.to, sink, std::min(limit, edge.capacity), level,
-                next_edge);
+    const NodeId to = net.arc_to(e);
+    if (net.residual(e) <= 0 || level[to] != level[node] + 1) continue;
+    const std::int64_t pushed = augment(
+        net, to, sink, std::min(limit, net.residual(e)), level, next_edge);
     if (pushed > 0) {
       net.push(e, pushed);
       return pushed;

@@ -10,36 +10,35 @@ namespace ccdn {
 namespace {
 
 // Path costs are sums of km distances; treat differences below this as zero
-// to keep the search robust against floating-point noise.
+// to keep the search robust against floating-point noise. The integer-cost
+// engine has no analogue: quantized costs compare exactly.
 constexpr double kEps = 1e-9;
 
 std::int64_t bottleneck_along_path(const FlowNetwork& net, NodeId source,
                                    NodeId sink,
-                                   const std::vector<EdgeId>& parent_edge) {
+                                   std::span<const EdgeId> parent_edge) {
   std::int64_t bottleneck = std::numeric_limits<std::int64_t>::max();
   NodeId node = sink;
   while (node != source) {
     const EdgeId e = parent_edge[node];
-    CCDN_ASSERT(net.edge(e).to == node,
-                "parent edge does not enter its node");
-    CCDN_ASSERT(net.edge(e).capacity > 0,
-                "saturated edge on augmenting path");
-    bottleneck = std::min(bottleneck, net.edge(e).capacity);
-    node = net.edge(e).from;
+    CCDN_ASSERT(net.arc_to(e) == node, "parent edge does not enter its node");
+    CCDN_ASSERT(net.residual(e) > 0, "saturated edge on augmenting path");
+    bottleneck = std::min(bottleneck, net.residual(e));
+    node = net.arc_from(e);
   }
   return bottleneck;
 }
 
 double apply_path(FlowNetwork& net, NodeId source, NodeId sink,
-                  const std::vector<EdgeId>& parent_edge, std::int64_t amount) {
+                  std::span<const EdgeId> parent_edge, std::int64_t amount) {
   double path_cost = 0.0;
   NodeId node = sink;
   while (node != source) {
     const EdgeId e = parent_edge[node];
-    CCDN_ASSERT(amount <= net.edge(e).capacity,
+    CCDN_ASSERT(amount <= net.residual(e),
                 "augmenting beyond the path bottleneck");
-    path_cost += net.edge(e).cost;
-    node = net.edge(e).from;
+    path_cost += net.cost(e);
+    node = net.arc_from(e);
     net.push(e, amount);
   }
   return path_cost;
@@ -49,7 +48,7 @@ double apply_path(FlowNetwork& net, NodeId source, NodeId sink,
 
 bool McmfSolver::spfa(const FlowNetwork& net, NodeId source, NodeId sink) {
   const std::size_t n = net.num_nodes();
-  state_.begin_search(n);
+  state_.begin_search(n, /*integer=*/false);
   const std::uint32_t stamp = state_.stamp;
   // The in_queue flags bound occupancy at n, so a ring buffer of n + 1 slots
   // gives deque semantics (SLF needs push_front) without deque allocations.
@@ -79,25 +78,79 @@ bool McmfSolver::spfa(const FlowNetwork& net, NodeId source, NodeId sink) {
     head = (head + 1) % cap;
     state_.in_queue[node] = 0;
     for (const EdgeId e : net.out_edges(node)) {
-      const auto& edge = net.edge(e);
-      if (edge.capacity <= 0) continue;
-      const double candidate = state_.dist[node] + edge.cost;
-      if (state_.seen[edge.to] != stamp ||
-          candidate + kEps < state_.dist[edge.to]) {
-        if (state_.seen[edge.to] != stamp) {
-          state_.touched.push_back(edge.to);
+      if (net.residual(e) <= 0) continue;
+      const NodeId to = net.arc_to(e);
+      const double candidate = state_.dist[node] + net.cost(e);
+      if (state_.seen[to] != stamp || candidate + kEps < state_.dist[to]) {
+        if (state_.seen[to] != stamp) {
+          state_.touched.push_back(to);
         }
-        state_.dist[edge.to] = candidate;
-        state_.parent_edge[edge.to] = e;
-        state_.seen[edge.to] = stamp;
-        if (!state_.in_queue[edge.to]) {
+        state_.dist[to] = candidate;
+        state_.parent_edge[to] = e;
+        state_.seen[to] = stamp;
+        if (!state_.in_queue[to]) {
           // SLF heuristic: jump the queue when promising.
           if (!queue_empty() && candidate < state_.dist[state_.queue[head]]) {
-            push_front(edge.to);
+            push_front(to);
           } else {
-            push_back(edge.to);
+            push_back(to);
           }
-          state_.in_queue[edge.to] = 1;
+          state_.in_queue[to] = 1;
+        }
+      }
+    }
+  }
+  return state_.seen[sink] == stamp;
+}
+
+bool McmfSolver::spfa_int(const FlowNetwork& net, NodeId source, NodeId sink) {
+  const std::size_t n = net.num_nodes();
+  state_.begin_search(n, /*integer=*/true);
+  const std::uint32_t stamp = state_.stamp;
+  const std::size_t cap = n + 1;
+  state_.queue.resize(cap);
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  const auto queue_empty = [&] { return head == tail; };
+  const auto push_back = [&](NodeId v) {
+    state_.queue[tail] = v;
+    tail = (tail + 1) % cap;
+  };
+  const auto push_front = [&](NodeId v) {
+    head = (head + cap - 1) % cap;
+    state_.queue[head] = v;
+  };
+
+  state_.idist[source] = 0;
+  state_.seen[source] = stamp;
+  state_.touched.push_back(source);
+  push_back(source);
+  state_.in_queue[source] = 1;
+  while (!queue_empty()) {
+    const NodeId node = state_.queue[head];
+    head = (head + 1) % cap;
+    state_.in_queue[node] = 0;
+    for (const EdgeId e : net.out_edges(node)) {
+      if (net.residual(e) <= 0) continue;
+      const NodeId to = net.arc_to(e);
+      const std::int64_t candidate = state_.idist[node] + net.qcost(e);
+      // Exact comparison — no kEps. Quantization already absorbed the
+      // sub-resolution noise the double engine tolerates at relax time.
+      if (state_.seen[to] != stamp || candidate < state_.idist[to]) {
+        if (state_.seen[to] != stamp) {
+          state_.touched.push_back(to);
+        }
+        state_.idist[to] = candidate;
+        state_.parent_edge[to] = e;
+        state_.seen[to] = stamp;
+        if (!state_.in_queue[to]) {
+          if (!queue_empty() &&
+              candidate < state_.idist[state_.queue[head]]) {
+            push_front(to);
+          } else {
+            push_back(to);
+          }
+          state_.in_queue[to] = 1;
         }
       }
     }
@@ -107,7 +160,7 @@ bool McmfSolver::spfa(const FlowNetwork& net, NodeId source, NodeId sink) {
 
 bool McmfSolver::dijkstra(const FlowNetwork& net, NodeId source, NodeId sink) {
   const std::size_t n = net.num_nodes();
-  state_.begin_search(n);
+  state_.begin_search(n, /*integer=*/false);
   const std::uint32_t stamp = state_.stamp;
   auto& heap = state_.heap;
   heap.clear();
@@ -137,9 +190,9 @@ bool McmfSolver::dijkstra(const FlowNetwork& net, NodeId source, NodeId sink) {
     // sink instead of settling the whole graph.
     if (node == sink) return true;
     for (const EdgeId e : net.out_edges(node)) {
-      const auto& edge = net.edge(e);
-      if (edge.capacity <= 0 || state_.settled[edge.to] == stamp) continue;
-      double reduced = edge.cost + potential_[node] - potential_[edge.to];
+      const NodeId to = net.arc_to(e);
+      if (net.residual(e) <= 0 || state_.settled[to] == stamp) continue;
+      double reduced = net.cost(e) + potential_[node] - potential_[to];
       // Valid potentials keep every residual reduced cost non-negative; a
       // real violation means the potential update went wrong and Dijkstra's
       // greedy settling would silently return suboptimal (non-min-cost)
@@ -151,25 +204,79 @@ bool McmfSolver::dijkstra(const FlowNetwork& net, NodeId source, NodeId sink) {
       // path extending them costs at least as much as the path already
       // recorded to the sink, and update_potentials caps unreached nodes at
       // dist[sink], so skipping the record keeps the potentials valid.
-      if (edge.to != sink && state_.seen[sink] == stamp &&
+      if (to != sink && state_.seen[sink] == stamp &&
           candidate >= state_.dist[sink]) {
         continue;
       }
-      if (state_.seen[edge.to] != stamp ||
-          candidate + kEps < state_.dist[edge.to]) {
-        if (state_.seen[edge.to] != stamp) {
-          state_.touched.push_back(edge.to);
+      if (state_.seen[to] != stamp || candidate + kEps < state_.dist[to]) {
+        if (state_.seen[to] != stamp) {
+          state_.touched.push_back(to);
         }
-        state_.dist[edge.to] = candidate;
-        state_.parent_edge[edge.to] = e;
-        state_.seen[edge.to] = stamp;
+        state_.dist[to] = candidate;
+        state_.parent_edge[to] = e;
+        state_.seen[to] = stamp;
         // Dead-end prune: a node with no outgoing arcs cannot extend any
         // path, so record its label (update_potentials needs it) but skip
         // the heap. With drop_terminal_arcs this covers every sender whose
         // candidate pairs are all committed or not yet visible.
-        if (edge.to == sink || !net.out_edges(edge.to).empty()) {
-          heap.emplace_back(candidate, edge.to);
+        if (to == sink || !net.out_edges(to).empty()) {
+          heap.emplace_back(candidate, to);
           std::push_heap(heap.begin(), heap.end(), min_first);
+        }
+      }
+    }
+  }
+  return state_.settled[sink] == stamp;
+}
+
+bool McmfSolver::dijkstra_int(const FlowNetwork& net, NodeId source,
+                              NodeId sink) {
+  const std::size_t n = net.num_nodes();
+  state_.begin_search(n, /*integer=*/true);
+  const std::uint32_t stamp = state_.stamp;
+  auto& rheap = state_.rheap;
+  rheap.clear();
+  state_.idist[source] = 0;
+  state_.seen[source] = stamp;
+  state_.touched.push_back(source);
+  rheap.push(0, source);
+  while (!rheap.empty()) {
+    // The radix heap has no cheap peek, so the early-settle check runs
+    // pop-then-test: keys pop in non-decreasing order, so the first popped
+    // key >= idist[sink] proves the sink's label final exactly when the
+    // binary-heap peek would have.
+    const auto [key, node32] = rheap.pop();
+    const NodeId node = node32;
+    const auto d = static_cast<std::int64_t>(key);
+    if (state_.settled[node] == stamp) continue;  // stale lazy-deleted entry
+    if (state_.seen[sink] == stamp && d >= state_.idist[sink]) {
+      state_.settled[sink] = stamp;
+      return true;
+    }
+    state_.settled[node] = stamp;
+    if (node == sink) return true;
+    for (const EdgeId e : net.out_edges(node)) {
+      const NodeId to = net.arc_to(e);
+      if (net.residual(e) <= 0 || state_.settled[to] == stamp) continue;
+      const std::int64_t reduced =
+          net.qcost(e) + ipotential_[node] - ipotential_[to];
+      // Exact domain: a negative reduced cost is a real invariant breach,
+      // never float noise — no clamp, no tolerance.
+      CCDN_ENSURE(reduced >= 0, "negative reduced cost: stale potentials");
+      const std::int64_t candidate = d + reduced;
+      if (to != sink && state_.seen[sink] == stamp &&
+          candidate >= state_.idist[sink]) {
+        continue;
+      }
+      if (state_.seen[to] != stamp || candidate < state_.idist[to]) {
+        if (state_.seen[to] != stamp) {
+          state_.touched.push_back(to);
+        }
+        state_.idist[to] = candidate;
+        state_.parent_edge[to] = e;
+        state_.seen[to] = stamp;
+        if (to == sink || !net.out_edges(to).empty()) {
+          rheap.push(static_cast<std::uint64_t>(candidate), to);
         }
       }
     }
@@ -214,11 +321,52 @@ void McmfSolver::update_potentials(NodeId sink) {
   }
 }
 
+void McmfSolver::update_potentials_int(NodeId sink) {
+  const std::uint32_t stamp = state_.stamp;
+  if (state_.settled[sink] == stamp) {
+    const std::int64_t d_sink = state_.idist[sink];
+    for (const NodeId v : state_.touched) {
+      ipotential_[v] += std::min(state_.idist[v], d_sink) - d_sink;
+    }
+    return;
+  }
+  std::int64_t max_reached = 0;
+  for (const NodeId v : state_.touched) {
+    if (state_.settled[v] == stamp) {
+      max_reached = std::max(max_reached, state_.idist[v]);
+    }
+  }
+  for (const NodeId v : state_.touched) {
+    if (state_.settled[v] == stamp) {
+      ipotential_[v] += state_.idist[v] - max_reached;
+    }
+  }
+}
+
 void McmfSolver::reset_potentials(std::size_t num_nodes) {
-  potential_.assign(num_nodes, 0.0);
+  if (integer_) {
+    ipotential_.assign(num_nodes, 0);
+  } else {
+    potential_.assign(num_nodes, 0.0);
+  }
 }
 
 void McmfSolver::ensure_potentials(std::size_t num_nodes) {
+  if (integer_) {
+    if (ipotential_.size() == num_nodes) return;
+    if (ipotential_.empty()) {
+      ipotential_.assign(num_nodes, 0);
+      return;
+    }
+    if (ipotential_.size() > num_nodes) {
+      ipotential_.resize(num_nodes);
+      return;
+    }
+    const std::int64_t fill =
+        *std::max_element(ipotential_.begin(), ipotential_.end());
+    ipotential_.resize(num_nodes, fill);
+    return;
+  }
   if (potential_.size() == num_nodes) return;
   if (potential_.empty()) {
     potential_.assign(num_nodes, 0.0);
@@ -240,6 +388,21 @@ void McmfSolver::ensure_potentials(std::size_t num_nodes) {
 
 void McmfSolver::harvest_potentials(const FlowNetwork& net) {
   const std::uint32_t stamp = state_.stamp;
+  if (integer_) {
+    std::int64_t max_reached = 0;
+    for (const NodeId v : state_.touched) {
+      if (state_.seen[v] == stamp) {
+        max_reached = std::max(max_reached, state_.idist[v]);
+      }
+    }
+    ipotential_.assign(net.num_nodes(), max_reached);
+    for (const NodeId v : state_.touched) {
+      if (state_.seen[v] == stamp && v < ipotential_.size()) {
+        ipotential_[v] = state_.idist[v];
+      }
+    }
+    return;
+  }
   double max_reached = 0.0;
   for (const NodeId v : state_.touched) {
     if (state_.seen[v] == stamp) {
@@ -256,14 +419,29 @@ void McmfSolver::harvest_potentials(const FlowNetwork& net) {
 
 bool McmfSolver::potentials_valid_for(const FlowNetwork& net,
                                       EdgeId first_edge) const {
-  for (EdgeId e = first_edge; e < 2 * net.num_edges(); ++e) {
-    const auto& edge = net.edge(e);
-    if (edge.capacity <= 0) continue;
-    if (edge.from >= potential_.size() || edge.to >= potential_.size()) {
+  const auto storage_end = static_cast<EdgeId>(2 * net.num_edges());
+  if (integer_) {
+    for (EdgeId e = first_edge; e < storage_end; ++e) {
+      if (net.residual(e) <= 0) continue;
+      const NodeId from = net.arc_from(e);
+      const NodeId to = net.arc_to(e);
+      if (from >= ipotential_.size() || to >= ipotential_.size()) {
+        return false;
+      }
+      if (net.qcost(e) + ipotential_[from] - ipotential_[to] < 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  for (EdgeId e = first_edge; e < storage_end; ++e) {
+    if (net.residual(e) <= 0) continue;
+    const NodeId from = net.arc_from(e);
+    const NodeId to = net.arc_to(e);
+    if (from >= potential_.size() || to >= potential_.size()) {
       return false;
     }
-    const double reduced =
-        edge.cost + potential_[edge.from] - potential_[edge.to];
+    const double reduced = net.cost(e) + potential_[from] - potential_[to];
     if (reduced < -kEps) return false;
   }
   return true;
@@ -271,6 +449,22 @@ bool McmfSolver::potentials_valid_for(const FlowNetwork& net,
 
 void McmfSolver::reprice(const FlowNetwork& net, NodeId source) {
   ++reprices_;
+  if (integer_) {
+    spfa_int(net, source, source);  // sink unused: full shortest-path tree
+    const std::uint32_t stamp = state_.stamp;
+    std::int64_t max_reached = 0;
+    for (std::size_t v = 0; v < net.num_nodes(); ++v) {
+      if (state_.seen[v] == stamp) {
+        max_reached = std::max(max_reached, state_.idist[v]);
+      }
+    }
+    ipotential_.resize(net.num_nodes());
+    for (std::size_t v = 0; v < net.num_nodes(); ++v) {
+      ipotential_[v] =
+          state_.seen[v] == stamp ? state_.idist[v] : max_reached;
+    }
+    return;
+  }
   spfa(net, source, source);  // sink unused: full shortest-path tree
   const std::uint32_t stamp = state_.stamp;
   double max_reached = 0.0;
@@ -287,6 +481,62 @@ void McmfSolver::reprice(const FlowNetwork& net, NodeId source) {
 
 void McmfSolver::reprice_from(const FlowNetwork& net, EdgeId first_edge,
                               std::span<const EdgeId> clamp_arcs) {
+  if (integer_) {
+    CCDN_REQUIRE(ipotential_.size() == net.num_nodes(),
+                 "potentials not sized for this network");
+    const std::size_t n = net.num_nodes();
+    state_.in_queue.assign(n, 0);
+    const std::size_t cap = n + 1;
+    state_.queue.resize(cap);
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    const auto enqueue = [&](NodeId v) {
+      if (state_.in_queue[v]) return;
+      state_.queue[tail] = v;
+      tail = (tail + 1) % cap;
+      state_.in_queue[v] = 1;
+    };
+
+    for (const EdgeId e : clamp_arcs) {
+      if (net.residual(e) <= 0) continue;
+      const std::int64_t candidate =
+          ipotential_[net.arc_from(e)] + net.qcost(e);
+      if (candidate < ipotential_[net.arc_to(e)]) {
+        ipotential_[net.arc_to(e)] = candidate;
+        enqueue(net.arc_to(e));
+      }
+    }
+
+    bool violated = false;
+    for (EdgeId e = first_edge; e < 2 * net.num_edges(); ++e) {
+      if (net.residual(e) <= 0) continue;
+      const std::int64_t candidate =
+          ipotential_[net.arc_from(e)] + net.qcost(e);
+      if (candidate < ipotential_[net.arc_to(e)]) {
+        ipotential_[net.arc_to(e)] = candidate;
+        enqueue(net.arc_to(e));
+        violated = true;
+      }
+    }
+    if (head == tail) return;
+    if (violated) ++reprices_;
+    while (head != tail) {
+      const NodeId node = state_.queue[head];
+      head = (head + 1) % cap;
+      state_.in_queue[node] = 0;
+      for (const EdgeId e : net.out_edges(node)) {
+        if (net.residual(e) <= 0) continue;
+        const NodeId to = net.arc_to(e);
+        const std::int64_t candidate = ipotential_[node] + net.qcost(e);
+        if (candidate < ipotential_[to]) {
+          ipotential_[to] = candidate;
+          enqueue(to);
+        }
+      }
+    }
+    return;
+  }
+
   CCDN_REQUIRE(potential_.size() == net.num_nodes(),
                "potentials not sized for this network");
   const std::size_t n = net.num_nodes();
@@ -307,23 +557,21 @@ void McmfSolver::reprice_from(const FlowNetwork& net, EdgeId first_edge,
   // corrected values. Not counted as a reprice — drift on arcs into
   // dormant nodes is the normal price of the O(|seen|) potential update.
   for (const EdgeId e : clamp_arcs) {
-    const auto& edge = net.edge(e);
-    if (edge.capacity <= 0) continue;
-    const double candidate = potential_[edge.from] + edge.cost;
-    if (candidate + kEps < potential_[edge.to]) {
-      potential_[edge.to] = candidate;
-      enqueue(edge.to);
+    if (net.residual(e) <= 0) continue;
+    const double candidate = potential_[net.arc_from(e)] + net.cost(e);
+    if (candidate + kEps < potential_[net.arc_to(e)]) {
+      potential_[net.arc_to(e)] = candidate;
+      enqueue(net.arc_to(e));
     }
   }
 
   bool violated = false;
   for (EdgeId e = first_edge; e < 2 * net.num_edges(); ++e) {
-    const auto& edge = net.edge(e);
-    if (edge.capacity <= 0) continue;
-    const double candidate = potential_[edge.from] + edge.cost;
-    if (candidate + kEps < potential_[edge.to]) {
-      potential_[edge.to] = candidate;
-      enqueue(edge.to);
+    if (net.residual(e) <= 0) continue;
+    const double candidate = potential_[net.arc_from(e)] + net.cost(e);
+    if (candidate + kEps < potential_[net.arc_to(e)]) {
+      potential_[net.arc_to(e)] = candidate;
+      enqueue(net.arc_to(e));
       violated = true;
     }
   }
@@ -334,12 +582,12 @@ void McmfSolver::reprice_from(const FlowNetwork& net, EdgeId first_edge,
     head = (head + 1) % cap;
     state_.in_queue[node] = 0;
     for (const EdgeId e : net.out_edges(node)) {
-      const auto& edge = net.edge(e);
-      if (edge.capacity <= 0) continue;
-      const double candidate = potential_[node] + edge.cost;
-      if (candidate + kEps < potential_[edge.to]) {
-        potential_[edge.to] = candidate;
-        enqueue(edge.to);
+      if (net.residual(e) <= 0) continue;
+      const NodeId to = net.arc_to(e);
+      const double candidate = potential_[node] + net.cost(e);
+      if (candidate + kEps < potential_[to]) {
+        potential_[to] = candidate;
+        enqueue(to);
       }
     }
   }
@@ -351,8 +599,15 @@ McmfResult McmfSolver::augment(FlowNetwork& net, NodeId source, NodeId sink,
                "source/sink out of range");
   CCDN_REQUIRE(source != sink, "source equals sink");
   CCDN_REQUIRE(flow_limit >= 0, "negative flow limit");
+  if (integer_) {
+    CCDN_REQUIRE(net.integer_costs(),
+                 "integer-cost solver needs a quantized network; call "
+                 "FlowNetwork::set_cost_quantization() before building");
+  }
   if (strategy_ == McmfStrategy::kDijkstraPotentials) {
-    CCDN_REQUIRE(potential_.size() == net.num_nodes(),
+    const std::size_t priced =
+        integer_ ? ipotential_.size() : potential_.size();
+    CCDN_REQUIRE(priced == net.num_nodes(),
                  "potentials not sized for this network; call "
                  "reset_potentials() or reprice() first");
   }
@@ -361,18 +616,26 @@ McmfResult McmfSolver::augment(FlowNetwork& net, NodeId source, NodeId sink,
   while (result.flow < flow_limit) {
     bool found = false;
     if (strategy_ == McmfStrategy::kSpfa) {
-      found = spfa(net, source, sink);
+      found = integer_ ? spfa_int(net, source, sink) : spfa(net, source, sink);
     } else {
-      found = dijkstra(net, source, sink);
+      found = integer_ ? dijkstra_int(net, source, sink)
+                       : dijkstra(net, source, sink);
     }
     if (!found) break;
     if (strategy_ == McmfStrategy::kDijkstraPotentials) {
-      update_potentials(sink);
+      if (integer_) {
+        update_potentials_int(sink);
+      } else {
+        update_potentials(sink);
+      }
     }
     const std::int64_t room = flow_limit - result.flow;
     const std::int64_t amount = std::min(
         room, bottleneck_along_path(net, source, sink, state_.parent_edge));
     CCDN_ENSURE(amount > 0, "augmenting path with zero bottleneck");
+    // Path cost is reported in km in both domains (the double mirror is
+    // exact storage either way); the integer engine only *searches* in the
+    // quantized domain.
     const double path_cost =
         apply_path(net, source, sink, state_.parent_edge, amount);
     result.flow += amount;

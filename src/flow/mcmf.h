@@ -4,8 +4,19 @@
 // (the paper cites Ford-Fulkerson flows [19]). Two path-search strategies
 // are provided: SPFA (Bellman-Ford queue variant; handles the negative
 // residual costs directly) and Dijkstra with Johnson potentials (faster on
-// large sparse graphs). Both produce a maximum flow of minimum total cost;
-// costs are doubles (km of geo-distance).
+// large sparse graphs). Both produce a maximum flow of minimum total cost.
+//
+// Costs come in two domains (McmfConfig::integer_costs):
+//  - double (default): km of geo-distance, compared with a 1e-9 noise
+//    tolerance. This is the digest oracle — its search decisions define
+//    the plans every other path must reproduce bit for bit.
+//  - fixed-point int32 (opt-in): the network's quantized cost mirror
+//    (FlowNetwork::set_cost_quantization), exact integer comparisons, and
+//    a monotone radix heap instead of the binary heap for the Dijkstra
+//    strategy. Quantization rounds away sub-resolution cost differences,
+//    so tie-breaking — and therefore the chosen paths — can differ from
+//    the double engine's; the contract is plan equality (same flows on
+//    the RBCAer graphs), not digest identity. See DESIGN.md §3.11.
 #pragma once
 
 #include <algorithm>
@@ -15,12 +26,24 @@
 #include <vector>
 
 #include "flow/network.h"
+#include "util/arena.h"
+#include "util/radix_heap.h"
 
 namespace ccdn {
 
 enum class McmfStrategy {
   kSpfa,
   kDijkstraPotentials,
+};
+
+/// Engine selection for a McmfSolver.
+struct McmfConfig {
+  McmfStrategy strategy = McmfStrategy::kSpfa;
+  /// Search in the fixed-point integer-cost domain. Requires every network
+  /// passed to the solver to carry the quantized mirror
+  /// (FlowNetwork::set_cost_quantization). Plan-equality variant, not a
+  /// digest oracle — see the header comment.
+  bool integer_costs = false;
 };
 
 struct McmfResult {
@@ -34,7 +57,10 @@ struct McmfResult {
 /// its search buffers (distance/parent/visited arrays, the SPFA queue flags
 /// and the Dijkstra heap) and its node potentials across calls, so a caller
 /// that solves many related instances — the θ sweep solves one per θ step —
-/// stops re-allocating five per-node vectors for every augmentation.
+/// stops re-allocating five per-node vectors for every augmentation. Passing
+/// a BumpArena additionally backs those buffers with the caller's lane arena
+/// (util/arena.h), so a clone-ring lane's scratch is contiguous and
+/// steady-state slots perform no heap allocation.
 ///
 /// augment() continues from the network's *current* residual state: calling
 /// it again after pushing flow or appending edges only routes whatever
@@ -49,14 +75,22 @@ class McmfSolver {
       std::numeric_limits<std::int64_t>::max();
 
   explicit McmfSolver(McmfStrategy strategy = McmfStrategy::kSpfa)
-      : strategy_(strategy) {}
+      : McmfSolver(McmfConfig{strategy, false}) {}
+  explicit McmfSolver(const McmfConfig& config, BumpArena* arena = nullptr)
+      : strategy_(config.strategy),
+        integer_(config.integer_costs),
+        state_(arena),
+        potential_(ArenaAllocator<double>(arena)),
+        ipotential_(ArenaAllocator<std::int64_t>(arena)) {}
 
   [[nodiscard]] McmfStrategy strategy() const noexcept { return strategy_; }
+  [[nodiscard]] bool integer_costs() const noexcept { return integer_; }
 
   /// Min-cost augmentation from the current residual state until no
   /// source→sink path remains or `flow_limit` additional units have been
   /// routed. Returns the flow and cost of the *increment* routed by this
-  /// call only.
+  /// call only (cost is reported in km in both domains; the integer engine
+  /// converts through the network's cost_scale()).
   McmfResult augment(FlowNetwork& net, NodeId source, NodeId sink,
                      std::int64_t flow_limit = kUnlimited);
 
@@ -126,10 +160,18 @@ class McmfSolver {
   [[nodiscard]] std::size_t reprices() const noexcept { return reprices_; }
 
   /// The carried node potentials (sized by the last reset_potentials /
-  /// reprice call; empty before either). Exposed for the flow auditor's
-  /// reduced-cost check — see verify/flow_audit.h.
+  /// reprice call; empty before either, and empty in integer mode — see
+  /// ipotentials()). Exposed for the flow auditor's reduced-cost check —
+  /// see verify/flow_audit.h.
   [[nodiscard]] std::span<const double> potentials() const noexcept {
     return potential_;
+  }
+  /// Integer-domain carried potentials (integer mode only; empty
+  /// otherwise). Audited by audit_reduced_costs_int — converting them to
+  /// doubles would re-introduce exactly the quantization error the 1e-9
+  /// tolerance cannot absorb.
+  [[nodiscard]] std::span<const std::int64_t> ipotentials() const noexcept {
+    return ipotential_;
   }
 
  private:
@@ -140,27 +182,46 @@ class McmfSolver {
   /// search is O(1) instead of five O(n) fills — the dominant cost when the
   /// θ sweep runs a thousand searches on small per-step graphs.
   struct SearchState {
-    std::vector<double> dist;
-    std::vector<EdgeId> parent_edge;
-    std::vector<std::uint32_t> seen;     // stamp: dist/parent valid
-    std::vector<std::uint32_t> settled;  // stamp: Dijkstra label final
-    std::vector<NodeId> touched;  // nodes seen this search, in seen order
-    std::vector<char> in_queue;  // SPFA membership; all-zero between runs
-    std::vector<NodeId> queue;   // SPFA deque storage
-    std::vector<std::pair<double, NodeId>> heap;  // Dijkstra binary heap
+    explicit SearchState(BumpArena* arena)
+        : dist(ArenaAllocator<double>(arena)),
+          idist(ArenaAllocator<std::int64_t>(arena)),
+          parent_edge(ArenaAllocator<EdgeId>(arena)),
+          seen(ArenaAllocator<std::uint32_t>(arena)),
+          settled(ArenaAllocator<std::uint32_t>(arena)),
+          touched(ArenaAllocator<NodeId>(arena)),
+          in_queue(ArenaAllocator<char>(arena)),
+          queue(ArenaAllocator<NodeId>(arena)),
+          heap(ArenaAllocator<std::pair<double, NodeId>>(arena)) {}
+
+    ArenaVector<double> dist;         // double engine labels
+    ArenaVector<std::int64_t> idist;  // integer engine labels
+    ArenaVector<EdgeId> parent_edge;
+    ArenaVector<std::uint32_t> seen;     // stamp: dist/parent valid
+    ArenaVector<std::uint32_t> settled;  // stamp: Dijkstra label final
+    ArenaVector<NodeId> touched;  // nodes seen this search, in seen order
+    ArenaVector<char> in_queue;  // SPFA membership; all-zero between runs
+    ArenaVector<NodeId> queue;   // SPFA deque storage
+    ArenaVector<std::pair<double, NodeId>> heap;  // Dijkstra binary heap
+    RadixHeap64 rheap;  // integer Dijkstra bucket heap
     std::uint32_t stamp = 0;
 
     /// Open a new search over `n` nodes: bump the stamp (invalidating all
-    /// labels) and grow the buffers if the network grew.
-    void begin_search(std::size_t n) {
+    /// labels) and grow the buffers if the network grew. Only the active
+    /// domain's distance array is kept sized.
+    void begin_search(std::size_t n, bool integer) {
       if (++stamp == 0) {  // wrapped: old stamps would alias as live
         std::fill(seen.begin(), seen.end(), 0);
         std::fill(settled.begin(), settled.end(), 0);
         stamp = 1;
       }
       touched.clear();
-      if (dist.size() < n) {
-        dist.resize(n);
+      const std::size_t labels = integer ? idist.size() : dist.size();
+      if (labels < n) {
+        if (integer) {
+          idist.resize(n);
+        } else {
+          dist.resize(n);
+        }
         parent_edge.resize(n);
         seen.resize(n, 0);
         settled.resize(n, 0);
@@ -172,10 +233,15 @@ class McmfSolver {
   bool spfa(const FlowNetwork& net, NodeId source, NodeId sink);
   bool dijkstra(const FlowNetwork& net, NodeId source, NodeId sink);
   void update_potentials(NodeId sink);
+  bool spfa_int(const FlowNetwork& net, NodeId source, NodeId sink);
+  bool dijkstra_int(const FlowNetwork& net, NodeId source, NodeId sink);
+  void update_potentials_int(NodeId sink);
 
   McmfStrategy strategy_;
+  bool integer_ = false;
   SearchState state_;
-  std::vector<double> potential_;
+  ArenaVector<double> potential_;
+  ArenaVector<std::int64_t> ipotential_;
   std::size_t reprices_ = 0;
 };
 

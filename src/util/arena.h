@@ -1,0 +1,184 @@
+// Bump arena + std allocator adapter for per-lane solver scratch.
+//
+// The θ sweep's per-slot scratch — MCMF search labels, Gc grouping buffers,
+// the candidate list — lives in a couple dozen vectors per scheme clone.
+// Each clone-ring lane keeps one BumpArena and backs those vectors with
+// ArenaAllocator: growth carves from a few large retained blocks instead of
+// individual heap allocations, consolidating a lane's working set into
+// contiguous memory, and once every buffer has reached steady-state size a
+// slot performs no arena (and no heap) allocation at all. The counters make
+// that claim testable: tests/util/arena_test.cc and the theta-sweep
+// no-allocation test assert allocations() stops moving after warm-up.
+//
+// The arena never frees individual allocations (deallocate is a no-op), so
+// a growing vector strands its old buffer until reset(). That waste is
+// bounded by geometric growth and is the price of O(1) allocation; callers
+// that churn unboundedly should not use an arena. reset() rewinds every
+// block for reuse but must only run when no arena-backed container is
+// alive — the long-lived solver scratch never resets mid-life.
+//
+// A default-constructed ArenaAllocator (null arena) falls back to the
+// global heap, so arena-backed types stay usable in one-shot contexts
+// (MinCostMaxFlow::solve, cold-path GcScratch) without a second type.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ccdn {
+
+class BumpArena {
+ public:
+  explicit BumpArena(std::size_t first_block_bytes = 1u << 16)
+      : first_block_bytes_(first_block_bytes) {
+    CCDN_REQUIRE(first_block_bytes > 0, "arena block size must be positive");
+  }
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    CCDN_ASSERT(align > 0 && (align & (align - 1)) == 0,
+                "alignment must be a power of two");
+    ++allocations_;
+    bytes_requested_ += bytes;
+    // First-fit over the retained blocks from the active one forward; the
+    // common case (steady-state reuse after reset) hits the first block.
+    for (std::size_t b = active_; b < blocks_.size(); ++b) {
+      if (void* p = try_bump(blocks_[b], bytes, align)) {
+        active_ = b;
+        return p;
+      }
+    }
+    Block fresh;
+    fresh.size = std::max(bytes + align, grow_hint());
+    fresh.data = std::make_unique<std::byte[]>(fresh.size);
+    blocks_.push_back(std::move(fresh));
+    ++upstream_blocks_;
+    active_ = blocks_.size() - 1;
+    void* p = try_bump(blocks_.back(), bytes, align);
+    CCDN_ENSURE(p != nullptr, "fresh arena block too small for request");
+    return p;
+  }
+
+  /// No-op: individual frees are not tracked. Memory returns on reset().
+  void deallocate(void* /*p*/, std::size_t /*bytes*/) noexcept {}
+
+  /// Rewind every block for reuse. All memory handed out so far becomes
+  /// invalid — no arena-backed container may be alive across a reset.
+  void reset() noexcept {
+    for (Block& block : blocks_) block.used = 0;
+    active_ = 0;
+  }
+
+  /// Total allocate() calls (bumps), lifetime. A steady-state slot that
+  /// allocates nothing leaves this unchanged — the no-allocation tests
+  /// assert exactly that.
+  [[nodiscard]] std::size_t allocations() const noexcept {
+    return allocations_;
+  }
+  /// Blocks obtained from the upstream heap, lifetime (never shrinks).
+  [[nodiscard]] std::size_t upstream_blocks() const noexcept {
+    return upstream_blocks_;
+  }
+  [[nodiscard]] std::size_t bytes_requested() const noexcept {
+    return bytes_requested_;
+  }
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] static void* try_bump(Block& block, std::size_t bytes,
+                                      std::size_t align) noexcept {
+    const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+    const std::uintptr_t cursor = base + block.used;
+    const std::uintptr_t aligned = (cursor + align - 1) & ~(align - 1);
+    const std::uintptr_t end = base + block.size;
+    if (aligned + bytes > end) return nullptr;
+    block.used = (aligned + bytes) - base;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  [[nodiscard]] std::size_t grow_hint() const noexcept {
+    return blocks_.empty() ? first_block_bytes_ : 2 * blocks_.back().size;
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;
+  std::size_t allocations_ = 0;
+  std::size_t upstream_blocks_ = 0;
+  std::size_t bytes_requested_ = 0;
+};
+
+namespace detail {
+/// Lifetime count of ArenaAllocator heap-fallback allocations (allocators
+/// constructed without an arena). Atomic because scheme clones allocate on
+/// pool threads; used only by tests asserting the fallback path.
+inline std::atomic<std::size_t> arena_heap_fallbacks{0};
+}  // namespace detail
+
+/// C++17 allocator over a BumpArena; null arena falls back to the heap.
+/// Propagates on copy/move/swap so container moves carry their arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(BumpArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    detail::arena_heap_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (arena_ != nullptr) {
+      arena_->deallocate(p, n * sizeof(T));
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  [[nodiscard]] BumpArena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+
+ private:
+  BumpArena* arena_ = nullptr;
+};
+
+/// Vector whose backing storage comes from a BumpArena (or the heap when
+/// constructed with a null/default allocator).
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace ccdn

@@ -28,10 +28,14 @@ struct KeyedIndex {
 
 /// Sorts `items` by key ascending, stable (equal keys keep their relative
 /// order). `swap` and `hist` are caller-owned scratch so a sort loop
-/// performs no allocations once they reach steady-state size.
-inline void radix_sort_keyed(std::vector<KeyedIndex>& items,
-                             std::vector<KeyedIndex>& swap,
-                             std::vector<std::uint32_t>& hist) {
+/// performs no allocations once they reach steady-state size. Generic over
+/// the vectors' allocators so arena-backed callers (util/arena.h) keep
+/// their scratch inside the lane arena; `items` and `swap` must use the
+/// same allocator type (they exchange buffers).
+template <typename Alloc, typename HistAlloc>
+inline void radix_sort_keyed(std::vector<KeyedIndex, Alloc>& items,
+                             std::vector<KeyedIndex, Alloc>& swap,
+                             std::vector<std::uint32_t, HistAlloc>& hist) {
   constexpr int kDigitBits = 16;
   constexpr int kPasses = 64 / kDigitBits;
   constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
@@ -47,8 +51,8 @@ inline void radix_sort_keyed(std::vector<KeyedIndex>& items,
   }
 
   swap.resize(n);
-  std::vector<KeyedIndex>* src = &items;
-  std::vector<KeyedIndex>* dst = &swap;
+  std::vector<KeyedIndex, Alloc>* src = &items;
+  std::vector<KeyedIndex, Alloc>* dst = &swap;
   for (int p = 0; p < kPasses; ++p) {
     std::uint32_t* h = hist.data() + static_cast<std::size_t>(p) * kBuckets;
     const std::size_t first_digit =

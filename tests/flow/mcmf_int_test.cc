@@ -1,0 +1,156 @@
+// Differential tests for the fixed-point integer-cost MCMF engine.
+//
+// The integer engine (McmfConfig::integer_costs) searches the network's
+// quantized cost mirror with exact comparisons — SPFA over int64 labels, or
+// Dijkstra over int64 potentials and a monotone radix heap. Quantization can
+// flip sub-resolution tie-breaks, so per-edge flows are not compared against
+// the double engine here (that plan-equality contract is asserted on the
+// RBCAer graphs by the θ-sweep suite); what must hold on ANY network:
+//
+//  - the routed max-flow value matches the double engine's exactly (flow
+//    value does not depend on costs), and
+//  - the min cost matches the double optimum to within the quantization
+//    resolution (both engines are exact optimizers in their own domain), and
+//  - the two integer strategies agree with each other exactly — same
+//    quantized-optimal cost in km, bit for bit, since both report
+//    Σ qcost / scale over dyadic rationals.
+#include "flow/mcmf.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/network.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ccdn {
+namespace {
+
+/// Random layered DAG with skip edges, same shape as the double-engine
+/// differential suite: sparse enough that augmentations regularly
+/// disconnect whole layers, which is the regime that stresses carried
+/// potentials.
+FlowNetwork random_layered_graph(Rng& rng, std::size_t layers,
+                                 std::size_t width, double edge_prob) {
+  const std::size_t n = 2 + layers * width;
+  FlowNetwork net(static_cast<NodeId>(n));
+  const auto node_at = [&](std::size_t layer, std::size_t slot) {
+    return static_cast<NodeId>(2 + layer * width + slot);
+  };
+  for (std::size_t s = 0; s < width; ++s) {
+    if (rng.chance(0.8)) {
+      (void)net.add_edge(0, node_at(0, s), rng.uniform_int(1, 20),
+                         rng.uniform(0.0, 4.0));
+    }
+    if (rng.chance(0.8)) {
+      (void)net.add_edge(node_at(layers - 1, s), 1, rng.uniform_int(1, 20),
+                         rng.uniform(0.0, 4.0));
+    }
+  }
+  for (std::size_t layer = 0; layer + 1 < layers; ++layer) {
+    for (std::size_t a = 0; a < width; ++a) {
+      for (std::size_t b = 0; b < width; ++b) {
+        if (rng.chance(edge_prob)) {
+          (void)net.add_edge(node_at(layer, a), node_at(layer + 1, b),
+                             rng.uniform_int(1, 12), rng.uniform(0.0, 3.0));
+        }
+        if (layer + 2 < layers && rng.chance(edge_prob / 3.0)) {
+          (void)net.add_edge(node_at(layer, a), node_at(layer + 2, b),
+                             rng.uniform_int(1, 12), rng.uniform(0.0, 5.0));
+        }
+      }
+    }
+  }
+  return net;
+}
+
+McmfResult solve_with(FlowNetwork net, McmfStrategy strategy, bool integer) {
+  if (integer) net.set_cost_quantization(kDefaultCostScale);
+  McmfSolver solver(McmfConfig{strategy, integer});
+  if (strategy == McmfStrategy::kDijkstraPotentials) {
+    solver.reset_potentials(net.num_nodes());
+  }
+  return solver.augment(net, 0, 1);
+}
+
+class McmfIntDifferential : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McmfIntDifferential, MatchesDoubleEngineFlowAndCost) {
+  Rng rng(GetParam());
+  const std::size_t layers = 2 + rng.index(4);
+  const std::size_t width = 2 + rng.index(4);
+  const FlowNetwork net = random_layered_graph(rng, layers, width, 0.5);
+
+  const McmfResult dbl = solve_with(net, McmfStrategy::kSpfa, false);
+  const McmfResult ispfa = solve_with(net, McmfStrategy::kSpfa, true);
+  const McmfResult idij =
+      solve_with(net, McmfStrategy::kDijkstraPotentials, true);
+
+  // Max-flow value is cost-independent: exact agreement required.
+  EXPECT_EQ(ispfa.flow, dbl.flow);
+  EXPECT_EQ(idij.flow, dbl.flow);
+
+  // Both integer strategies are exact optimizers over the same quantized
+  // costs: their reported km costs are identical sums of dyadic rationals.
+  EXPECT_DOUBLE_EQ(idij.cost, ispfa.cost);
+
+  // Against the double optimum, the gap is bounded by the quantization
+  // resolution: every arc rounds by at most 0.5/scale km, and at most
+  // 2 * edges arcs each carry at most 20 units.
+  const double resolution = 0.5 / kDefaultCostScale;
+  const double bound =
+      resolution * 40.0 * static_cast<double>(2 * net.num_edges()) + 1e-9;
+  EXPECT_NEAR(ispfa.cost, dbl.cost, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLayeredGraphs, McmfIntDifferential,
+                         testing::Range<std::uint64_t>(1, 41));
+
+TEST(McmfInt, RequiresQuantizedNetwork) {
+  FlowNetwork net(2);
+  (void)net.add_edge(0, 1, 1, 1.0);
+  McmfSolver solver(McmfConfig{McmfStrategy::kSpfa, true});
+  EXPECT_THROW((void)solver.augment(net, 0, 1), PreconditionError);
+}
+
+TEST(McmfInt, IntegerPotentialsLiveInTheIntegerVector) {
+  FlowNetwork net(3);
+  (void)net.add_edge(0, 2, 4, 1.0);
+  (void)net.add_edge(2, 1, 4, 1.0);
+  net.set_cost_quantization(kDefaultCostScale);
+  McmfSolver solver(McmfConfig{McmfStrategy::kDijkstraPotentials, true});
+  solver.reset_potentials(net.num_nodes());
+  const McmfResult r = solver.augment(net, 0, 1);
+  EXPECT_EQ(r.flow, 4);
+  EXPECT_DOUBLE_EQ(r.cost, 8.0);
+  EXPECT_EQ(solver.ipotentials().size(), net.num_nodes());
+  EXPECT_TRUE(solver.potentials().empty());
+}
+
+TEST(McmfInt, WarmContinuationRoutesOnlyTheIncrement) {
+  // Same warm-start contract as the double engine: augment again after new
+  // capacity appears and only the increment is routed, with exact integer
+  // pricing carried across the calls.
+  FlowNetwork net(4);
+  const EdgeId top = net.add_edge(0, 2, 3, 1.0);
+  (void)net.add_edge(2, 1, 3, 1.0);
+  net.set_cost_quantization(kDefaultCostScale);
+  McmfSolver solver(McmfConfig{McmfStrategy::kDijkstraPotentials, true});
+  solver.reset_potentials(net.num_nodes());
+  const McmfResult first = solver.augment(net, 0, 1);
+  EXPECT_EQ(first.flow, 3);
+  // A second, costlier route appears (its arcs price non-negatively under
+  // the carried potentials, so no reprice is needed).
+  const EdgeId mid = net.add_edge(0, 3, 2, 2.0);
+  (void)net.add_edge(3, 1, 2, 2.0);
+  ASSERT_TRUE(solver.potentials_valid_for(net, mid));
+  const McmfResult second = solver.augment(net, 0, 1);
+  EXPECT_EQ(second.flow, 2);
+  EXPECT_DOUBLE_EQ(second.cost, 8.0);
+  EXPECT_EQ(net.flow(top), 3);
+}
+
+}  // namespace
+}  // namespace ccdn

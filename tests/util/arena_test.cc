@@ -1,0 +1,135 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ccdn {
+namespace {
+
+TEST(BumpArena, HandsOutAlignedNonOverlappingMemory) {
+  BumpArena arena(256);
+  void* a = arena.allocate(10, 1);
+  void* b = arena.allocate(16, 8);
+  void* c = arena.allocate(1, 64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  // Writing every byte of each allocation must not corrupt the others.
+  std::memset(a, 0xAA, 10);
+  std::memset(b, 0xBB, 16);
+  std::memset(c, 0xCC, 1);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[9], 0xAA);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[15], 0xBB);
+  EXPECT_EQ(arena.allocations(), 3u);
+  EXPECT_GE(arena.bytes_requested(), 27u);
+}
+
+TEST(BumpArena, GrowsWithFreshBlocksAndOversizeRequests) {
+  BumpArena arena(64);
+  (void)arena.allocate(32, 8);
+  EXPECT_EQ(arena.upstream_blocks(), 1u);
+  // Doesn't fit the first block's remainder: a fresh (larger) block arrives.
+  (void)arena.allocate(60, 8);
+  EXPECT_EQ(arena.upstream_blocks(), 2u);
+  // Far larger than any growth hint: still served, in one dedicated block.
+  void* big = arena.allocate(1 << 20, 16);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(arena.upstream_blocks(), 3u);
+  EXPECT_GE(arena.bytes_reserved(), (1u << 20));
+}
+
+TEST(BumpArena, ResetReusesRetainedBlocksWithoutNewUpstream) {
+  BumpArena arena(128);
+  for (int round = 0; round < 5; ++round) {
+    (void)arena.allocate(100, 8);
+    arena.reset();
+  }
+  // One block served every round after the first.
+  EXPECT_EQ(arena.upstream_blocks(), 1u);
+  EXPECT_EQ(arena.allocations(), 5u);
+}
+
+TEST(BumpArena, FirstFitSkipsFullBlocksButReusesThemAfterReset) {
+  BumpArena arena(64);
+  (void)arena.allocate(56, 8);   // nearly fills block 0
+  (void)arena.allocate(120, 8);  // forces block 1
+  const std::size_t blocks_before = arena.upstream_blocks();
+  arena.reset();
+  // After reset the small request lands back in block 0 — no new upstream.
+  (void)arena.allocate(56, 8);
+  EXPECT_EQ(arena.upstream_blocks(), blocks_before);
+}
+
+TEST(ArenaAllocator, VectorBackedByArenaAllocatesFromIt) {
+  BumpArena arena(1 << 12);
+  ArenaVector<std::uint64_t> v{ArenaAllocator<std::uint64_t>(&arena)};
+  const std::size_t before = arena.allocations();
+  v.reserve(64);
+  for (std::uint64_t i = 0; i < 64; ++i) v.push_back(i);
+  EXPECT_GT(arena.allocations(), before);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(ArenaAllocator, SteadyStateVectorReuseAllocatesNothing) {
+  BumpArena arena(1 << 12);
+  ArenaVector<int> v{ArenaAllocator<int>(&arena)};
+  v.reserve(256);
+  const std::size_t warm = arena.allocations();
+  // clear() keeps capacity; refilling within it must not touch the arena.
+  for (int round = 0; round < 10; ++round) {
+    v.clear();
+    for (int i = 0; i < 256; ++i) v.push_back(i);
+  }
+  EXPECT_EQ(arena.allocations(), warm);
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeapAndCounts) {
+  const std::size_t before =
+      detail::arena_heap_fallbacks.load(std::memory_order_relaxed);
+  ArenaVector<int> v;  // default allocator: no arena
+  v.reserve(32);
+  EXPECT_GT(detail::arena_heap_fallbacks.load(std::memory_order_relaxed),
+            before);
+  v.push_back(7);
+  EXPECT_EQ(v.front(), 7);
+}
+
+TEST(ArenaAllocator, EqualityFollowsTheArenaPointer) {
+  BumpArena a(64);
+  BumpArena b(64);
+  ArenaAllocator<int> on_a(&a);
+  ArenaAllocator<int> also_a(&a);
+  ArenaAllocator<double> on_a_double(&a);
+  ArenaAllocator<int> on_b(&b);
+  ArenaAllocator<int> none;
+  EXPECT_TRUE(on_a == also_a);
+  EXPECT_TRUE(on_a == on_a_double);  // rebound allocators stay equal
+  EXPECT_FALSE(on_a == on_b);
+  EXPECT_FALSE(on_a == none);
+}
+
+TEST(ArenaAllocator, CopyAndMovePropagateTheArena) {
+  BumpArena arena(1 << 10);
+  ArenaVector<int> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 16; ++i) v.push_back(i);
+  ArenaVector<int> copy = v;  // copy ctor: allocator copied alongside
+  EXPECT_EQ(copy.get_allocator().arena(), &arena);
+  ArenaVector<int> moved = std::move(v);
+  EXPECT_EQ(moved.get_allocator().arena(), &arena);
+  EXPECT_EQ(moved.size(), 16u);
+  EXPECT_EQ(copy, moved);
+}
+
+TEST(BumpArena, RejectsZeroBlockSize) {
+  EXPECT_THROW(BumpArena(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ccdn

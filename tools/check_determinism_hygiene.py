@@ -17,6 +17,15 @@ environment rather than the seeded Rng —
     been audited to reduce results order-independently (sort with full
     tie-breaks, or aggregate into order-insensitive values) and is listed
     in the whitelist below with its justification.
+  * raw double cost accumulation (`*cost += ...` / `+= ... cost(e)`):
+    floating-point addition is not associative, so a double accumulator is
+    only deterministic if the accumulation ORDER is fixed. Inside solver
+    code the safe orders are a parent-chain walk or the augmentation
+    sequence itself; anything that sums edge costs in container-iteration
+    or thread-completion order drifts between runs. Every double cost
+    accumulator must either be whitelisted with its ordering argument or
+    rewritten against the fixed-point qcost() path (int64 addition is
+    associative, so order cannot matter).
 
 Each whitelist entry documents WHY the usage is safe; a new hazard in an
 unlisted file (or a new hazard class in a listed file) fails the lint.
@@ -61,6 +70,14 @@ HAZARDS = {
         "unordered container iteration order is address-dependent; sort "
         "results with full tie-breaks or use an ordered container",
     ),
+    # qcost() deliberately does not match: `\bcost` has no word boundary
+    # inside "qcost", and int64 accumulation is associative anyway.
+    "double-cost-accumulation": (
+        re.compile(r"\b\w*cost\s*\+=|\+=\s*[^;]*(?:\bcost\s*\(|\.\s*cost\b)"),
+        "double cost accumulation is order-sensitive (fp addition is not "
+        "associative); fix the accumulation order and whitelist it with "
+        "the ordering argument, or accumulate the int64 qcost() instead",
+    ),
 }
 
 # (relative file, hazard id) -> justification from the audit that admitted it.
@@ -92,6 +109,16 @@ WHITELIST = {
     ("src/core/random_scheme.cc", "unordered-container"):
         "neighbourhood demand merge; fed to top_k_videos which tie-breaks "
         "(count desc, video asc) and sorts its output",
+    ("src/flow/mcmf.cc", "double-cost-accumulation"):
+        "path_cost sums a parent-chain walk (fixed order per augmentation) "
+        "and result.cost sums augmentations in the order the solver finds "
+        "them; both orders are functions of the input graph alone",
+    ("src/flow/decompose.cc", "double-cost-accumulation"):
+        "unit_cost sums one parent-chain walk per decomposed path; the "
+        "walk order is fixed by the predecessor array",
+    ("bench/legacy_solver.h", "double-cost-accumulation"):
+        "frozen pre-refactor engine kept verbatim for A/B benchmarking; "
+        "same parent-chain/augmentation ordering as the live solver",
 }
 
 

@@ -67,10 +67,28 @@ const char* const kSchemes[] = {"nearest",        "random",
                                 "nearest-online", "random-online",
                                 "rbcaer-online",  "virtual-online"};
 
+// The "-int" variants run the fixed-point integer-cost MCMF engine
+// (RbcaerConfig::integer_costs). They are deliberately NOT pinned in the
+// golden file: the integer engine's contract is plan equality with the
+// double engine under the default SPFA strategy (exact at this workload's
+// scale, where no two distinct path costs collapse into one cost quantum —
+// DESIGN.md §3.11), not an independent digest lineage. Each run recomputes
+// both sides and compares plans fresh, so the gate survives intentional
+// double-engine changes without an extra regeneration step.
+const char* const kIntVariants[] = {"rbcaer-int", "virtual-int"};
+
 SchemePtr make_scheme(const std::string& name) {
   constexpr std::string_view kOnlineSuffix = "-online";
+  constexpr std::string_view kIntSuffix = "-int";
   std::string base = name;
   bool online = false;
+  bool integer = false;
+  if (base.size() > kIntSuffix.size() &&
+      base.compare(base.size() - kIntSuffix.size(), kIntSuffix.size(),
+                   kIntSuffix) == 0) {
+    base.resize(base.size() - kIntSuffix.size());
+    integer = true;
+  }
   if (base.size() > kOnlineSuffix.size() &&
       base.compare(base.size() - kOnlineSuffix.size(), kOnlineSuffix.size(),
                    kOnlineSuffix) == 0) {
@@ -82,11 +100,13 @@ SchemePtr make_scheme(const std::string& name) {
   if (base == "rbcaer") {
     RbcaerConfig config;
     config.online = online;
+    config.integer_costs = integer;
     return std::make_unique<RbcaerScheme>(config);
   }
   if (base == "virtual") {
     VirtualRbcaerConfig config;
     config.regional.online = online;
+    config.regional.integer_costs = integer;
     return std::make_unique<VirtualRbcaerScheme>(config);
   }
   return nullptr;
@@ -118,6 +138,41 @@ std::size_t check_online_identity(
                    "path's (online bit-identity broken)\n",
                    name.c_str());
       ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+/// Plan-equality gate for the fixed-point engine: every "-int" variant's
+/// freshly computed per-slot plan digests must equal its base scheme's
+/// freshly computed ones. The digest is a pure function of the plan
+/// (assignment, placements), and both sides are recomputed in-process every
+/// run, so this compares plans — it never holds the integer engine to a
+/// pinned digest lineage of its own. Returns the mismatching pair count.
+std::size_t check_int_plan_equality(
+    const std::vector<std::pair<std::string, std::vector<std::uint64_t>>>&
+        digests) {
+  const auto find = [&](const std::string& name)
+      -> const std::vector<std::uint64_t>* {
+    for (const auto& entry : digests) {
+      if (entry.first == name) return &entry.second;
+    }
+    return nullptr;
+  };
+  std::size_t mismatches = 0;
+  for (const auto& entry : digests) {
+    const std::string& name = entry.first;
+    if (name.size() < 5 || name.substr(name.size() - 4) != "-int") continue;
+    const auto* base = find(name.substr(0, name.size() - 4));
+    if (base == nullptr || *base != entry.second) {
+      std::fprintf(stderr,
+                   "golden_digests: %s plans diverge from the double "
+                   "engine's (integer plan-equality broken)\n",
+                   name.c_str());
+      ++mismatches;
+    } else {
+      std::printf("golden_digests: %s plans equal the double engine's\n",
+                  name.c_str());
     }
   }
   return mismatches;
@@ -238,10 +293,18 @@ int main(int argc, char** argv) {
         std::printf("golden_digests: %s -> %zu slot digest(s)\n", name,
                     all.back().second.size());
       }
-      if (check_online_identity(all) != 0) {
+      // The -int variants ride along as a runtime plan-equality check but
+      // are never written to (or read from) the golden file.
+      std::vector<std::pair<std::string, std::vector<std::uint64_t>>>
+          with_int = all;
+      for (const char* name : kIntVariants) {
+        with_int.emplace_back(name, compute_digests(name, world, trace));
+      }
+      if (check_online_identity(all) != 0 ||
+          check_int_plan_equality(with_int) != 0) {
         std::fprintf(stderr,
                      "golden_digests: refusing to write a golden file with "
-                     "online/base divergence\n");
+                     "online/base or int/double divergence\n");
         return 1;
       }
       write_golden(regen_path, all);
@@ -300,6 +363,10 @@ int main(int argc, char** argv) {
                   scheme_bad == 0 ? "ok" : "DRIFTED");
     }
     mismatches += check_online_identity(computed);
+    for (const char* name : kIntVariants) {
+      computed.emplace_back(name, compute_digests(name, world, trace));
+    }
+    mismatches += check_int_plan_equality(computed);
     if (mismatches != 0) {
       std::fprintf(stderr, "golden_digests: %zu mismatch(es) vs %s\n",
                    mismatches, check_path.c_str());
