@@ -16,10 +16,6 @@
 // Prints a table and writes BENCH_stream.json (same shape as the other
 // BENCH_*.json files) with elapsed seconds, slots/s, and peak RSS per
 // case; the per-run digest XOR proves both modes computed identical plans.
-#include <sys/resource.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,7 +29,7 @@
 #include "trace/trace_io.h"
 #include "trace/world.h"
 #include "util/flags.h"
-#include "util/peak_rss.h"
+#include "util/fork_run.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -99,42 +95,24 @@ CaseResult run_case(const CaseConfig& config) {
   return result;
 }
 
-/// Fork, run the case in the child, and read back (result, child peak RSS).
+/// Fork, run the case in the child (util/fork_run.h), and read back
+/// (result, child peak RSS). A child failure exits the bench with the
+/// child's real exit code (or 128+signal), not a raw wait status.
 CaseResult run_case_isolated(const CaseConfig& config) {
-  int fds[2];
-  if (pipe(fds) != 0) {
-    std::perror("pipe");
-    std::exit(2);
-  }
-  const pid_t pid = fork();
-  if (pid < 0) {
-    std::perror("fork");
-    std::exit(2);
-  }
-  if (pid == 0) {
-    close(fds[0]);
+  const ForkResult forked = fork_run([&config] {
     const CaseResult result = run_case(config);
-    const ssize_t wrote = write(fds[1], &result, sizeof(result));
-    _exit(wrote == static_cast<ssize_t>(sizeof(result)) ? 0 : 1);
+    std::vector<std::uint8_t> payload(sizeof(result));
+    std::memcpy(payload.data(), &result, sizeof(result));
+    return payload;
+  });
+  if (!forked.complete || forked.payload.size() != sizeof(CaseResult)) {
+    std::fprintf(stderr, "stream_scalability: child failed (exit code %d)\n",
+                 forked.exit_code);
+    std::exit(forked.exit_code > 0 ? forked.exit_code : 2);
   }
-  close(fds[1]);
   CaseResult result;
-  std::size_t got = 0;
-  while (got < sizeof(result)) {
-    const ssize_t n = read(fds[0], reinterpret_cast<char*>(&result) + got,
-                           sizeof(result) - got);
-    if (n <= 0) break;
-    got += static_cast<std::size_t>(n);
-  }
-  close(fds[0]);
-  int status = 0;
-  struct rusage usage{};
-  wait4(pid, &status, 0, &usage);
-  if (got != sizeof(result) || status != 0) {
-    std::fprintf(stderr, "child failed (status %d)\n", status);
-    std::exit(2);
-  }
-  result.peak_rss_mb = peak_rss_mb(usage);
+  std::memcpy(&result, forked.payload.data(), sizeof(result));
+  result.peak_rss_mb = forked.peak_rss_mb;
   return result;
 }
 

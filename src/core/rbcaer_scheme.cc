@@ -6,6 +6,7 @@
 #include "cluster/content_distance.h"
 #include "core/replication.h"
 #include "geo/geo_point.h"
+#include "geo/grid_index.h"
 #include "model/topsets.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
@@ -13,6 +14,228 @@
 #include "verify/schedule_audit.h"
 
 namespace ccdn {
+
+namespace {
+
+/// Flow-phase result of one θ sweep (Algorithm 1 lines 5–12).
+struct SweepOutcome {
+  std::vector<FlowEntry> flows;  // per-θ increments, unmerged
+  std::int64_t moved = 0;
+  std::size_t guide_nodes = 0;
+  std::size_t theta_iterations = 0;
+  double graph_s = 0.0;
+  double mcmf_s = 0.0;
+  std::size_t potential_reprices = 0;
+  std::size_t online_patches = 0;
+};
+
+/// Algorithm 1's flow phase: θ sweep over Gc (or Gd when aggregation is
+/// off), then the residual Gd pass at θ2. Shared verbatim by the unsharded
+/// slot and by every shard's local solve — sharing the code is what keeps
+/// shard=1 plans bit-identical to the unsharded path. `cache` non-null
+/// selects online candidate generation (the caller already validated
+/// online mode); the cold rebuild-per-θ path ignores `sweeper`.
+SweepOutcome run_theta_sweep(const RbcaerConfig& config,
+                             std::span<const Hotspot> hotspots,
+                             const GridIndex& index,
+                             HotspotPartition& partition,
+                             std::int64_t max_movable,
+                             std::span<const std::uint32_t> cluster_of,
+                             ThetaSweeper& sweeper, CandidateCache* cache,
+                             std::vector<CandidateEdge>& candidate_buf) {
+  SweepOutcome out;
+  Stopwatch stage_clock;
+  const auto absorb = [&](const std::vector<FlowEntry>& extracted) {
+    for (const auto& f : extracted) {
+      partition.phi[f.from] -= f.amount;
+      partition.phi[f.to] -= f.amount;
+      CCDN_ENSURE(partition.phi[f.from] >= 0 && partition.phi[f.to] >= 0,
+                  "flow exceeded slack");
+      out.moved += f.amount;
+    }
+    out.flows.insert(out.flows.end(), extracted.begin(), extracted.end());
+  };
+  // Incremental steps already committed their flows (φ decremented, slack
+  // invariant checked inside the sweeper); just accumulate.
+  const auto absorb_step = [&](const SweepStep& step) {
+    out.moved += step.moved;
+    out.guide_nodes += step.guide_nodes;
+    out.graph_s += step.graph_s;
+    out.mcmf_s += step.mcmf_s;
+    out.flows.insert(out.flows.end(), step.flows.begin(), step.flows.end());
+  };
+
+  constexpr double kThetaEps = 1e-9;
+  // Radius query per overloaded hotspot via the shared spatial index,
+  // instead of scanning every (overloaded, under-utilized) pair. The
+  // cold path needs the candidates up front; the incremental path only
+  // when the online scaffold patch does not apply, so it generates them
+  // inside its own branch.
+  const auto generate_candidates = [&] {
+    return candidate_edges(hotspots, partition, config.theta2_km, index);
+  };
+  if (config.incremental_sweep) {
+    const std::size_t reprices_before = sweeper.potential_reprices();
+    const std::size_t patches_before = sweeper.online_patches();
+    stage_clock.reset();
+    // Online slots first try the cross-slot patch; when membership
+    // changed (or on the first slot) fall back to a full begin_slot,
+    // with candidate generation served from the cross-slot cache.
+    if (!cache || !sweeper.begin_slot_online(partition)) {
+      if (cache) {
+        cache->collect(hotspots, partition, config.theta2_km, index,
+                       candidate_buf);
+      } else {
+        candidate_buf = generate_candidates();
+      }
+      sweeper.begin_slot(partition,
+                         std::span<const CandidateEdge>(candidate_buf));
+    }
+    out.graph_s += stage_clock.elapsed_seconds();
+    double theta = config.theta1_km;
+    while (theta <= config.theta2_km + kThetaEps && out.moved < max_movable) {
+      ++out.theta_iterations;
+      absorb_step(config.content_aggregation
+                      ? sweeper.step_gc(theta, cluster_of, config.guide)
+                      : sweeper.step_gd(theta));
+      theta += config.delta_km;
+    }
+    if (out.moved < max_movable) {
+      // Residual pass on the plain distance graph at θ2 (Algorithm 1,
+      // line 12); anything beyond that stays with its home hotspot and
+      // overflows to the CDN at admission (line 14).
+      absorb_step(sweeper.step_gd(config.theta2_km));
+    }
+    sweeper.end_slot();
+    out.potential_reprices = sweeper.potential_reprices() - reprices_before;
+    out.online_patches = sweeper.online_patches() - patches_before;
+  } else {
+    stage_clock.reset();
+    const std::vector<CandidateEdge> candidates = generate_candidates();
+    out.graph_s += stage_clock.elapsed_seconds();
+    double theta = config.theta1_km;
+    while (theta <= config.theta2_km + kThetaEps && out.moved < max_movable) {
+      stage_clock.reset();
+      BalanceGraph graph =
+          config.content_aggregation
+              ? build_gc(partition, candidates, theta, cluster_of,
+                         config.guide)
+              : build_gd(partition, candidates, theta);
+      out.graph_s += stage_clock.elapsed_seconds();
+      out.guide_nodes += graph.num_guide_nodes;
+      ++out.theta_iterations;
+      stage_clock.reset();
+      (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
+                                  config.mcmf_strategy);
+      out.mcmf_s += stage_clock.elapsed_seconds();
+      absorb(extract_flows(graph));
+      theta += config.delta_km;
+    }
+    if (out.moved < max_movable) {
+      // Residual pass (Algorithm 1 line 12), as above.
+      stage_clock.reset();
+      BalanceGraph graph = build_gd(partition, candidates, config.theta2_km);
+      out.graph_s += stage_clock.elapsed_seconds();
+      stage_clock.reset();
+      (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
+                                  config.mcmf_strategy);
+      out.mcmf_s += stage_clock.elapsed_seconds();
+      absorb(extract_flows(graph));
+    }
+  }
+  return out;
+}
+
+/// One shard's local solve: rebuild the full RBCAer clustering + flow phase
+/// on the sub-instance induced by the shard's member hotspots, then remap
+/// the flows back to global ids. A pure function of (config, hotspots,
+/// demand, members), so it runs identically in a forked child or in-process
+/// (ShardExecutor's bit-identity contract).
+ShardFlowResult solve_shard_instance(const RbcaerConfig& config,
+                                     std::span<const Hotspot> hotspots,
+                                     const SlotDemand& demand,
+                                     std::span<const std::uint32_t> members) {
+  ShardFlowResult out;
+  const std::size_t n = members.size();
+  std::vector<Hotspot> sub_hotspots;
+  sub_hotspots.reserve(n);
+  std::vector<std::vector<VideoDemand>> sub_videos;
+  sub_videos.reserve(n);
+  for (const std::uint32_t h : members) {
+    sub_hotspots.push_back(hotspots[h]);
+    const auto videos = demand.video_demand(static_cast<HotspotIndex>(h));
+    sub_videos.emplace_back(videos.begin(), videos.end());
+  }
+  const SlotDemand local(std::move(sub_videos));
+  std::vector<std::uint32_t> loads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loads[i] = local.load(static_cast<HotspotIndex>(i));
+  }
+  HotspotPartition partition =
+      HotspotPartition::from_loads(sub_hotspots, loads);
+  const std::int64_t max_movable = partition.max_movable();
+  if (max_movable == 0) return out;
+
+  // Stage clocks below are wall time, which inflates when more forked
+  // children than cores run at once (the kernel time-slices them). Track
+  // the child's thread-CPU time alongside and rescale the reported stages
+  // by cpu/wall at the end: on an idle multicore box the ratio is ~1, and
+  // under contention the rescaled figures are the per-shard cost a
+  // dedicated core would pay — the quantity the critical-path model (max
+  // over shards) is meant to aggregate.
+  const Stopwatch solve_wall;
+  const ThreadCpuStopwatch solve_cpu;
+  Stopwatch stage_clock;
+  std::vector<std::uint32_t> cluster_of(n, 0);
+  if (config.content_aggregation) {
+    // Serial Jd build: the shards themselves are the parallelism, and a
+    // forked child must not touch the parent's thread pool anyway.
+    const auto top_sets = top_sets_per_hotspot(local, config.top_fraction);
+    const DistanceMatrix jd = content_distance_matrix(
+        top_sets, {.use_bitmap = config.bitmap_jaccard});
+    const ClusteringResult clustering = hierarchical_cluster(
+        jd, config.linkage, config.content_cluster_threshold);
+    cluster_of = clustering.labels;
+    out.num_clusters = clustering.num_clusters;
+    out.gc_build_s = stage_clock.elapsed_seconds();
+  }
+
+  std::vector<GeoPoint> locations;
+  locations.reserve(n);
+  for (const Hotspot& h : sub_hotspots) locations.push_back(h.location);
+  // Cell size only affects query speed, not candidate content or order
+  // (candidate_edges applies the exact distance cut and sorts receivers by
+  // index), so any grid works; mirror the simulator's cell.
+  const GridIndex index(std::move(locations), 0.5);
+  ThetaSweeper sweeper(config.mcmf_strategy, config.integer_costs,
+                       config.cost_scale);
+  sweeper.set_audit_level(config.audit_level);
+  std::vector<CandidateEdge> candidate_buf;
+  SweepOutcome sweep =
+      run_theta_sweep(config, sub_hotspots, index, partition, max_movable,
+                      cluster_of, sweeper, nullptr, candidate_buf);
+  out.moved = sweep.moved;
+  out.guide_nodes = sweep.guide_nodes;
+  out.theta_iterations = sweep.theta_iterations;
+  out.graph_s = sweep.graph_s;
+  out.mcmf_s = sweep.mcmf_s;
+  out.flows = std::move(sweep.flows);
+  for (FlowEntry& f : out.flows) {
+    f.from = members[f.from];
+    f.to = members[f.to];
+  }
+  const double wall = solve_wall.elapsed_seconds();
+  if (wall > 0.0) {
+    const double scale =
+        std::min(1.0, solve_cpu.elapsed_seconds() / wall);
+    out.gc_build_s *= scale;
+    out.graph_s *= scale;
+    out.mcmf_s *= scale;
+  }
+  return out;
+}
+
+}  // namespace
 
 RbcaerScheme::RbcaerScheme(RbcaerConfig config)
     : config_(config),
@@ -77,11 +300,21 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
 
   stage_timings_.partition_s = stage_clock.elapsed_seconds();
 
+  // Sharded planning (DESIGN.md §3.12): explicit config wins, else inherit
+  // the simulation-wide shard count from the context. 0 = classic
+  // unsharded path.
+  const std::size_t num_shards = std::min(
+      config_.num_shards != 0 ? config_.num_shards : context.num_shards, m);
+  const bool sharded = num_shards >= 1;
+  CCDN_REQUIRE(!sharded || !config_.online,
+               "sharded planning is incompatible with online mode (the "
+               "cross-slot scaffold lives in one process)");
+
   // --- Content clustering (only needed when aggregation is on and there
-  // is anything to move). ---
+  // is anything to move; sharded slots cluster per shard instead). ---
   std::vector<std::uint32_t> cluster_of(m, 0);
   const bool has_work = diagnostics_.max_movable > 0;
-  if (config_.content_aggregation && has_work) {
+  if (!sharded && config_.content_aggregation && has_work) {
     stage_clock.reset();
     const auto top_sets = top_sets_per_hotspot(demand, config_.top_fraction);
     const DistanceMatrix jd = content_distance_matrix(
@@ -95,111 +328,22 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
 
   // --- Algorithm 1: θ sweep over Gc, then residual pass over Gd. ---
   std::vector<FlowEntry> flows;  // per-θ increments; merged by pair below
-  const auto absorb = [&](const std::vector<FlowEntry>& extracted) {
-    for (const auto& f : extracted) {
-      partition.phi[f.from] -= f.amount;
-      partition.phi[f.to] -= f.amount;
-      CCDN_ENSURE(partition.phi[f.from] >= 0 && partition.phi[f.to] >= 0,
-                  "flow exceeded slack");
-      diagnostics_.moved += f.amount;
-    }
-    flows.insert(flows.end(), extracted.begin(), extracted.end());
-  };
-  // Incremental steps already committed their flows (φ decremented, slack
-  // invariant checked inside the sweeper); just accumulate.
-  const auto absorb_step = [&](const SweepStep& step) {
-    diagnostics_.moved += step.moved;
-    diagnostics_.guide_nodes += step.guide_nodes;
-    stage_timings_.graph_s += step.graph_s;
-    stage_timings_.mcmf_s += step.mcmf_s;
-    flows.insert(flows.end(), step.flows.begin(), step.flows.end());
-  };
-
   if (has_work) {
-    constexpr double kThetaEps = 1e-9;
-    // Radius query per overloaded hotspot via the shared spatial index,
-    // instead of scanning every (overloaded, under-utilized) pair. The
-    // cold path needs the candidates up front; the incremental path only
-    // when the online scaffold patch does not apply, so it generates them
-    // inside its own branch.
-    const auto generate_candidates = [&] {
-      return candidate_edges(context.hotspots, partition, config_.theta2_km,
-                             context.hotspot_index);
-    };
-    if (config_.incremental_sweep) {
-      const std::size_t reprices_before = sweeper_.potential_reprices();
-      const std::size_t patches_before = sweeper_.online_patches();
-      stage_clock.reset();
-      // Online slots first try the cross-slot patch; when membership
-      // changed (or on the first slot) fall back to a full begin_slot,
-      // with candidate generation served from the cross-slot cache.
-      if (!config_.online || !sweeper_.begin_slot_online(partition)) {
-        if (config_.online) {
-          candidate_cache_.collect(context.hotspots, partition,
-                                   config_.theta2_km, context.hotspot_index,
-                                   candidate_buf_);
-        } else {
-          candidate_buf_ = generate_candidates();
-        }
-        sweeper_.begin_slot(partition,
-                            std::span<const CandidateEdge>(candidate_buf_));
-      }
-      stage_timings_.graph_s += stage_clock.elapsed_seconds();
-      double theta = config_.theta1_km;
-      while (theta <= config_.theta2_km + kThetaEps &&
-             diagnostics_.moved < diagnostics_.max_movable) {
-        ++diagnostics_.theta_iterations;
-        absorb_step(config_.content_aggregation
-                        ? sweeper_.step_gc(theta, cluster_of, config_.guide)
-                        : sweeper_.step_gd(theta));
-        theta += config_.delta_km;
-      }
-      if (diagnostics_.moved < diagnostics_.max_movable) {
-        // Residual pass on the plain distance graph at θ2 (Algorithm 1,
-        // line 12); anything beyond that stays with its home hotspot and
-        // overflows to the CDN at admission (line 14).
-        absorb_step(sweeper_.step_gd(config_.theta2_km));
-      }
-      sweeper_.end_slot();
-      diagnostics_.potential_reprices =
-          sweeper_.potential_reprices() - reprices_before;
-      diagnostics_.online_patches =
-          sweeper_.online_patches() - patches_before;
+    if (sharded) {
+      flows = plan_shard_flows(context, demand, partition, num_shards);
     } else {
-      stage_clock.reset();
-      const std::vector<CandidateEdge> candidates = generate_candidates();
-      stage_timings_.graph_s += stage_clock.elapsed_seconds();
-      double theta = config_.theta1_km;
-      while (theta <= config_.theta2_km + kThetaEps &&
-             diagnostics_.moved < diagnostics_.max_movable) {
-        stage_clock.reset();
-        BalanceGraph graph =
-            config_.content_aggregation
-                ? build_gc(partition, candidates, theta, cluster_of,
-                           config_.guide)
-                : build_gd(partition, candidates, theta);
-        stage_timings_.graph_s += stage_clock.elapsed_seconds();
-        diagnostics_.guide_nodes += graph.num_guide_nodes;
-        ++diagnostics_.theta_iterations;
-        stage_clock.reset();
-        (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
-                                    config_.mcmf_strategy);
-        stage_timings_.mcmf_s += stage_clock.elapsed_seconds();
-        absorb(extract_flows(graph));
-        theta += config_.delta_km;
-      }
-      if (diagnostics_.moved < diagnostics_.max_movable) {
-        // Residual pass (Algorithm 1 line 12), as above.
-        stage_clock.reset();
-        BalanceGraph graph =
-            build_gd(partition, candidates, config_.theta2_km);
-        stage_timings_.graph_s += stage_clock.elapsed_seconds();
-        stage_clock.reset();
-        (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
-                                    config_.mcmf_strategy);
-        stage_timings_.mcmf_s += stage_clock.elapsed_seconds();
-        absorb(extract_flows(graph));
-      }
+      SweepOutcome sweep = run_theta_sweep(
+          config_, context.hotspots, context.hotspot_index, partition,
+          diagnostics_.max_movable, cluster_of, sweeper_,
+          config_.online ? &candidate_cache_ : nullptr, candidate_buf_);
+      diagnostics_.moved = sweep.moved;
+      diagnostics_.guide_nodes = sweep.guide_nodes;
+      diagnostics_.theta_iterations = sweep.theta_iterations;
+      diagnostics_.potential_reprices = sweep.potential_reprices;
+      diagnostics_.online_patches = sweep.online_patches;
+      stage_timings_.graph_s += sweep.graph_s;
+      stage_timings_.mcmf_s += sweep.mcmf_s;
+      flows = std::move(sweep.flows);
     }
   }
 
@@ -236,6 +380,79 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
   }
   stage_timings_.replication_s = stage_clock.elapsed_seconds();
   return plan;
+}
+
+std::vector<FlowEntry> RbcaerScheme::plan_shard_flows(
+    const SchemeContext& context, const SlotDemand& demand,
+    HotspotPartition& partition, std::size_t num_shards) {
+  const std::size_t m = context.hotspots.size();
+  // Hotspot geometry is fixed across a run's slots, so the zone plan is
+  // computed once per (shard count, hotspot set) and reused.
+  if (shard_plan_.num_shards != num_shards ||
+      shard_plan_.assignment.shard_of.size() != m ||
+      distance_km(shard_plan_.first, context.hotspots.front().location) !=
+          0.0 ||
+      distance_km(shard_plan_.last, context.hotspots.back().location) != 0.0) {
+    std::vector<GeoPoint> locations;
+    locations.reserve(m);
+    for (const Hotspot& h : context.hotspots) locations.push_back(h.location);
+    shard_plan_.assignment = partition_zones(locations, num_shards);
+    shard_plan_.boundary =
+        boundary_hotspots(locations, shard_plan_.assignment,
+                          config_.theta2_km, context.hotspot_index);
+    shard_plan_.num_shards = num_shards;
+    shard_plan_.first = context.hotspots.front().location;
+    shard_plan_.last = context.hotspots.back().location;
+  }
+
+  // The child solve must not touch this object's pool, cache, or sweeper:
+  // a neutralized config makes solve_shard_instance a pure function of
+  // (config, hotspots, demand, members) — safe in a forked child and
+  // bit-identical in-process.
+  RbcaerConfig child_config = config_;
+  child_config.online = false;
+  child_config.num_shards = 0;
+  child_config.jd_threads = 1;
+
+  ShardedSolveOptions options;
+  options.executor = config_.shard_executor;
+  options.exchange_radius_km = config_.theta2_km;
+  options.exchange_theta1_km = config_.theta1_km;
+  options.exchange_theta_step_km = config_.delta_km;
+  options.exchange_strategy = config_.mcmf_strategy;
+  options.audit_level = config_.audit_level;
+
+  const auto& members = shard_plan_.assignment.members;
+  ShardedSolveOutcome outcome = solve_sharded(
+      context.hotspots, context.hotspot_index, partition,
+      shard_plan_.assignment, shard_plan_.boundary, options,
+      [&](std::uint32_t s) {
+        return solve_shard_instance(child_config, context.hotspots, demand,
+                                    members[s]);
+      });
+
+  diagnostics_.moved = outcome.moved;
+  diagnostics_.shards = num_shards;
+  diagnostics_.boundary_hotspots = outcome.boundary_hotspots;
+  diagnostics_.exchange_moved = outcome.exchange_moved;
+  diagnostics_.shard_wall_s = outcome.shard_wall_s;
+  diagnostics_.exchange_s = outcome.exchange_s;
+  for (const ShardFlowResult& shard : outcome.shards) {
+    diagnostics_.num_clusters += shard.num_clusters;
+    diagnostics_.guide_nodes += shard.guide_nodes;
+    diagnostics_.theta_iterations =
+        std::max(diagnostics_.theta_iterations, shard.theta_iterations);
+    diagnostics_.shard_flow_s.push_back(shard.graph_s + shard.mcmf_s);
+    diagnostics_.shard_rss_mb.push_back(shard.peak_rss_mb);
+    // Stage timings report the parallel critical path: the slowest shard
+    // per stage, plus the exchange round on the MCMF stage.
+    stage_timings_.gc_build_s =
+        std::max(stage_timings_.gc_build_s, shard.gc_build_s);
+    stage_timings_.graph_s = std::max(stage_timings_.graph_s, shard.graph_s);
+    stage_timings_.mcmf_s = std::max(stage_timings_.mcmf_s, shard.mcmf_s);
+  }
+  stage_timings_.mcmf_s += outcome.exchange_s;
+  return std::move(outcome.flows);
 }
 
 void RbcaerScheme::redirect_local_misses(const SchemeContext& context,

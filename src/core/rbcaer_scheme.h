@@ -22,8 +22,10 @@
 #include "core/balance_graph.h"
 #include "core/candidate_cache.h"
 #include "core/scheme.h"
+#include "core/shard_solver.h"
 #include "core/theta_sweep.h"
 #include "flow/mcmf.h"
+#include "geo/zone_partition.h"
 #include "util/thread_pool.h"
 
 namespace ccdn {
@@ -103,6 +105,19 @@ struct RbcaerConfig {
   /// commit (flow conservation, frozen residual costs, carried potentials).
   /// Violations throw InvariantError naming the invariant (DESIGN.md §3.8).
   AuditLevel audit_level = AuditLevel::kOff;
+  /// Zone-sharded parallel flow solve (DESIGN.md §3.12). 0 inherits
+  /// SchemeContext::num_shards (itself 0 by default = classic unsharded
+  /// planning); 1 runs the sharded orchestration with a single shard, which
+  /// is bit-identical to the unsharded path; >= 2 partitions the hotspots
+  /// into that many geo zones, solves each zone independently, and
+  /// reconciles boundary residuals with one cross-shard exchange round.
+  /// Values above the hotspot count are clamped. Incompatible with online
+  /// mode (the cross-slot scaffold lives in one process).
+  std::size_t num_shards = 0;
+  /// Fork children (production model) or solve shards sequentially
+  /// in-process (differential oracle; also what nested callers inside a
+  /// thread pool should use). Both are bit-identical.
+  ShardExecutor shard_executor = ShardExecutor::kFork;
 };
 
 class RbcaerScheme final : public RedirectionScheme {
@@ -143,6 +158,14 @@ class RbcaerScheme final : public RedirectionScheme {
     /// 1 when this slot was started via the cross-slot scaffold patch
     /// (config.online and membership unchanged), else 0.
     std::size_t online_patches = 0;
+    /// Sharded-path observability; all zero when the slot ran unsharded.
+    std::size_t shards = 0;
+    std::size_t boundary_hotspots = 0;
+    std::int64_t exchange_moved = 0;  // units committed by the exchange round
+    double shard_wall_s = 0.0;        // executor phase (fork -> all collected)
+    double exchange_s = 0.0;          // exchange arc build + solve + commit
+    std::vector<double> shard_flow_s;  // per shard: child graph_s + mcmf_s
+    std::vector<double> shard_rss_mb;  // per shard child peak RSS (kFork)
   };
   [[nodiscard]] const Diagnostics& last_diagnostics() const noexcept {
     return diagnostics_;
@@ -154,6 +177,13 @@ class RbcaerScheme final : public RedirectionScheme {
   void redirect_local_misses(const SchemeContext& context,
                              std::span<const Request> requests,
                              SlotPlan& plan) const;
+
+  /// Sharded replacement for the clustering + flow phases: partition the
+  /// hotspots into `num_shards` geo zones (cached across slots), solve each
+  /// zone via solve_sharded, and return the committed flows in global ids.
+  [[nodiscard]] std::vector<FlowEntry> plan_shard_flows(
+      const SchemeContext& context, const SlotDemand& demand,
+      HotspotPartition& partition, std::size_t num_shards);
 
   /// Pool for the Jd matrix build, lazily created on first use when
   /// config_.jd_threads != 1; nullptr means build serially. Clones start
@@ -176,6 +206,15 @@ class RbcaerScheme final : public RedirectionScheme {
   /// path stops allocating a fresh vector per slot (the sweeper copies
   /// into its own arena-backed storage in begin_slot).
   std::vector<CandidateEdge> candidate_buf_;
+  /// Geo shard plan, recomputed only when the shard count or the hotspot
+  /// set changes (hotspot geometry is fixed across a run's slots).
+  struct ShardPlanCache {
+    std::size_t num_shards = 0;
+    GeoPoint first{}, last{};  // cheap fingerprint of the hotspot set
+    ShardAssignment assignment;
+    std::vector<std::uint8_t> boundary;
+  };
+  ShardPlanCache shard_plan_;
 };
 
 }  // namespace ccdn

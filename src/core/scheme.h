@@ -57,6 +57,10 @@ struct SchemeContext {
   const GridIndex& hotspot_index;
   VideoCatalog catalog;
   double cdn_distance_km = kCdnDistanceKm;
+  /// Simulation-wide shard count for schemes that support zone-sharded
+  /// planning (DESIGN.md §3.12). 0 = unsharded. Schemes may override via
+  /// their own config; schemes without a sharded path ignore it.
+  std::size_t num_shards = 0;
 };
 
 /// One slot's joint decision.

@@ -1,0 +1,132 @@
+// Zone-sharded flow-solve orchestration (DESIGN.md §3.12).
+//
+// Given a slot's global HotspotPartition and a geo shard assignment
+// (geo/zone_partition.h), solve_sharded():
+//
+//   1. runs a caller-supplied per-shard solve — flat RBCAer's θ sweep or
+//      the virtual scheme's regional loop, restricted to one shard's
+//      hotspots — for every shard, either in forked child processes
+//      (util/fork_run.h, the production model: per-shard address spaces are
+//      the path to per-machine shards) or in-process (for callers already
+//      running inside a thread pool, and as the fork path's differential
+//      oracle — both executors produce bit-identical results because the
+//      per-shard solve is a pure function of the slot inputs);
+//   2. commits every shard-local flow against the caller's global
+//      partition slack, exactly like the unsharded absorb loop;
+//   3. runs a θ-swept exchange over the residuals: boundary senders (the
+//      hotspots whose candidate radius crosses a shard cut, so their local
+//      solve was blind to receivers across it) offer their remaining
+//      overload to the residual slack of every hotspot within the exchange
+//      radius — in any shard, the sender's own included. The reduced
+//      network (flow/exchange.h) is re-solved at increasing distance
+//      radii (θ1, θ1+δ, … up to the exchange radius), mirroring the global
+//      sweep's closest-first commitment discipline; a single max-flow at
+//      the full radius would move strictly more traffic than the global
+//      solve and inflate the optimality gap.
+//
+// The caller's partition.phi ends up accounting for every committed unit,
+// so the merged flow list satisfies the same audit_flow_entries contract as
+// an unsharded slot. Per-shard locality and exchange boundary-sender
+// structure are audited via verify/shard_audit.h (checked builds, audit
+// level >= kPlan).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/balance_graph.h"
+#include "flow/mcmf.h"
+#include "geo/zone_partition.h"
+#include "model/types.h"
+#include "verify/audit.h"
+
+namespace ccdn {
+
+/// How the per-shard solves execute.
+enum class ShardExecutor : std::uint8_t {
+  /// One forked child process per shard, results serialized back over a
+  /// pipe (util/fork_run.h). The production model.
+  kFork,
+  /// Run the shard solves sequentially in the calling process. For callers
+  /// inside a thread pool (the parallel simulator's clone lanes) and as the
+  /// fork executor's differential oracle.
+  kInProcess,
+};
+
+/// What one shard's local solve returns. Flows are in GLOBAL hotspot ids;
+/// the timing fields are child-measured (so under kFork they exclude fork
+/// and serialization overhead — that lives in ShardedSolveOutcome's wall
+/// clock).
+struct ShardFlowResult {
+  std::vector<FlowEntry> flows;
+  std::int64_t moved = 0;
+  std::size_t num_clusters = 0;
+  std::size_t guide_nodes = 0;
+  std::size_t theta_iterations = 0;
+  double gc_build_s = 0.0;  // content clustering
+  double graph_s = 0.0;     // candidate + Gd/Gc construction
+  double mcmf_s = 0.0;      // augmentation
+  /// Child peak RSS, filled by the orchestrator under kFork (0 in-process).
+  double peak_rss_mb = 0.0;
+};
+
+/// Exact byte round-trip for the pipe channel (exposed for tests; doubles
+/// travel as raw bit patterns, so determinism survives the hop).
+[[nodiscard]] std::vector<std::uint8_t> serialize_shard_result(
+    const ShardFlowResult& result);
+[[nodiscard]] ShardFlowResult deserialize_shard_result(
+    std::span<const std::uint8_t> bytes);
+
+struct ShardedSolveOptions {
+  ShardExecutor executor = ShardExecutor::kFork;
+  /// Arc radius of the exchange round; the schemes pass θ2 so the exchange
+  /// sees exactly the receiver neighbourhood the global solve would have
+  /// offered these senders.
+  double exchange_radius_km = 1.5;
+  /// θ grid of the exchange rounds (the schemes pass θ1/δ): the exchange
+  /// sweeps radii θ1, θ1+δ, … up to exchange_radius_km, committing after
+  /// each round, mirroring the global sweep's closer-arcs-first movement
+  /// discipline. Non-positive values collapse to a single round at the
+  /// full radius.
+  double exchange_theta1_km = 0.0;
+  double exchange_theta_step_km = 0.0;
+  McmfStrategy exchange_strategy = McmfStrategy::kSpfa;
+  AuditLevel audit_level = AuditLevel::kOff;
+};
+
+struct ShardedSolveOutcome {
+  /// Shard flows (in shard order) followed by exchange flows; not yet
+  /// merged per pair — callers run merge_flow_entries like the unsharded
+  /// path.
+  std::vector<FlowEntry> flows;
+  /// Per-shard results with their flows intact (diagnostics and benches).
+  std::vector<ShardFlowResult> shards;
+  std::vector<FlowEntry> exchange_flows;
+  std::int64_t moved = 0;           // total committed, exchange included
+  std::int64_t exchange_moved = 0;  // exchange round's share
+  std::size_t boundary_hotspots = 0;
+  /// Wall time of the executor phase (fork → every shard result collected).
+  double shard_wall_s = 0.0;
+  /// Wall time of the exchange round (arc build + reduced solve + commit).
+  double exchange_s = 0.0;
+};
+
+/// The per-shard solve: given a shard id, produce that shard's local flow
+/// result. Must be a pure function of the slot inputs (it runs in a forked
+/// child under kFork, so side effects would be lost anyway — the pipe
+/// result is the only channel back).
+using ShardSolveFn = std::function<ShardFlowResult(std::uint32_t shard)>;
+
+/// Run the sharded solve + exchange round described above. `partition` is
+/// the slot's global partition; its phi values are decremented in place for
+/// every committed flow. `boundary` is the mask from boundary_hotspots()
+/// at the exchange radius.
+[[nodiscard]] ShardedSolveOutcome solve_sharded(
+    std::span<const Hotspot> hotspots, const GridIndex& index,
+    HotspotPartition& partition, const ShardAssignment& assignment,
+    std::span<const std::uint8_t> boundary,
+    const ShardedSolveOptions& options, const ShardSolveFn& solve_shard);
+
+}  // namespace ccdn

@@ -9,9 +9,13 @@
 #include "cluster/hierarchical.h"
 #include "core/balance_graph.h"
 #include "core/replication.h"
+#include "core/shard_solver.h"
 #include "geo/geo_point.h"
+#include "geo/grid_index.h"
+#include "geo/zone_partition.h"
 #include "model/topsets.h"
 #include "util/error.h"
+#include "util/stopwatch.h"
 #include "verify/flow_audit.h"
 #include "verify/schedule_audit.h"
 
@@ -53,6 +57,48 @@ std::pair<std::vector<std::uint32_t>, std::size_t> partition_regions(
     label[h] = it->second;
   }
   return {std::move(label), cell_label.size()};
+}
+
+/// The region-level cold θ loop: candidate edges over a centroid index,
+/// Gc/Gd per θ, flows committed against the given partition. Shared by the
+/// unsharded path and every shard's local solve (shard=1 stays
+/// bit-identical).
+struct RegionalSweepResult {
+  std::vector<FlowEntry> flows;
+  std::int64_t moved = 0;
+};
+
+RegionalSweepResult regional_flow_sweep(
+    const RbcaerConfig& rc, std::span<const Hotspot> hotspots,
+    HotspotPartition& partition, std::int64_t max_movable,
+    std::span<const std::uint32_t> cluster_of) {
+  RegionalSweepResult out;
+  // Radius queries against a centroid index, like the flat scheme (the
+  // pair-scan candidate_edges_pairscan overload is test-only).
+  std::vector<GeoPoint> centroids;
+  centroids.reserve(hotspots.size());
+  for (const auto& vh : hotspots) centroids.push_back(vh.location);
+  const GridIndex region_index(std::move(centroids),
+                               std::max(rc.theta2_km / 2.0, 1e-3));
+  const auto candidates =
+      candidate_edges(hotspots, partition, rc.theta2_km, region_index);
+  double theta = rc.theta1_km;
+  while (theta <= rc.theta2_km + 1e-9 && out.moved < max_movable) {
+    BalanceGraph graph =
+        rc.content_aggregation
+            ? build_gc(partition, candidates, theta, cluster_of, rc.guide)
+            : build_gd(partition, candidates, theta);
+    (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
+                                rc.mcmf_strategy);
+    for (const auto& f : extract_flows(graph)) {
+      out.flows.push_back(f);
+      partition.phi[f.from] -= f.amount;
+      partition.phi[f.to] -= f.amount;
+      out.moved += f.amount;
+    }
+    theta += rc.delta_km;
+  }
+  return out;
 }
 
 }  // namespace
@@ -132,31 +178,85 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
 
   std::vector<FlowEntry> region_flows;
   if (diagnostics_.region_max_movable > 0) {
-    // Radius queries against a centroid index, like the flat scheme (the
-    // pair-scan candidate_edges_pairscan overload is test-only).
-    std::vector<GeoPoint> centroids;
-    centroids.reserve(num_regions);
-    for (const auto& vh : virtual_hotspots) centroids.push_back(vh.location);
-    const GridIndex region_index(std::move(centroids),
-                                 std::max(rc.theta2_km / 2.0, 1e-3));
-    const auto candidates = candidate_edges(virtual_hotspots, partition,
-                                            rc.theta2_km, region_index);
-    double theta = rc.theta1_km;
-    while (theta <= rc.theta2_km + 1e-9 &&
-           diagnostics_.region_moved < diagnostics_.region_max_movable) {
-      BalanceGraph graph =
-          rc.content_aggregation
-              ? build_gc(partition, candidates, theta, cluster_of, rc.guide)
-              : build_gd(partition, candidates, theta);
-      (void)MinCostMaxFlow::solve(graph.net, graph.source, graph.sink,
-                                  rc.mcmf_strategy);
-      for (const auto& f : extract_flows(graph)) {
-        region_flows.push_back(f);
-        partition.phi[f.from] -= f.amount;
-        partition.phi[f.to] -= f.amount;
-        diagnostics_.region_moved += f.amount;
+    // Zone-sharded regional solve (DESIGN.md §3.12): the region centroids
+    // shard exactly like flat hotspots do, with the global cluster labels
+    // restricted per shard (labels are only grouping keys, so restriction
+    // preserves the Gc structure within a shard).
+    const std::size_t num_shards = std::min(
+        rc.num_shards != 0 ? rc.num_shards : context.num_shards, num_regions);
+    if (num_shards >= 1) {
+      std::vector<GeoPoint> centroids;
+      centroids.reserve(num_regions);
+      for (const auto& vh : virtual_hotspots) {
+        centroids.push_back(vh.location);
       }
-      theta += rc.delta_km;
+      const ShardAssignment assignment =
+          partition_zones(centroids, num_shards);
+      const GridIndex region_index(centroids,
+                                   std::max(rc.theta2_km / 2.0, 1e-3));
+      const std::vector<std::uint8_t> boundary = boundary_hotspots(
+          centroids, assignment, rc.theta2_km, region_index);
+      ShardedSolveOptions options;
+      options.executor = rc.shard_executor;
+      options.exchange_radius_km = rc.theta2_km;
+      options.exchange_theta1_km = rc.theta1_km;
+      options.exchange_theta_step_km = rc.delta_km;
+      options.exchange_strategy = rc.mcmf_strategy;
+      options.audit_level = rc.audit_level;
+      const auto& cluster_labels = cluster_of;
+      ShardedSolveOutcome outcome = solve_sharded(
+          virtual_hotspots, region_index, partition, assignment, boundary,
+          options, [&](std::uint32_t s) {
+            const auto& mem = assignment.members[s];
+            std::vector<Hotspot> sub;
+            sub.reserve(mem.size());
+            std::vector<std::vector<VideoDemand>> sub_videos;
+            sub_videos.reserve(mem.size());
+            std::vector<std::uint32_t> sub_clusters;
+            sub_clusters.reserve(mem.size());
+            for (const std::uint32_t r : mem) {
+              sub.push_back(virtual_hotspots[r]);
+              const auto videos =
+                  regional.video_demand(static_cast<HotspotIndex>(r));
+              sub_videos.emplace_back(videos.begin(), videos.end());
+              sub_clusters.push_back(cluster_labels[r]);
+            }
+            const SlotDemand local(std::move(sub_videos));
+            std::vector<std::uint32_t> sub_loads(mem.size());
+            for (std::size_t i = 0; i < mem.size(); ++i) {
+              sub_loads[i] = local.load(static_cast<HotspotIndex>(i));
+            }
+            HotspotPartition sub_partition =
+                HotspotPartition::from_loads(sub, sub_loads);
+            ShardFlowResult out;
+            // Thread-CPU time, not wall: on a box with fewer cores than
+            // shards the forked children time-slice and wall time inflates
+            // with the shard count, while CPU time stays the per-shard cost
+            // a dedicated core would pay.
+            const ThreadCpuStopwatch clock;
+            RegionalSweepResult swept =
+                regional_flow_sweep(rc, sub, sub_partition,
+                                    sub_partition.max_movable(), sub_clusters);
+            out.mcmf_s = clock.elapsed_seconds();
+            out.moved = swept.moved;
+            out.flows = std::move(swept.flows);
+            for (FlowEntry& f : out.flows) {
+              f.from = mem[f.from];
+              f.to = mem[f.to];
+            }
+            return out;
+          });
+      diagnostics_.region_moved = outcome.moved;
+      diagnostics_.shards = num_shards;
+      diagnostics_.boundary_regions = outcome.boundary_hotspots;
+      diagnostics_.exchange_moved = outcome.exchange_moved;
+      region_flows = std::move(outcome.flows);
+    } else {
+      RegionalSweepResult swept =
+          regional_flow_sweep(rc, virtual_hotspots, partition,
+                              diagnostics_.region_max_movable, cluster_of);
+      diagnostics_.region_moved = swept.moved;
+      region_flows = std::move(swept.flows);
     }
   }
   merge_flow_entries(region_flows);

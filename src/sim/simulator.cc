@@ -212,7 +212,7 @@ SimulationReport Simulator::run(RedirectionScheme& scheme,
                "offline probability outside [0,1)");
   SimulationReport report(catalog_.num_videos, config_.cdn_distance_km);
   const SchemeContext context{hotspots_, index_, catalog_,
-                              config_.cdn_distance_km};
+                              config_.cdn_distance_km, config_.num_shards};
 
   // Churn masks are drawn on the pulling thread in slot order, with the
   // same per-slot draw count no matter how slots are later scheduled

@@ -75,6 +75,12 @@ struct SimulationConfig {
   /// Doubles the planning work; off by default, meant for tests and the
   /// differential suites. Schemes without clone() are skipped.
   bool verify_clone_purity = false;
+  /// Zone-sharded planning (DESIGN.md §3.12), forwarded to the schemes via
+  /// SchemeContext::num_shards. 0 = unsharded; 1 = sharded orchestration
+  /// with one shard (bit-identical to unsharded); >= 2 = real sharding.
+  /// Schemes without a sharded path ignore it, and a scheme's own
+  /// num_shards config overrides it.
+  std::size_t num_shards = 0;
 };
 
 struct SlotMetrics {

@@ -1,0 +1,65 @@
+#include "verify/shard_audit.h"
+
+#include <string>
+
+namespace ccdn {
+
+void audit_shard_flows(std::span<const FlowEntry> flows,
+                       std::span<const std::uint32_t> shard_of,
+                       std::uint32_t shard, AuditReport& report) {
+  for (const FlowEntry& f : flows) {
+    if (f.amount <= 0) {
+      report.add("shard-flow-nonpositive",
+                 "flow " + std::to_string(f.from) + "->" +
+                     std::to_string(f.to) + " amount " +
+                     std::to_string(f.amount));
+      continue;
+    }
+    if (f.from >= shard_of.size() || f.to >= shard_of.size()) {
+      report.add("shard-endpoint-range",
+                 "flow " + std::to_string(f.from) + "->" +
+                     std::to_string(f.to) + " outside hotspot range");
+      continue;
+    }
+    if (shard_of[f.from] != shard || shard_of[f.to] != shard) {
+      report.add("shard-locality",
+                 "shard " + std::to_string(shard) + " flow " +
+                     std::to_string(f.from) + " (shard " +
+                     std::to_string(shard_of[f.from]) + ") -> " +
+                     std::to_string(f.to) + " (shard " +
+                     std::to_string(shard_of[f.to]) + ")");
+    }
+  }
+}
+
+void audit_exchange_flows(std::span<const FlowEntry> flows,
+                          std::span<const std::uint32_t> shard_of,
+                          std::span<const std::uint8_t> boundary,
+                          AuditReport& report) {
+  for (const FlowEntry& f : flows) {
+    if (f.amount <= 0) {
+      report.add("exchange-flow-nonpositive",
+                 "flow " + std::to_string(f.from) + "->" +
+                     std::to_string(f.to) + " amount " +
+                     std::to_string(f.amount));
+      continue;
+    }
+    if (f.from >= shard_of.size() || f.to >= shard_of.size()) {
+      report.add("exchange-endpoint-range",
+                 "flow " + std::to_string(f.from) + "->" +
+                     std::to_string(f.to) + " outside hotspot range");
+      continue;
+    }
+    // The exchange round re-decides boundary *senders*: their arcs may
+    // land in any shard (own included — a re-committed local move), so
+    // only the sender side carries a structural obligation.
+    if (boundary[f.from] == 0) {
+      report.add("exchange-not-boundary",
+                 "flow " + std::to_string(f.from) + "->" +
+                     std::to_string(f.to) +
+                     " sent from a non-boundary hotspot");
+    }
+  }
+}
+
+}  // namespace ccdn

@@ -1,0 +1,41 @@
+// Sharded-plan invariant audits (zone-sharded scheduler, DESIGN.md §3.12).
+//
+// The sharded orchestration makes structural promises beyond what
+// audit_flow_entries checks on the merged plan: each shard's flows stay
+// inside that shard, and every exchange-round flow is *sent* by a boundary
+// hotspot (the exchange round matches boundary senders' residual overload
+// against global residual slack, so its receivers may sit in any shard,
+// the sender's own included). These audits
+// verify exactly those promises; the merged plan then goes through the
+// ordinary audit_flow_entries / audit_slot_plan pipeline (the global
+// slack, capacity and budget contracts are shard-agnostic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/balance_graph.h"
+#include "verify/audit.h"
+
+namespace ccdn {
+
+/// Flows returned by one shard's local solve, in global hotspot ids:
+///  - positive amounts ("shard-flow-nonpositive"),
+///  - endpoints inside `shard_of` ("shard-endpoint-range"),
+///  - both endpoints in shard `shard` ("shard-locality").
+void audit_shard_flows(std::span<const FlowEntry> flows,
+                       std::span<const std::uint32_t> shard_of,
+                       std::uint32_t shard, AuditReport& report);
+
+/// Flows of the cross-shard exchange round:
+///  - positive amounts ("exchange-flow-nonpositive"),
+///  - endpoints inside `shard_of` ("exchange-endpoint-range"),
+///  - the sender flagged in the `boundary` mask ("exchange-not-boundary");
+///    receivers are unconstrained — the round matches residual overload to
+///    global residual slack, so a flow may stay inside the sender's shard.
+void audit_exchange_flows(std::span<const FlowEntry> flows,
+                          std::span<const std::uint32_t> shard_of,
+                          std::span<const std::uint8_t> boundary,
+                          AuditReport& report);
+
+}  // namespace ccdn

@@ -5,7 +5,7 @@
 //             [--hotspots=310] [--videos=15190] [--requests=20000]
 //             [--hours=24] [--seed=42] [--slot-seconds=3600]
 //             [--capacity=0.05] [--cache=0.03] [--stream] [--online]
-//             [--quiet]
+//             [--shards=0] [--quiet]
 //
 // Without --in a synthetic trace is generated from the world flags (the
 // same parameterization as `ccdn-trace generate`), so the tool is
@@ -56,18 +56,21 @@ struct SchemeChoice {
   bool audit_capacity = false;
 };
 
-SchemeChoice make_scheme(const std::string& name, bool online) {
+SchemeChoice make_scheme(const std::string& name, bool online,
+                         std::size_t shards) {
   SchemeChoice choice;
   if (name == "rbcaer") {
     RbcaerConfig config;
     config.audit_level = AuditLevel::kFull;
     config.online = online;
+    config.num_shards = shards;
     choice.scheme = std::make_unique<RbcaerScheme>(config);
     choice.audit_capacity = true;
   } else if (name == "virtual") {
     VirtualRbcaerConfig config;
     config.regional.audit_level = AuditLevel::kFull;
     config.regional.online = online;
+    config.regional.num_shards = shards;
     choice.scheme = std::make_unique<VirtualRbcaerScheme>(config);
     choice.audit_capacity = true;
   } else if (name == "nearest") {
@@ -88,7 +91,12 @@ int main(int argc, char** argv) {
   // the point: the patched path must produce plans the full audit stack
   // cannot tell from the rebuild path's.
   const bool online = flags.get_bool("online", false);
-  SchemeChoice choice = make_scheme(scheme_name, online);
+  // Zone-sharded planning: every shard's plan flows through the same full
+  // audit stack as the unsharded path (plus the shard-locality and
+  // exchange-boundary audits inside the orchestrator).
+  const auto shards =
+      static_cast<std::size_t>(flags.get_int("shards", 0));
+  SchemeChoice choice = make_scheme(scheme_name, online, shards);
   if (!choice.scheme) {
     std::fprintf(stderr,
                  "unknown --scheme=%s (rbcaer|virtual|nearest|random)\n",

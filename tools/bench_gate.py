@@ -31,12 +31,21 @@ informationally (new benchmarks are fine; vanished ones deserve a look)
 but do not fail the gate — renaming a benchmark therefore silently drops
 its coverage, so renames should regenerate the baseline in the same PR.
 
+--only restricts gating to one metric kind: "rss" is the right mode for
+cross-machine CI (peak RSS is stable across runner speeds, wall time is
+not), "wall" for same-machine trend checks. --prefix (repeatable)
+restricts gating to rows whose name starts with one of the given
+prefixes, e.g. --prefix sharding/ --prefix online/ to gate only those
+BENCH_flow.json sections.
+
 Exit status: 0 green, 1 regression(s) past tolerance, 2 usage/IO error.
 
 Usage:
   python3 tools/bench_gate.py BENCH_micro.json fresh_micro.json
   python3 tools/bench_gate.py BENCH_flow.json fresh_flow.json \
       --no-calibrate --tolerance 0.15
+  python3 tools/bench_gate.py BENCH_stream.json fresh_stream.json \
+      --only rss
 """
 
 from __future__ import annotations
@@ -121,10 +130,27 @@ def main() -> int:
         "--no-calibrate", action="store_true",
         help="skip median-ratio machine calibration of wall metrics",
     )
+    parser.add_argument(
+        "--only", choices=("all", "wall", "rss"), default="all",
+        help="gate only this metric kind (rss is machine-independent, so "
+        "it is the mode for cross-machine CI)",
+    )
+    parser.add_argument(
+        "--prefix", action="append", default=None, metavar="NAME_PREFIX",
+        help="gate only metrics whose row name starts with this prefix "
+        "(repeatable; default: all rows)",
+    )
     args = parser.parse_args()
 
     base = load_metrics(args.baseline)
     cur = load_metrics(args.current)
+    if args.only != "all":
+        base = {m: v for m, v in base.items() if v[1] == args.only}
+        cur = {m: v for m, v in cur.items() if v[1] == args.only}
+    if args.prefix:
+        prefixes = tuple(args.prefix)
+        base = {m: v for m, v in base.items() if m.startswith(prefixes)}
+        cur = {m: v for m, v in cur.items() if m.startswith(prefixes)}
     shared = sorted(set(base) & set(cur))
     if not shared:
         print(

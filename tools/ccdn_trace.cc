@@ -173,6 +173,10 @@ int cmd_simulate(const Flags& flags) {
       static_cast<std::size_t>(flags.get_int("threads", 1));
   sim_config.max_inflight_slots =
       static_cast<std::size_t>(flags.get_int("window", 0));
+  // Zone-sharded planning (0 = unsharded); the RBCAer family inherits it
+  // via SchemeContext, the stateless baselines ignore it.
+  sim_config.num_shards =
+      static_cast<std::size_t>(flags.get_int("shards", 0));
   const Simulator simulator(world.hotspots(),
                             VideoCatalog{world.config().num_videos},
                             sim_config);

@@ -20,9 +20,9 @@
 // 1500-video world at seed 7, uniform 5%/3% capacities, a 6000-request
 // 24 h trace at seed 7, hourly slots. Digests are the FNV-1a plan digests
 // the simulator records whenever audit_level != kOff, so this harness
-// pins the exact (assignment, placements) decisions of all four schemes —
-// any change to the solver pipeline that alters a single slot's plan shows
-// up as a named scheme/slot mismatch.
+// pins the exact (assignment, placements) decisions of every pinned scheme
+// variant — any change to the solver pipeline that alters a single slot's
+// plan shows up as a named scheme/slot mismatch.
 //
 // Exit status: 0 clean, 1 drift detected, 2 usage/IO errors.
 #include <cctype>
@@ -65,17 +65,42 @@ constexpr std::int64_t kSlotSeconds = 3600;
 const char* const kSchemes[] = {"nearest",        "random",
                                 "rbcaer",         "virtual",
                                 "nearest-online", "random-online",
-                                "rbcaer-online",  "virtual-online"};
+                                "rbcaer-online",  "virtual-online",
+                                "rbcaer-shard2",  "virtual-shard2",
+                                "rbcaer-shard4",  "virtual-shard4"};
 
-// The "-int" variants run the fixed-point integer-cost MCMF engine
-// (RbcaerConfig::integer_costs). They are deliberately NOT pinned in the
-// golden file: the integer engine's contract is plan equality with the
-// double engine under the default SPFA strategy (exact at this workload's
-// scale, where no two distinct path costs collapse into one cost quantum —
-// DESIGN.md §3.11), not an independent digest lineage. Each run recomputes
-// both sides and compares plans fresh, so the gate survives intentional
-// double-engine changes without an extra regeneration step.
-const char* const kIntVariants[] = {"rbcaer-int", "virtual-int"};
+// Runtime plan-equality contracts checked on every run, in addition to the
+// pinned golden comparison. Each row holds a variant's freshly computed
+// per-slot digests to its base scheme's freshly computed ones — never to a
+// pinned lineage of its own, so the gates survive intentional base-scheme
+// changes without an extra regeneration step.
+//
+//   "-online":  the cross-slot online scheduler's bit-identity promise
+//               (DESIGN.md §3.10). These variants are also pinned above;
+//               the explicit pair check names the broken contract even
+//               before the golden file is consulted.
+//   "-int":     the fixed-point integer-cost engine's plan equality with
+//               the double engine (exact at this workload's scale —
+//               DESIGN.md §3.11). Not pinned.
+//   "-shard1":  the zone-sharded orchestration with a single shard must be
+//               bit-identical to the unsharded path (DESIGN.md §3.12) —
+//               the fork + pipe + sub-instance rebuild hop may not change
+//               a single plan bit. Not pinned.
+struct VariantCheck {
+  const char* variant;
+  const char* base;
+  const char* contract;
+};
+const VariantCheck kVariantChecks[] = {
+    {"nearest-online", "nearest", "online bit-identity"},
+    {"random-online", "random", "online bit-identity"},
+    {"rbcaer-online", "rbcaer", "online bit-identity"},
+    {"virtual-online", "virtual", "online bit-identity"},
+    {"rbcaer-int", "rbcaer", "integer plan-equality"},
+    {"virtual-int", "virtual", "integer plan-equality"},
+    {"rbcaer-shard1", "rbcaer", "shard=1 bit-identity"},
+    {"virtual-shard1", "virtual", "shard=1 bit-identity"},
+};
 
 SchemePtr make_scheme(const std::string& name) {
   constexpr std::string_view kOnlineSuffix = "-online";
@@ -83,6 +108,21 @@ SchemePtr make_scheme(const std::string& name) {
   std::string base = name;
   bool online = false;
   bool integer = false;
+  // "-shard<N>" selects the zone-sharded solve with N shards.
+  std::size_t shards = 0;
+  const std::size_t shard_pos = base.rfind("-shard");
+  if (shard_pos != std::string::npos && shard_pos + 6 < base.size()) {
+    bool digits = true;
+    for (std::size_t i = shard_pos + 6; i < base.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(base[i])) == 0) {
+        digits = false;
+      }
+    }
+    if (digits) {
+      shards = std::strtoull(base.c_str() + shard_pos + 6, nullptr, 10);
+      base.resize(shard_pos);
+    }
+  }
   if (base.size() > kIntSuffix.size() &&
       base.compare(base.size() - kIntSuffix.size(), kIntSuffix.size(),
                    kIntSuffix) == 0) {
@@ -101,81 +141,17 @@ SchemePtr make_scheme(const std::string& name) {
     RbcaerConfig config;
     config.online = online;
     config.integer_costs = integer;
+    config.num_shards = shards;
     return std::make_unique<RbcaerScheme>(config);
   }
   if (base == "virtual") {
     VirtualRbcaerConfig config;
     config.regional.online = online;
     config.regional.integer_costs = integer;
+    config.regional.num_shards = shards;
     return std::make_unique<VirtualRbcaerScheme>(config);
   }
   return nullptr;
-}
-
-/// Compare every "-online" digest array against its base scheme's; any
-/// difference is a violation of the online scheduler's bit-identity
-/// contract. Returns the number of mismatching scheme pairs.
-std::size_t check_online_identity(
-    const std::vector<std::pair<std::string, std::vector<std::uint64_t>>>&
-        digests) {
-  const auto find = [&](const std::string& name)
-      -> const std::vector<std::uint64_t>* {
-    for (const auto& entry : digests) {
-      if (entry.first == name) return &entry.second;
-    }
-    return nullptr;
-  };
-  std::size_t mismatches = 0;
-  for (const auto& entry : digests) {
-    const std::string& name = entry.first;
-    if (name.size() < 8 || name.substr(name.size() - 7) != "-online") {
-      continue;
-    }
-    const auto* base = find(name.substr(0, name.size() - 7));
-    if (base == nullptr || *base != entry.second) {
-      std::fprintf(stderr,
-                   "golden_digests: %s plans diverge from the rebuild "
-                   "path's (online bit-identity broken)\n",
-                   name.c_str());
-      ++mismatches;
-    }
-  }
-  return mismatches;
-}
-
-/// Plan-equality gate for the fixed-point engine: every "-int" variant's
-/// freshly computed per-slot plan digests must equal its base scheme's
-/// freshly computed ones. The digest is a pure function of the plan
-/// (assignment, placements), and both sides are recomputed in-process every
-/// run, so this compares plans — it never holds the integer engine to a
-/// pinned digest lineage of its own. Returns the mismatching pair count.
-std::size_t check_int_plan_equality(
-    const std::vector<std::pair<std::string, std::vector<std::uint64_t>>>&
-        digests) {
-  const auto find = [&](const std::string& name)
-      -> const std::vector<std::uint64_t>* {
-    for (const auto& entry : digests) {
-      if (entry.first == name) return &entry.second;
-    }
-    return nullptr;
-  };
-  std::size_t mismatches = 0;
-  for (const auto& entry : digests) {
-    const std::string& name = entry.first;
-    if (name.size() < 5 || name.substr(name.size() - 4) != "-int") continue;
-    const auto* base = find(name.substr(0, name.size() - 4));
-    if (base == nullptr || *base != entry.second) {
-      std::fprintf(stderr,
-                   "golden_digests: %s plans diverge from the double "
-                   "engine's (integer plan-equality broken)\n",
-                   name.c_str());
-      ++mismatches;
-    } else {
-      std::printf("golden_digests: %s plans equal the double engine's\n",
-                  name.c_str());
-    }
-  }
-  return mismatches;
 }
 
 std::vector<std::uint64_t> compute_digests(const std::string& scheme_name,
@@ -266,10 +242,16 @@ int main(int argc, char** argv) {
   const std::string check_path = flags.get_string("check", "");
   const std::string regen_path = flags.get_string("regenerate", "");
   const std::string perturb = flags.get_string("perturb", "");
+  // Substring filter for check mode: only schemes / variant contracts whose
+  // name contains it are recomputed (base schemes a surviving contract
+  // needs are computed on demand). Lets CI matrix jobs run e.g.
+  // --only=shard without paying for the full scheme set.
+  const std::string only = flags.get_string("only", "");
   if (check_path.empty() == regen_path.empty()) {
     std::fprintf(stderr,
                  "usage: golden_digests --check=<golden.json> "
-                 "[--perturb=<scheme>] | --regenerate=<golden.json>\n");
+                 "[--perturb=<scheme>] [--only=<substring>] | "
+                 "--regenerate=<golden.json>\n");
     return 2;
   }
 
@@ -286,25 +268,53 @@ int main(int argc, char** argv) {
   const auto trace = generate_trace(world, trace_config);
 
   try {
+    // Memoized digest computation, so variant contracts can pull in base
+    // schemes a filter excluded without recomputing anything twice.
+    std::vector<std::pair<std::string, std::vector<std::uint64_t>>> computed;
+    const auto digests_of =
+        [&](const std::string& name) -> std::vector<std::uint64_t> {
+      for (const auto& entry : computed) {
+        if (entry.first == name) return entry.second;
+      }
+      computed.emplace_back(name, compute_digests(name, world, trace));
+      return computed.back().second;
+    };
+    std::size_t variants_checked = 0;
+    const auto check_variants = [&](const std::string& filter) {
+      std::size_t bad = 0;
+      for (const VariantCheck& check : kVariantChecks) {
+        const std::string variant(check.variant);
+        if (!filter.empty() && variant.find(filter) == std::string::npos) {
+          continue;
+        }
+        ++variants_checked;
+        if (digests_of(variant) == digests_of(check.base)) {
+          std::printf("golden_digests: %s plans equal %s's (%s holds)\n",
+                      check.variant, check.base, check.contract);
+        } else {
+          std::fprintf(stderr,
+                       "golden_digests: %s plans diverge from %s's "
+                       "(%s broken)\n",
+                       check.variant, check.base, check.contract);
+          ++bad;
+        }
+      }
+      return bad;
+    };
+
     if (!regen_path.empty()) {
       std::vector<std::pair<std::string, std::vector<std::uint64_t>>> all;
       for (const char* name : kSchemes) {
-        all.emplace_back(name, compute_digests(name, world, trace));
+        all.emplace_back(name, digests_of(name));
         std::printf("golden_digests: %s -> %zu slot digest(s)\n", name,
                     all.back().second.size());
       }
-      // The -int variants ride along as a runtime plan-equality check but
-      // are never written to (or read from) the golden file.
-      std::vector<std::pair<std::string, std::vector<std::uint64_t>>>
-          with_int = all;
-      for (const char* name : kIntVariants) {
-        with_int.emplace_back(name, compute_digests(name, world, trace));
-      }
-      if (check_online_identity(all) != 0 ||
-          check_int_plan_equality(with_int) != 0) {
+      // All variant contracts ride along (unfiltered); never write a golden
+      // file from a tree whose equality promises are already broken.
+      if (check_variants("") != 0) {
         std::fprintf(stderr,
                      "golden_digests: refusing to write a golden file with "
-                     "online/base or int/double divergence\n");
+                     "a broken variant contract\n");
         return 1;
       }
       write_golden(regen_path, all);
@@ -323,19 +333,19 @@ int main(int argc, char** argv) {
     const std::string text = buffer.str();
 
     std::size_t mismatches = 0;
-    // Freshly computed (pre-perturb) digests, kept for the online-vs-base
-    // identity cross-check after the golden comparison.
-    std::vector<std::pair<std::string, std::vector<std::uint64_t>>> computed;
-    for (const char* name : kSchemes) {
+    std::size_t checked = 0;
+    for (const char* name_cstr : kSchemes) {
+      const std::string name(name_cstr);
+      if (!only.empty() && name.find(only) == std::string::npos) continue;
+      ++checked;
       std::vector<std::uint64_t> expected;
       if (!scan_golden(text, name, expected)) {
         std::fprintf(stderr, "golden_digests: scheme '%s' missing from %s\n",
-                     name, check_path.c_str());
+                     name.c_str(), check_path.c_str());
         ++mismatches;
         continue;
       }
-      std::vector<std::uint64_t> actual = compute_digests(name, world, trace);
-      computed.emplace_back(name, actual);
+      std::vector<std::uint64_t> actual = digests_of(name);
       if (!perturb.empty() && perturb == name && !actual.empty()) {
         actual.front() ^= 1;  // prove the comparator catches drift
       }
@@ -343,7 +353,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "golden_digests: %s slot count drifted (golden %zu, "
                      "recomputed %zu)\n",
-                     name, expected.size(), actual.size());
+                     name.c_str(), expected.size(), actual.size());
         ++mismatches;
         continue;
       }
@@ -353,20 +363,26 @@ int main(int argc, char** argv) {
           std::fprintf(stderr,
                        "golden_digests: %s slot %zu drifted (golden %s, "
                        "recomputed %s)\n",
-                       name, s, format_hex(expected[s]).c_str(),
+                       name.c_str(), s, format_hex(expected[s]).c_str(),
                        format_hex(actual[s]).c_str());
           ++scheme_bad;
         }
       }
       mismatches += scheme_bad;
-      std::printf("golden_digests: %s %zu slot(s) %s\n", name, actual.size(),
-                  scheme_bad == 0 ? "ok" : "DRIFTED");
+      std::printf("golden_digests: %s %zu slot(s) %s\n", name.c_str(),
+                  actual.size(), scheme_bad == 0 ? "ok" : "DRIFTED");
     }
-    mismatches += check_online_identity(computed);
-    for (const char* name : kIntVariants) {
-      computed.emplace_back(name, compute_digests(name, world, trace));
+    mismatches += check_variants(only);
+    // Some --only filters legitimately match only variant contracts (e.g.
+    // shard1, whose promise is plan-equality, not a pinned digest) — error
+    // only when the filter selected nothing at all.
+    if (checked == 0 && variants_checked == 0 && !only.empty()) {
+      std::fprintf(stderr,
+                   "golden_digests: --only=%s matched no pinned scheme or "
+                   "variant contract\n",
+                   only.c_str());
+      return 2;
     }
-    mismatches += check_int_plan_equality(computed);
     if (mismatches != 0) {
       std::fprintf(stderr, "golden_digests: %zu mismatch(es) vs %s\n",
                    mismatches, check_path.c_str());
