@@ -45,6 +45,8 @@ SlotPlan RandomScheme::plan_slot(const SchemeContext& context,
     }
     std::vector<VideoDemand> flat;
     flat.reserve(merged.size());
+    // ccdn-lint: allow(unordered-iteration) -- extract-then-sort: top_k_videos
+    // fully orders flat (count desc, video asc) before any selection
     for (const auto& [video, count] : merged) flat.push_back({video, count});
     plan.placements[h] =
         top_k_videos(flat, context.hotspots[h].cache_capacity);

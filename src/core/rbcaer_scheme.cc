@@ -416,6 +416,15 @@ std::vector<FlowEntry> RbcaerScheme::plan_shard_flows(
 
   ShardedSolveOptions options;
   options.executor = config_.shard_executor;
+  if (context.threaded_executor && options.executor == ShardExecutor::kFork) {
+    // fork() under the clone-ring lanes would duplicate a multithreaded
+    // process: the child can inherit a sibling worker's held allocator or
+    // logger lock with no thread left to release it. The executors are
+    // bit-identical by contract, so only the mechanism changes.
+    options.executor = ShardExecutor::kInProcess;
+    diagnostics_.fork_demotions += 1;
+  }
+  options.threaded_caller = context.threaded_executor;
   options.exchange_radius_km = config_.theta2_km;
   options.exchange_theta1_km = config_.theta1_km;
   options.exchange_theta_step_km = config_.delta_km;

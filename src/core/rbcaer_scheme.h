@@ -164,6 +164,9 @@ class RbcaerScheme final : public RedirectionScheme {
     std::int64_t exchange_moved = 0;  // units committed by the exchange round
     double shard_wall_s = 0.0;        // executor phase (fork -> all collected)
     double exchange_s = 0.0;          // exchange arc build + solve + commit
+    /// Slots where kFork was demoted to kInProcess because plan_slot ran
+    /// inside a multithreaded executor (SchemeContext::threaded_executor).
+    std::size_t fork_demotions = 0;
     std::vector<double> shard_flow_s;  // per shard: child graph_s + mcmf_s
     std::vector<double> shard_rss_mb;  // per shard child peak RSS (kFork)
   };

@@ -88,6 +88,10 @@ ShardedSolveOutcome solve_sharded(std::span<const Hotspot> hotspots,
                "shard assignment does not cover the hotspot set");
   CCDN_REQUIRE(boundary.size() == hotspots.size(),
                "boundary mask does not cover the hotspot set");
+  CCDN_REQUIRE(
+      !(options.threaded_caller && options.executor == ShardExecutor::kFork),
+      "solve_sharded: kFork from a multithreaded executor (fork would "
+      "duplicate held locks); demote to kInProcess first");
   ShardedSolveOutcome outcome;
   outcome.shards.resize(num_shards);
   for (const std::uint8_t b : boundary) outcome.boundary_hotspots += b;

@@ -94,6 +94,14 @@ struct ShardedSolveOptions {
   double exchange_theta_step_km = 0.0;
   McmfStrategy exchange_strategy = McmfStrategy::kSpfa;
   AuditLevel audit_level = AuditLevel::kOff;
+  /// Set by callers whose plan runs inside a multithreaded executor
+  /// (SchemeContext::threaded_executor). solve_sharded REQUIREs that kFork
+  /// is never combined with it: forking a multithreaded process can hand
+  /// the child a sibling thread's held allocator/logger lock with no
+  /// thread left to release it. Schemes demote to kInProcess (bit-identical
+  /// by contract) before calling; the REQUIRE catches any new caller that
+  /// skips the demotion.
+  bool threaded_caller = false;
 };
 
 struct ShardedSolveOutcome {

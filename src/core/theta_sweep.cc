@@ -321,15 +321,21 @@ SweepStep ThetaSweeper::step_gd(double theta_km) {
       res = gd_solver_.augment(net_, map_.source, map_.sink);
       if constexpr (kCheckedBuild) {
         if (audit_level_ >= AuditLevel::kFull) {
-          // The carried potentials must still price every live residual
-          // arc non-negatively after the augment, or the next step's
-          // Dijkstra would settle suboptimal paths. Each domain audits
-          // its own prices — see audit_reduced_costs_int.
+          // The carried potentials must still price every *traversable*
+          // residual arc non-negatively after the augment, or the next
+          // step's Dijkstra would settle suboptimal paths. Traversable,
+          // not stored: a dormant sender's source arc was parked by
+          // focus_out_edges above, its price is stale by design, and the
+          // seeded re-price clamps it again before it re-enters any
+          // adjacency slice. Each domain audits its own prices — see
+          // audit_reduced_costs_int.
           AuditReport report;
           if (integer_costs_) {
-            audit_reduced_costs_int(net_, gd_solver_.ipotentials(), report);
+            audit_reduced_costs_int(net_, gd_solver_.ipotentials(), report,
+                                    ArcWalk::kTraversable);
           } else {
-            audit_reduced_costs(net_, gd_solver_.potentials(), report);
+            audit_reduced_costs(net_, gd_solver_.potentials(), report,
+                                ArcWalk::kTraversable);
           }
           report.require_clean("theta-sweep carried potentials");
         }
@@ -441,9 +447,11 @@ SweepStep ThetaSweeper::step_gc(double theta_km,
       if (audit_level_ >= AuditLevel::kFull) {
         AuditReport report;
         if (integer_costs_) {
-          audit_reduced_costs_int(net_, solver_.ipotentials(), report);
+          audit_reduced_costs_int(net_, solver_.ipotentials(), report,
+                                  ArcWalk::kTraversable);
         } else {
-          audit_reduced_costs(net_, solver_.potentials(), report);
+          audit_reduced_costs(net_, solver_.potentials(), report,
+                              ArcWalk::kTraversable);
         }
         report.require_clean("theta-sweep gc repriced potentials");
       }

@@ -198,6 +198,14 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
           centroids, assignment, rc.theta2_km, region_index);
       ShardedSolveOptions options;
       options.executor = rc.shard_executor;
+      if (context.threaded_executor &&
+          options.executor == ShardExecutor::kFork) {
+        // Same demotion as RbcaerScheme::plan_shard_flows: never fork from
+        // inside a multithreaded executor (bit-identical by contract).
+        options.executor = ShardExecutor::kInProcess;
+        diagnostics_.fork_demotions += 1;
+      }
+      options.threaded_caller = context.threaded_executor;
       options.exchange_radius_km = rc.theta2_km;
       options.exchange_theta1_km = rc.theta1_km;
       options.exchange_theta_step_km = rc.delta_km;
@@ -354,12 +362,16 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
   }
   // Inbound redirects consume receiver capacity.
   for (std::uint32_t h = 0; h < m; ++h) {
+    // ccdn-lint: allow(unordered-iteration) -- commutative integer sums into
+    // serviceable_left; the result is order-independent
     for (const auto& [video, targets] : redirect_map[h]) {
       for (const auto& t : targets) serviceable_left[t.hotspot] -= t.count;
     }
   }
   std::vector<FillEntry> fill;
   for (std::uint32_t h = 0; h < m; ++h) {
+    // ccdn-lint: allow(unordered-iteration) -- extract-then-sort: fill is
+    // fully ordered below with (count, hotspot, video) tie-breaks
     for (const auto& [video, count] : local_left[h]) {
       if (count > 0) fill.push_back({count, h, video});
     }
@@ -381,6 +393,8 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
   std::vector<std::vector<VideoRedirect>> redirects(m);
   for (std::uint32_t h = 0; h < m; ++h) {
     redirects[h].reserve(redirect_map[h].size());
+    // ccdn-lint: allow(unordered-iteration) -- extract-then-sort: redirects[h]
+    // is fully ordered by video id immediately below
     for (auto& [video, targets] : redirect_map[h]) {
       redirects[h].push_back({video, std::move(targets)});
     }

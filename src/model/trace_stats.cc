@@ -30,6 +30,8 @@ TraceStats compute_trace_stats(std::span<const Request> requests) {
 
   std::vector<std::size_t> counts;
   counts.reserve(video_counts.size());
+  // ccdn-lint: allow(unordered-iteration) -- extract-then-sort: counts is
+  // fully sorted descending before the head-mass share is computed
   for (const auto& [_, count] : video_counts) counts.push_back(count);
   std::sort(counts.rbegin(), counts.rend());
   const std::size_t head = std::max<std::size_t>(1, counts.size() / 5);

@@ -30,6 +30,8 @@ RoutedDemand route_with(const GridIndex& index,
   for (std::size_t h = 0; h < index.size(); ++h) {
     auto& videos = routed.videos_per_hotspot[h];
     videos.reserve(seen[h].size());
+    // ccdn-lint: allow(unordered-iteration) -- extract-then-sort: videos is
+    // fully sorted by id before use
     for (const auto& [video, _] : seen[h]) videos.push_back(video);
     std::sort(videos.begin(), videos.end());
   }

@@ -8,7 +8,9 @@
 #include "geo/geo_point.h"
 #include "util/rng.h"
 #include "util/error.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "verify/schedule_audit.h"
 
@@ -260,13 +262,29 @@ SimulationReport Simulator::run(RedirectionScheme& scheme,
       // scratch — candidate-edge buffers, ThetaSweeper scaffolds — is
       // reallocated W times per run instead of once per slot. Lane reuse
       // is race-free because a lane's previous slot has always been
-      // retired (its future consumed) before the lane is resubmitted.
-      std::vector<SchemePtr> clones;
-      clones.reserve(window);
-      clones.push_back(std::move(probe));
-      for (std::size_t i = 1; i < window; ++i) clones.push_back(scheme.clone());
-      std::vector<SlotBatch> lanes(window);
-      std::vector<std::vector<std::uint8_t>> masks(window);
+      // retired (its future consumed) before the lane is resubmitted; the
+      // per-lane mutex makes that ownership handoff checkable (thread-
+      // safety analysis and TSan both see the lock) and is uncontended by
+      // construction, so it costs one atomic per slot.
+      struct Lane {
+        Mutex mu;
+        SchemePtr clone CCDN_GUARDED_BY(mu);
+        SlotBatch batch CCDN_GUARDED_BY(mu);
+        std::vector<std::uint8_t> mask CCDN_GUARDED_BY(mu);
+      };
+      // Schemes running inside the lanes must not fork (see
+      // SchemeContext::threaded_executor).
+      SchemeContext lanes_context = context;
+      lanes_context.threaded_executor = true;
+      std::vector<Lane> lanes(window);
+      {
+        const MutexLock lock(lanes[0].mu);
+        lanes[0].clone = std::move(probe);
+      }
+      for (std::size_t i = 1; i < window; ++i) {
+        const MutexLock lock(lanes[i].mu);
+        lanes[i].clone = scheme.clone();
+      }
       ThreadPool pool(std::min(num_threads, window));
       std::deque<std::future<SlotResult>> inflight;
       std::size_t submitted = 0;
@@ -280,14 +298,16 @@ SimulationReport Simulator::run(RedirectionScheme& scheme,
           }
           CCDN_ENSURE(batch->slot_index == submitted,
                       "slot source emitted slots out of order");
-          const std::size_t lane = submitted % window;
-          lanes[lane] = std::move(*batch);
-          masks[lane] = draw_mask();
-          inflight.push_back(pool.submit([this, &context, &clones, &lanes,
-                                          &masks, lane] {
-            return process_slot(config_, context, hotspots_, index_,
-                                *clones[lane], lanes[lane].requests,
-                                masks[lane]);
+          Lane& lane = lanes[submitted % window];
+          {
+            const MutexLock lock(lane.mu);
+            lane.batch = std::move(*batch);
+            lane.mask = draw_mask();
+          }
+          inflight.push_back(pool.submit([this, &lanes_context, &lane] {
+            const MutexLock lock(lane.mu);
+            return process_slot(config_, lanes_context, hotspots_, index_,
+                                *lane.clone, lane.batch.requests, lane.mask);
           }));
           ++submitted;
         }

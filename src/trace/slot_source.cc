@@ -15,6 +15,7 @@ VectorSlotSource::VectorSlotSource(std::span<const Request> requests,
       ranges_(partition_into_slots(requests, slot_seconds)) {}
 
 std::optional<SlotBatch> VectorSlotSource::next() {
+  const MutexLock lock(mu_);
   if (cursor_ >= ranges_.size()) return std::nullopt;
   const SlotRange& range = ranges_[cursor_];
   SlotBatch batch;
@@ -27,8 +28,9 @@ std::optional<SlotBatch> VectorSlotSource::next() {
 // --- GeneratorSlotSource ---------------------------------------------------
 
 std::optional<SlotBatch> GeneratorSlotSource::next() {
-  const std::size_t index = generator_.next_slot_index();
-  auto requests = generator_.next_slot_batch();
+  const MutexLock lock(mu_);
+  const std::size_t index = generator_->next_slot_index();
+  auto requests = generator_->next_slot_batch();
   if (!requests.has_value()) return std::nullopt;
   SlotBatch batch;
   batch.slot_index = index;
@@ -52,6 +54,7 @@ CsvSlotSource::CsvSlotSource(TraceReader& reader, std::int64_t slot_seconds)
 }
 
 std::optional<SlotBatch> CsvSlotSource::next() {
+  const MutexLock lock(mu_);
   if (!primed_) {
     lookahead_ = reader_->next();
     if (lookahead_.has_value()) {

@@ -29,6 +29,8 @@
 #include "model/types.h"
 #include "trace/generator.h"
 #include "trace/trace_io.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ccdn {
 
@@ -45,6 +47,10 @@ class SlotSource {
   virtual ~SlotSource() = default;
 
   /// Pull the next slot batch, or nullopt when the trace is exhausted.
+  /// Implementations serialize their cursor state internally (each cursor
+  /// is CCDN_GUARDED_BY a per-source mutex), so a call is atomic; the slot
+  /// ORDER across concurrent pullers is still scheduling-dependent, which
+  /// is why the simulator pulls from exactly one thread.
   [[nodiscard]] virtual std::optional<SlotBatch> next() = 0;
 
   /// Window length the source partitions on.
@@ -69,7 +75,8 @@ class VectorSlotSource final : public SlotSource {
   std::span<const Request> requests_;
   std::int64_t slot_seconds_;
   std::vector<SlotRange> ranges_;
-  std::size_t cursor_ = 0;
+  Mutex mu_;
+  std::size_t cursor_ CCDN_GUARDED_BY(mu_) = 0;
 };
 
 /// Synthetic-trace source: wraps a TraceGenerator cursor. The generator
@@ -77,15 +84,18 @@ class VectorSlotSource final : public SlotSource {
 class GeneratorSlotSource final : public SlotSource {
  public:
   explicit GeneratorSlotSource(TraceGenerator& generator)
-      : generator_(generator) {}
+      : generator_(&generator) {}
 
   [[nodiscard]] std::optional<SlotBatch> next() override;
   [[nodiscard]] std::int64_t slot_seconds() const noexcept override {
-    return generator_.slot_seconds();
+    return generator_->slot_seconds();
   }
 
  private:
-  TraceGenerator& generator_;
+  Mutex mu_;
+  /// The generator's windowed cursor is the guarded state: next() advances
+  /// it, so the pointee may only be touched under mu_.
+  TraceGenerator* generator_ CCDN_PT_GUARDED_BY(mu_);
 };
 
 /// Chunked CSV source: groups a TraceReader's rows into slot windows
@@ -104,13 +114,14 @@ class CsvSlotSource final : public SlotSource {
 
  private:
   std::unique_ptr<TraceReader> owned_;
-  TraceReader* reader_;
+  TraceReader* reader_ CCDN_PT_GUARDED_BY(mu_);
   std::int64_t slot_seconds_;
-  std::optional<Request> lookahead_;
-  bool primed_ = false;
-  std::int64_t origin_ = 0;
-  std::int64_t last_timestamp_ = 0;
-  std::size_t next_slot_ = 0;
+  Mutex mu_;
+  std::optional<Request> lookahead_ CCDN_GUARDED_BY(mu_);
+  bool primed_ CCDN_GUARDED_BY(mu_) = false;
+  std::int64_t origin_ CCDN_GUARDED_BY(mu_) = 0;
+  std::int64_t last_timestamp_ CCDN_GUARDED_BY(mu_) = 0;
+  std::size_t next_slot_ CCDN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ccdn

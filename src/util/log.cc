@@ -3,13 +3,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ccdn {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+Mutex g_mutex;
+// The active sink; nullptr means stderr. Guarded so a test swapping the
+// sink cannot race an in-flight log_line's fprintf.
+std::FILE* g_sink CCDN_GUARDED_BY(g_mutex) = nullptr;
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -25,15 +30,25 @@ const char* level_name(LogLevel level) noexcept {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+std::FILE* set_log_sink(std::FILE* sink) {
+  const MutexLock lock(g_mutex);
+  std::FILE* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // ccdn-lint: allow(nondet-clock) -- timestamps are display-only log
+  // prefixes; they never feed a scheduling decision
   const auto now = std::chrono::system_clock::now();
   const auto since_epoch =
       std::chrono::duration_cast<std::chrono::milliseconds>(
           now.time_since_epoch())
           .count();
-  const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
+  const MutexLock lock(g_mutex);
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fprintf(out, "[%lld.%03lld %s] %s\n",
                static_cast<long long>(since_epoch / 1000),
                static_cast<long long>(since_epoch % 1000), level_name(level),
                message.c_str());

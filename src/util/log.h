@@ -4,6 +4,7 @@
 // here so the two streams never mix.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Set the minimum level that is emitted (default: kInfo).
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Redirect log output (default / nullptr: stderr). The sink is guarded by
+/// the same mutex that serializes log_line, so swapping it mid-run cannot
+/// tear a line. Returns the previous sink. Intended for tests.
+std::FILE* set_log_sink(std::FILE* sink);
 
 /// Emit one line (thread-safe).
 void log_line(LogLevel level, const std::string& message);

@@ -1,0 +1,80 @@
+// Annotated mutex primitives (DESIGN.md §3.13).
+//
+// ccdn::Mutex / MutexLock / CondVar are thin std::mutex wrappers carrying
+// the clang thread-safety capability attributes from
+// util/thread_annotations.h. Shared-state owners declare their protected
+// members CCDN_GUARDED_BY(mu_) and the CCDN_THREAD_SAFETY build turns any
+// unguarded access into a compile error; on GCC the wrappers compile to the
+// exact std::lock_guard/std::condition_variable code they replace.
+//
+// CondVar deliberately exposes only the un-predicated wait(): the classic
+// `cv.wait(lock, [this] { return guarded_state(); })` form hides the
+// guarded reads inside a lambda the analysis treats as a separate,
+// lock-free function, so every waiter here is written as an explicit
+// `while (!condition) cv.wait(mu);` loop the analysis can see through.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace ccdn {
+
+class CCDN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CCDN_ACQUIRE() { mu_.lock(); }
+  void unlock() CCDN_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() CCDN_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for the full enclosing scope (the std::lock_guard analogue).
+class CCDN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CCDN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CCDN_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to ccdn::Mutex. wait() requires the caller to
+/// hold the mutex (checked), releases it for the duration of the block, and
+/// reacquires before returning — i.e. the capability is held again when the
+/// caller re-tests its condition.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) CCDN_REQUIRES(mu) {
+    // Adopt the already-held mutex so std::condition_variable can release
+    // and reacquire it; release() afterwards hands ownership back to the
+    // caller's MutexLock without a second unlock.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ccdn

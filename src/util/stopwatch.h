@@ -8,11 +8,15 @@ namespace ccdn {
 
 class Stopwatch {
  public:
+  // ccdn-lint: allow(nondet-clock) -- timing telemetry only (Fig. 8 running
+  // time); elapsed values are reported, never fed into a scheduling decision
   Stopwatch() noexcept : start_(Clock::now()) {}
 
+  // ccdn-lint: allow(nondet-clock) -- timing telemetry only, see ctor
   void reset() noexcept { start_ = Clock::now(); }
 
   [[nodiscard]] double elapsed_seconds() const noexcept {
+    // ccdn-lint: allow(nondet-clock) -- timing telemetry only, see ctor
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
@@ -45,12 +49,16 @@ class ThreadCpuStopwatch {
   [[nodiscard]] static double now() noexcept {
 #if defined(CLOCK_THREAD_CPUTIME_ID)
     std::timespec ts{};
+    // ccdn-lint: allow(nondet-clock) -- per-thread CPU timing telemetry for
+    // the shard-executor cost model; reported, never a scheduling input
     if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
       return static_cast<double>(ts.tv_sec) +
              static_cast<double>(ts.tv_nsec) * 1e-9;
     }
 #endif
     return std::chrono::duration<double>(
+               // ccdn-lint: allow(nondet-clock) -- wall fallback for the
+               // telemetry clock above; same display-only contract
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
   }

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   ready_.notify_all();
@@ -28,7 +28,7 @@ std::size_t ThreadPool::default_threads() noexcept {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   ready_.notify_one();
@@ -38,8 +38,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit wait loop (not the predicate overload) so the guarded
+      // reads of stop_/queue_ stay visible to the thread-safety analysis.
+      while (!stop_ && queue_.empty()) ready_.wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -7,17 +7,18 @@
 // guarded queue is nowhere near the bottleneck.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ccdn {
 
@@ -48,14 +49,14 @@ class ThreadPool {
   }
 
  private:
-  void enqueue(std::function<void()> task);
-  void worker_loop();
+  void enqueue(std::function<void()> task) CCDN_EXCLUDES(mutex_);
+  void worker_loop() CCDN_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ CCDN_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  CondVar ready_;
+  bool stop_ CCDN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ccdn

@@ -1,9 +1,12 @@
 // Flow-side invariant audits: conservation, capacity bounds, reduced-cost
 // validity, and the f_ij-vs-slack contracts of Algorithm 1.
 //
-// These checks walk edge *storage*, not adjacency lists, so they stay
-// correct on networks the θ sweep has compacted (drop_dead_arcs,
+// By default these checks walk edge *storage*, not adjacency lists, so they
+// stay correct on networks the θ sweep has compacted (drop_dead_arcs,
 // focus_out_edges only shrink adjacency; flow() and edge() read storage).
+// The reduced-cost audits additionally take an ArcWalk selector: carried
+// solver potentials are only required to price the arcs a search can
+// actually traverse, so those call sites audit adjacency instead.
 #pragma once
 
 #include <cstdint>
@@ -24,15 +27,29 @@ namespace ccdn {
 void audit_flow_conservation(const FlowNetwork& net, NodeId source,
                              NodeId sink, AuditReport& report);
 
+/// Which arcs a reduced-cost audit prices.
+///
+/// kStore walks raw edge storage, so adjacency compactions (drop_dead_arcs,
+/// drop_terminal_arcs, focus_out_edges) cannot hide an arc — the right
+/// semantics for commit-time checks, where a surviving negative arc means a
+/// stale residual escaped the freeze. kTraversable walks the adjacency
+/// lists instead, pricing exactly the arcs a search can relax — the right
+/// semantics for validating *carried potentials*: an arc the sweep parked
+/// (a dormant sender's source arc after focus_out_edges) keeps a stale
+/// price by design, and cannot mislead Dijkstra precisely because it is in
+/// no adjacency slice; the seeded re-price clamps it again on re-awakening.
+enum class ArcWalk { kStore, kTraversable };
+
 /// Every arc with positive residual capacity must price non-negatively
 /// under `potentials`: cost + pi[from] - pi[to] >= -eps
 /// ("negative-reduced-cost"). Pass an empty span for zero potentials — the
 /// post-freeze_residuals() state, where every live arc is a forward arc
 /// whose raw cost must be non-negative. A potentials span shorter than the
-/// node count is reported as "potentials-missing".
+/// node count is reported as "potentials-missing". `walk` selects the arc
+/// set (see ArcWalk); storage is the default.
 void audit_reduced_costs(const FlowNetwork& net,
                          std::span<const double> potentials,
-                         AuditReport& report);
+                         AuditReport& report, ArcWalk walk = ArcWalk::kStore);
 
 /// Integer-domain twin of audit_reduced_costs for the fixed-point MCMF
 /// engine: every positive-residual arc must satisfy
@@ -43,7 +60,8 @@ void audit_reduced_costs(const FlowNetwork& net,
 /// for zero potentials. Requires net.integer_costs().
 void audit_reduced_costs_int(const FlowNetwork& net,
                              std::span<const std::int64_t> potentials,
-                             AuditReport& report);
+                             AuditReport& report,
+                             ArcWalk walk = ArcWalk::kStore);
 
 /// Optimality certificate for a transient epoch's residual graph *before*
 /// truncate() discards it. A min-cost flow's residual graph admits no

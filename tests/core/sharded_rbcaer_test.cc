@@ -6,6 +6,7 @@
 
 #include "core/rbcaer_scheme.h"
 #include "geo/zone_partition.h"
+#include "util/error.h"
 #include "trace/generator.h"
 #include "trace/world.h"
 #include "verify/shard_audit.h"
@@ -98,6 +99,55 @@ TEST(ShardedRbcaer, DiagnosticsReflectSharding) {
   // A 4-way cut of a 60-hotspot cloud with θ2-radius candidates always
   // leaves someone near a cut.
   EXPECT_GT(diagnostics.boundary_hotspots, 0u);
+}
+
+// Regression: fork() from a threaded caller. The simulator's window
+// executor runs scheme clones inside a ThreadPool; a clone that forked
+// would hand the child copies of whatever locks other pool threads held
+// (allocator, logger) with no thread left to release them. The scheme must
+// demote kFork to kInProcess when the context flags a threaded caller —
+// bit-identically, per the executor-equivalence contract pinned above.
+TEST(ShardedRbcaer, ThreadedCallerDemotesForkToInProcess) {
+  const Fixture fixture;
+  RbcaerConfig config;
+  config.num_shards = 2;
+  config.shard_executor = ShardExecutor::kFork;
+  RbcaerScheme scheme(config);
+  SchemeContext context = fixture.context();
+  const SlotDemand demand(fixture.trace, fixture.index);
+
+  const SlotPlan forked = scheme.plan_slot(context, fixture.trace, demand);
+  EXPECT_EQ(scheme.last_diagnostics().fork_demotions, 0u);
+
+  context.threaded_executor = true;
+  const SlotPlan demoted = scheme.plan_slot(context, fixture.trace, demand);
+  EXPECT_EQ(scheme.last_diagnostics().fork_demotions, 1u);
+  EXPECT_EQ(forked.assignment, demoted.assignment);
+  EXPECT_EQ(forked.placements, demoted.placements);
+}
+
+// Belt and braces under the demotion: the solver itself refuses the
+// combination rather than forking into a deadlock.
+TEST(ShardedRbcaer, SolveShardedRefusesForkFromThreadedCaller) {
+  const std::vector<Hotspot> hotspots(1);
+  const GridIndex index({hotspots[0].location}, 0.5);
+  HotspotPartition partition;
+  partition.phi = {0};
+  ShardAssignment assignment;
+  assignment.num_shards = 1;
+  assignment.shard_of = {0};
+  const std::vector<std::uint8_t> boundary{0};
+  ShardedSolveOptions options;
+  options.executor = ShardExecutor::kFork;
+  options.threaded_caller = true;
+  EXPECT_THROW(
+      solve_sharded(hotspots, index, partition, assignment, boundary, options,
+                    [](std::uint32_t) { return ShardFlowResult{}; }),
+      PreconditionError);
+  options.threaded_caller = false;
+  EXPECT_NO_THROW(
+      solve_sharded(hotspots, index, partition, assignment, boundary, options,
+                    [](std::uint32_t) { return ShardFlowResult{}; }));
 }
 
 TEST(ShardedRbcaer, ShardResultSerializationRoundTrips) {

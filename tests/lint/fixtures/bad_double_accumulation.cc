@@ -1,0 +1,16 @@
+// Fixture: must trip exactly [double-accumulation].
+// The enclosing loop's own unordered-iteration finding is pragma-justified so
+// the fixture isolates the accumulation check.
+#include <cstdint>
+#include <unordered_map>
+
+double total_distance_km(
+    const std::unordered_map<std::uint32_t, double>& per_hotspot) {
+  double sum = 0.0;
+  // ccdn-lint: allow(unordered-iteration) -- fixture isolates the
+  // accumulation check; the loop itself is separately pinned
+  for (const auto& [hotspot, km] : per_hotspot) {
+    sum += km;  // fp addition is not associative: bits depend on hash order
+  }
+  return sum;
+}

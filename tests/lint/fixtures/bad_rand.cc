@@ -1,0 +1,7 @@
+// Fixture: must trip exactly [nondet-random].
+// libc rand() bypasses the seeded splitmix64 in util/rng.h.
+#include <cstdlib>
+
+unsigned pick_replica(unsigned num_replicas) {
+  return static_cast<unsigned>(std::rand()) % num_replicas;
+}

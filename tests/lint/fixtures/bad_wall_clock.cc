@@ -1,0 +1,12 @@
+// Fixture: must trip exactly [nondet-clock].
+// A scheduling decision keyed on the wall clock cannot replay.
+#include <chrono>
+#include <cstdint>
+
+bool in_peak_hours() {
+  const auto now = std::chrono::system_clock::now();
+  const auto since_epoch = now.time_since_epoch();
+  const auto hours =
+      std::chrono::duration_cast<std::chrono::hours>(since_epoch).count();
+  return (hours % 24) >= 18;
+}

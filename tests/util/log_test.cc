@@ -28,6 +28,28 @@ TEST_F(LogTest, LevelRoundTrips) {
   EXPECT_EQ(log_level(), LogLevel::kDebug);
 }
 
+TEST_F(LogTest, SinkRedirectionCapturesOutputAndRestores) {
+  set_log_level(LogLevel::kInfo);
+  std::FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  std::FILE* previous = set_log_sink(capture);
+  EXPECT_EQ(previous, nullptr);  // default sink is stderr (nullptr sentinel)
+  log_line(LogLevel::kInfo, "captured message");
+  log_line(LogLevel::kDebug, "below the level gate");  // must not emit
+  EXPECT_EQ(set_log_sink(nullptr), capture);  // restore, returns ours back
+
+  std::fflush(capture);
+  std::rewind(capture);
+  char buffer[256] = {};
+  ASSERT_NE(std::fgets(buffer, sizeof buffer, capture), nullptr);
+  const std::string line(buffer);
+  EXPECT_NE(line.find("captured message"), std::string::npos);
+  EXPECT_NE(line.find("INFO"), std::string::npos);
+  // Exactly one line: the gated debug message never reached the sink.
+  EXPECT_EQ(std::fgets(buffer, sizeof buffer, capture), nullptr);
+  std::fclose(capture);
+}
+
 TEST_F(LogTest, ConcurrentWritersAndLevelChangesAreSafe) {
   // Suppress actual output; the point is the memory accesses, not stderr.
   set_log_level(LogLevel::kError);

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/balance_graph.h"
 #include "flow/mcmf.h"
 #include "flow/network.h"
@@ -101,6 +104,49 @@ TEST(FlowAuditTest, ValidPotentialsAbsorbResidualCosts) {
   AuditReport report;
   audit_reduced_costs(d.net, potentials, report);
   EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FlowAuditTest, ParkedArcsAreExemptFromTraversableWalk) {
+  // Regression for the warm θ-sweep false positive: the sweep parks a
+  // dormant sender's source arc with focus_out_edges and deliberately lets
+  // its carried price go stale — the arc sits in no adjacency slice, so no
+  // search can relax it, and the seeded re-price clamps it before it
+  // re-enters adjacency. The carried-potentials audit must therefore price
+  // only traversable arcs; the storage walk keeps flagging the parked arc,
+  // which is exactly what commit-time audits want.
+  Diamond d;
+  // s→b (cost 0) prices at -1 under these potentials; everything else >= 0.
+  const std::vector<double> potentials{0.0, 0.0, 1.0, 0.0};
+  const std::vector<EdgeId> focus{d.sa};
+  d.net.focus_out_edges(d.source, focus);
+
+  AuditReport stored;
+  audit_reduced_costs(d.net, potentials, stored, ArcWalk::kStore);
+  EXPECT_TRUE(stored.has("negative-reduced-cost")) << stored.summary();
+
+  AuditReport traversable;
+  audit_reduced_costs(d.net, potentials, traversable, ArcWalk::kTraversable);
+  EXPECT_TRUE(traversable.ok()) << traversable.summary();
+}
+
+TEST(FlowAuditTest, ParkedArcsAreExemptFromTraversableWalkInt) {
+  // Integer-domain twin: the fixed-point carried-potentials audit honors
+  // the same walk selector.
+  Diamond d;
+  d.net.set_cost_quantization(kDefaultCostScale);
+  const std::vector<std::int64_t> potentials{
+      0, 0, static_cast<std::int64_t>(kDefaultCostScale), 0};
+  const std::vector<EdgeId> focus{d.sa};
+  d.net.focus_out_edges(d.source, focus);
+
+  AuditReport stored;
+  audit_reduced_costs_int(d.net, potentials, stored, ArcWalk::kStore);
+  EXPECT_TRUE(stored.has("negative-reduced-cost")) << stored.summary();
+
+  AuditReport traversable;
+  audit_reduced_costs_int(d.net, potentials, traversable,
+                          ArcWalk::kTraversable);
+  EXPECT_TRUE(traversable.ok()) << traversable.summary();
 }
 
 TEST(FlowAuditTest, ShortPotentialSpanIsReported) {
