@@ -7,10 +7,14 @@
 // clustering is O(N²) in hotspots; the virtual variant clusters K regions
 // instead, which is what makes city-scale (5K hotspot) scheduling cheap.
 #include <cstdio>
+#include <limits>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/content_distance.h"
+#include "cluster/simd_kernels.h"
 #include "cluster/topset_bitmap.h"
 #include "core/nearest_scheme.h"
 #include "core/rbcaer_scheme.h"
@@ -35,20 +39,58 @@ struct GcBuildRow {
   std::size_t universe = 0;
   std::size_t threads = 0;
   double scalar_s = 0.0;           // seed path: serial sorted-merge
-  double bitmap_s = 0.0;           // TopsetBitmap kernel, serial
-  double bitmap_parallel_s = 0.0;  // TopsetBitmap, row-striped on the pool
-  bool identical = false;          // all three matrices bitwise equal
+  double pairwise_s = 0.0;         // PR 2 kernel: per-pair bitmap jaccard()
+  double bitmap_s = 0.0;           // batched jaccard_row, scalar kernel
+  double avx2_s = -1.0;            // batched jaccard_row, AVX2 (-1: no AVX2)
+  double bitmap_parallel_s = 0.0;  // batched + row-striped on the pool
+  bool identical = false;          // every matrix bitwise equal
 };
 
-/// Part 0 — the PR 2 tentpole measurement: Jd matrix construction with the
-/// scalar sorted-merge kernel (the seed path) vs the word-parallel
-/// TopsetBitmap kernel, serial and row-striped. All three must produce
-/// bitwise-identical condensed matrices.
-std::vector<GcBuildRow> gc_build_table() {
-  std::printf("-- Jd matrix build: scalar vs bitset Jaccard kernel --\n");
-  std::printf("%-10s %10s %12s %12s %14s %10s %10s\n", "hotspots", "universe",
-              "scalar (s)", "bitmap (s)", "parallel (s)", "kernel_x",
-              "total_x");
+/// The PR 2 Jd build, reconstructed from the public API: pack the bitmap
+/// and fill the condensed triangle pair by pair through jaccard(). This is
+/// the baseline the AVX2 batch path is gated against (ISSUE 10 acceptance:
+/// >= 2x at H=2000).
+DistanceMatrix pairwise_bitmap_matrix(
+    std::span<const std::vector<VideoId>> top_sets) {
+  const TopsetBitmap bitmap(top_sets);
+  const std::size_t n = top_sets.size();
+  DistanceMatrix matrix(n);
+  const auto out = matrix.condensed();
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      out[cursor++] = 1.0 - bitmap.jaccard(i, j);
+    }
+  }
+  return matrix;
+}
+
+/// Run `build` `repeats` times, keep the fastest wall time and the last
+/// matrix (all runs produce identical matrices — that is the contract
+/// being measured).
+template <typename Build>
+std::pair<double, DistanceMatrix> time_best(std::size_t repeats,
+                                            const Build& build) {
+  double best = std::numeric_limits<double>::infinity();
+  DistanceMatrix last(0);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    Stopwatch clock;
+    last = build();
+    best = std::min(best, clock.elapsed_seconds());
+  }
+  return {best, std::move(last)};
+}
+
+/// Part 0 — the Jd-build ladder, min-of-`repeats` per cell: the seed
+/// sorted-merge kernel, the PR 2 per-pair bitmap kernel, and the batched
+/// jaccard_row engine (scalar, AVX2 when the host has it, and row-striped
+/// parallel). Every matrix must be bitwise identical.
+std::vector<GcBuildRow> gc_build_table(std::size_t repeats) {
+  const bool avx2 = avx2_kernel_available();
+  std::printf("-- Jd matrix build: kernel ladder (min of %zu) --\n", repeats);
+  std::printf("%-10s %10s %12s %12s %12s %12s %14s %10s\n", "hotspots",
+              "universe", "scalar (s)", "pairwise (s)", "batch (s)",
+              "avx2 (s)", "parallel (s)", "avx2_x");
   std::vector<GcBuildRow> rows;
   ThreadPool pool(ThreadPool::default_threads());
   for (const std::size_t hotspots : {310u, 1000u, 2000u}) {
@@ -66,36 +108,60 @@ std::vector<GcBuildRow> gc_build_table() {
     row.hotspots = hotspots;
     row.pairs = hotspots * (hotspots - 1) / 2;
     row.threads = pool.size();
-    Stopwatch clock;
-    const DistanceMatrix scalar =
-        content_distance_matrix(top_sets, {.use_bitmap = false});
-    row.scalar_s = clock.elapsed_seconds();
-    clock.reset();
-    const DistanceMatrix bitmap =
-        content_distance_matrix(top_sets, {.use_bitmap = true});
-    row.bitmap_s = clock.elapsed_seconds();
-    clock.reset();
-    const DistanceMatrix parallel = content_distance_matrix(
-        top_sets, {.use_bitmap = true, .pool = &pool});
-    row.bitmap_parallel_s = clock.elapsed_seconds();
+    auto [scalar_s, scalar] = time_best(repeats, [&] {
+      return content_distance_matrix(top_sets, {.use_bitmap = false});
+    });
+    row.scalar_s = scalar_s;
+    auto [pairwise_s, pairwise] = time_best(
+        repeats, [&] { return pairwise_bitmap_matrix(top_sets); });
+    row.pairwise_s = pairwise_s;
+    auto [bitmap_s, bitmap] = time_best(repeats, [&] {
+      return content_distance_matrix(
+          top_sets, {.use_bitmap = true, .simd = SimdMode::kScalar});
+    });
+    row.bitmap_s = bitmap_s;
+    DistanceMatrix vectored(0);
+    if (avx2) {
+      auto [avx2_s, matrix] = time_best(repeats, [&] {
+        return content_distance_matrix(
+            top_sets, {.use_bitmap = true, .simd = SimdMode::kAvx2});
+      });
+      row.avx2_s = avx2_s;
+      vectored = std::move(matrix);
+    }
+    auto [parallel_s, parallel] = time_best(repeats, [&] {
+      return content_distance_matrix(top_sets,
+                                     {.use_bitmap = true, .pool = &pool});
+    });
+    row.bitmap_parallel_s = parallel_s;
     {
       const TopsetBitmap probe(top_sets);
       row.universe = probe.universe_size();
     }
     row.identical = true;
     const auto a = scalar.condensed();
-    const auto b = bitmap.condensed();
-    const auto c = parallel.condensed();
-    for (std::size_t s = 0; s < a.size(); ++s) {
-      if (a[s] != b[s] || a[s] != c[s]) {
-        row.identical = false;
-        break;
+    for (const DistanceMatrix* m : {&pairwise, &bitmap, &parallel}) {
+      const auto b = m->condensed();
+      for (std::size_t s = 0; s < a.size(); ++s) {
+        if (a[s] != b[s]) row.identical = false;
       }
     }
-    std::printf("%-10zu %10zu %12.3f %12.3f %14.3f %9.1fx %9.1fx%s\n",
-                row.hotspots, row.universe, row.scalar_s, row.bitmap_s,
-                row.bitmap_parallel_s, row.scalar_s / row.bitmap_s,
-                row.scalar_s / row.bitmap_parallel_s,
+    if (avx2) {
+      const auto b = vectored.condensed();
+      for (std::size_t s = 0; s < a.size(); ++s) {
+        if (a[s] != b[s]) row.identical = false;
+      }
+    }
+    char avx2_text[32] = "(n/a)";
+    char speedup_text[32] = "(n/a)";
+    if (avx2) {
+      std::snprintf(avx2_text, sizeof avx2_text, "%.3f", row.avx2_s);
+      std::snprintf(speedup_text, sizeof speedup_text, "%.1fx",
+                    row.pairwise_s / row.avx2_s);
+    }
+    std::printf("%-10zu %10zu %12.3f %12.3f %12.3f %12s %14.3f %10s%s\n",
+                row.hotspots, row.universe, row.scalar_s, row.pairwise_s,
+                row.bitmap_s, avx2_text, row.bitmap_parallel_s, speedup_text,
                 row.identical ? "" : "  (MISMATCH!)");
     rows.push_back(row);
   }
@@ -115,17 +181,25 @@ void write_gc_json(const std::string& path,
                     "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const GcBuildRow& r = rows[i];
+    // The avx2_s field is omitted entirely on hosts without AVX2 so
+    // bench_gate treats it as a missing metric (note), not a regression.
+    char avx2_fields[128] = "";
+    if (r.avx2_s >= 0.0) {
+      std::snprintf(avx2_fields, sizeof avx2_fields,
+                    "\"avx2_s\": %.6f, \"avx2_speedup\": %.2f, ", r.avx2_s,
+                    r.pairwise_s / r.avx2_s);
+    }
     std::fprintf(
         out,
         "    {\"name\": \"jd_matrix/H=%zu\", \"hotspots\": %zu, "
         "\"pairs\": %zu, \"universe\": %zu, \"threads\": %zu, "
-        "\"scalar_s\": %.6f, \"bitmap_s\": %.6f, "
-        "\"bitmap_parallel_s\": %.6f, \"kernel_speedup\": %.2f, "
+        "\"scalar_s\": %.6f, \"pairwise_s\": %.6f, \"bitmap_s\": %.6f, "
+        "%s\"bitmap_parallel_s\": %.6f, \"kernel_speedup\": %.2f, "
         "\"total_speedup\": %.2f, \"identical\": %s}%s\n",
         r.hotspots, r.hotspots, r.pairs, r.universe, r.threads, r.scalar_s,
-        r.bitmap_s, r.bitmap_parallel_s, r.scalar_s / r.bitmap_s,
-        r.scalar_s / r.bitmap_parallel_s, r.identical ? "true" : "false",
-        i + 1 < rows.size() ? "," : "");
+        r.pairwise_s, r.bitmap_s, avx2_fields, r.bitmap_parallel_s,
+        r.scalar_s / r.bitmap_s, r.scalar_s / r.bitmap_parallel_s,
+        r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -210,7 +284,10 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   std::printf("=== hierarchical RBCAer: virtual region-hotspots ===\n\n");
   write_gc_json(flags.get_string("json_out", "BENCH_gc.json"),
-                gc_build_table());
+                gc_build_table(static_cast<std::size_t>(
+                    flags.get_int("repeats", 3))));
+  // --gc_only: just the gated Jd-build ladder (the CI bench job uses it).
+  if (flags.get_bool("gc_only", false)) return 0;
   quality_table();
   scaling_table(static_cast<std::size_t>(
       flags.get_int("max_flat_hotspots", 5000)));

@@ -15,6 +15,7 @@
 
 #include "cluster/content_distance.h"
 #include "cluster/hierarchical.h"
+#include "cluster/simd_kernels.h"
 #include "cluster/topset_bitmap.h"
 #include "core/balance_graph.h"
 #include "core/rbcaer_scheme.h"
@@ -423,6 +424,89 @@ void BM_ContentDistanceBitmap(benchmark::State& state) {
 }
 BENCHMARK(BM_ContentDistanceBitmap)->Arg(310)->Arg(1000)->Arg(2000)
     ->Unit(benchmark::kMillisecond)->ComputeStatistics("min", min_stat);
+
+/// PR 2 per-pair bitmap kernel: one mid-pack anchor against every other
+/// row through jaccard() — the baseline the batched engine is gated
+/// against.
+void BM_JaccardPairwise(benchmark::State& state) {
+  const auto& sets =
+      synthetic_top_sets(static_cast<std::size_t>(state.range(0)));
+  const TopsetBitmap bitmap(sets);
+  const std::size_t anchor = bitmap.num_sets() / 2;
+  std::vector<double> out(bitmap.num_sets());
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < bitmap.num_sets(); ++j) {
+      out[j] = bitmap.jaccard(anchor, j);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_JaccardPairwise)->Arg(310)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond)->ComputeStatistics("min", min_stat);
+
+/// Batched jaccard_row over the same anchor/rows, scalar popcount kernel.
+void BM_JaccardRowScalar(benchmark::State& state) {
+  const auto& sets =
+      synthetic_top_sets(static_cast<std::size_t>(state.range(0)));
+  const TopsetBitmap bitmap(sets);
+  const std::size_t anchor = bitmap.num_sets() / 2;
+  std::vector<double> out(bitmap.num_sets());
+  for (auto _ : state) {
+    bitmap.jaccard_row(anchor, 0, bitmap.num_sets(), out, SimdMode::kScalar);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_JaccardRowScalar)->Arg(310)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond)->ComputeStatistics("min", min_stat);
+
+/// Batched jaccard_row, AVX2 gather/popcount kernel; skips (with an error
+/// mark in the JSON, which bench_gate reports as a missing metric, not a
+/// regression) on hosts without AVX2.
+void BM_JaccardRowAvx2(benchmark::State& state) {
+  if (!avx2_kernel_available()) {
+    state.SkipWithError("AVX2 unavailable on this host");
+    return;
+  }
+  const auto& sets =
+      synthetic_top_sets(static_cast<std::size_t>(state.range(0)));
+  const TopsetBitmap bitmap(sets);
+  const std::size_t anchor = bitmap.num_sets() / 2;
+  std::vector<double> out(bitmap.num_sets());
+  for (auto _ : state) {
+    bitmap.jaccard_row(anchor, 0, bitmap.num_sets(), out, SimdMode::kAvx2);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_JaccardRowAvx2)->Arg(310)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond)->ComputeStatistics("min", min_stat);
+
+/// Batched jaccard_row against a pre-transposed RowTile — the gather-free
+/// kernel the tile-major Jd sweep actually runs. The pack_tile transpose
+/// happens once outside the timed loop, mirroring its amortization across
+/// every anchor of a tile in content_distance_matrix.
+void BM_JaccardRowTileAvx2(benchmark::State& state) {
+  if (!avx2_kernel_available()) {
+    state.SkipWithError("AVX2 unavailable on this host");
+    return;
+  }
+  const auto& sets =
+      synthetic_top_sets(static_cast<std::size_t>(state.range(0)));
+  const TopsetBitmap bitmap(sets);
+  const std::size_t anchor = bitmap.num_sets() / 2;
+  TopsetBitmap::RowTile tile;
+  bitmap.pack_tile(0, bitmap.num_sets(), tile);
+  std::vector<double> out(bitmap.num_sets());
+  for (auto _ : state) {
+    bitmap.jaccard_row(anchor, tile, 0, out, SimdMode::kAvx2);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_JaccardRowTileAvx2)->Arg(310)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond)->ComputeStatistics("min", min_stat);
 
 void BM_TopsetBitmapPack(benchmark::State& state) {
   const auto& sets = synthetic_top_sets(static_cast<std::size_t>(state.range(0)));

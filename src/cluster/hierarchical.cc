@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "cluster/simd_kernels.h"
 #include "util/error.h"
 
 namespace ccdn {
@@ -53,10 +54,20 @@ double merged_distance(Linkage linkage, double d_ak, double d_bk,
 }  // namespace
 
 ClusteringResult hierarchical_cluster(const DistanceMatrix& distances,
-                                      Linkage linkage, double threshold) {
+                                      Linkage linkage, double threshold,
+                                      SimdMode simd) {
   const std::size_t n = distances.size();
   ClusteringResult result;
   if (n == 0) return result;
+
+  // Both argmin scans below batch through a masked min-reduce kernel and
+  // recover the scalar first-index semantics with an equality rescan: the
+  // reduce is an exact IEEE min (order-free, no NaNs by the set()
+  // contract), and the first index attaining that value under == is
+  // exactly the index the strict-< scalar scan keeps. Resolved once so a
+  // forced-unavailable kAvx2 throws up front.
+  const auto masked_min =
+      resolve_simd(simd) ? simd::masked_min_avx2 : simd::masked_min_scalar;
 
   // Working distances over active clusters: one contiguous condensed
   // buffer (seeded by copying the input triangle wholesale) addressed with
@@ -69,7 +80,8 @@ ClusteringResult hierarchical_cluster(const DistanceMatrix& distances,
     return i * n - i * (i + 1) / 2 + (j - i - 1);
   };
 
-  std::vector<bool> active(n, true);
+  // Byte mask (not vector<bool>) so the kernels can read it directly.
+  std::vector<std::uint8_t> active(n, 1);
   std::vector<std::size_t> cluster_size(n, 1);
   // Dendrogram node id currently represented by each active slot.
   std::vector<std::uint32_t> node_id(n);
@@ -80,31 +92,58 @@ ClusteringResult hierarchical_cluster(const DistanceMatrix& distances,
   std::vector<std::size_t> nn(n, 0);
   std::vector<double> nn_dist(n, kInf);
   const auto recompute_nn = [&](std::size_t i) {
-    nn_dist[i] = kInf;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i || !active[j]) continue;
-      const double d = dist[cond(i, j)];
-      if (d < nn_dist[i]) {
-        nn_dist[i] = d;
-        nn[i] = j;
+    // Column part (j < i): condensed entries (j, i) sit at row-varying
+    // strides, so this stays a scalar walk — ascending j, strict <, the
+    // seed semantics.
+    double best = kInf;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (active[j] == 0) continue;
+      const double d = dist[cond(j, i)];
+      if (d < best) {
+        best = d;
+        best_j = j;
       }
     }
+    // Row part (j > i): entries (i, i+1..n-1) are one contiguous condensed
+    // slice — the batch kernel reduces it, the rescan finds the first
+    // active index attaining the min. A row tie against the column best
+    // loses, like it would under the ascending strict-< scan.
+    const std::size_t row_len = n - 1 - i;
+    if (row_len > 0) {
+      const double* row = dist.data() + cond(i, i + 1);
+      const std::uint8_t* mask = active.data() + i + 1;
+      const double row_min = masked_min(row, mask, row_len);
+      if (row_min < best) {
+        for (std::size_t t = 0; t < row_len; ++t) {
+          if (mask[t] != 0 && row[t] == row_min) {
+            best = row[t];
+            best_j = i + 1 + t;
+            break;
+          }
+        }
+      }
+    }
+    nn_dist[i] = best;
+    nn[i] = best_j;
   };
   for (std::size_t i = 0; i < n; ++i) recompute_nn(i);
 
   std::size_t active_count = n;
   std::uint32_t next_node = static_cast<std::uint32_t>(n);
   while (active_count > 1) {
-    // Global closest pair from the caches.
+    // Global closest pair from the caches: same batch reduce + first-index
+    // rescan over the contiguous nn_dist array.
     std::size_t best_i = n;
-    double best = kInf;
+    double best = masked_min(nn_dist.data(), active.data(), n);
     for (std::size_t i = 0; i < n; ++i) {
-      if (active[i] && nn_dist[i] < best) {
-        best = nn_dist[i];
+      if (active[i] != 0 && nn_dist[i] == best) {
         best_i = i;
+        best = nn_dist[i];  // the array element, for exact bit parity
+        break;
       }
     }
-    if (best_i == n || best > threshold) break;
+    if (best_i == n || best == kInf || best > threshold) break;
     const std::size_t a = best_i;
     const std::size_t b = nn[a];
     CCDN_ENSURE(active[a] && active[b] && a != b, "stale nearest neighbour");
@@ -117,7 +156,7 @@ ClusteringResult hierarchical_cluster(const DistanceMatrix& distances,
           merged_distance(linkage, dist[cond(a, k)], dist[cond(b, k)],
                           cluster_size[a], cluster_size[b]);
     }
-    active[b] = false;
+    active[b] = 0;
     cluster_size[a] += cluster_size[b];
     node_id[a] = next_node++;
     --active_count;

@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "util/cpu_features.h"
+
 namespace ccdn {
 
 enum class Linkage { kSingle, kComplete, kAverage };
@@ -61,7 +63,15 @@ struct ClusteringResult {
 /// Cluster items, merging while the linkage distance is <= threshold.
 /// With complete linkage this guarantees every intra-cluster pairwise
 /// distance is <= threshold (the paper's Jd <= 0.5 rule).
+///
+/// `simd` selects the kernel for the two nearest-neighbour argmin scans
+/// (the per-slot recompute over a condensed row and the global
+/// closest-pair sweep): both batch a masked SIMD min-reduce and recover
+/// the scalar first-index tie-break with an equality rescan, so the
+/// result — merges, labels, and every recorded distance — is identical
+/// for every mode (DESIGN.md §3.14).
 [[nodiscard]] ClusteringResult hierarchical_cluster(
-    const DistanceMatrix& distances, Linkage linkage, double threshold);
+    const DistanceMatrix& distances, Linkage linkage, double threshold,
+    SimdMode simd = SimdMode::kAuto);
 
 }  // namespace ccdn

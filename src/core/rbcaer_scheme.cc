@@ -192,9 +192,9 @@ ShardFlowResult solve_shard_instance(const RbcaerConfig& config,
     // forked child must not touch the parent's thread pool anyway.
     const auto top_sets = top_sets_per_hotspot(local, config.top_fraction);
     const DistanceMatrix jd = content_distance_matrix(
-        top_sets, {.use_bitmap = config.bitmap_jaccard});
+        top_sets, {.use_bitmap = config.bitmap_jaccard, .simd = config.simd});
     const ClusteringResult clustering = hierarchical_cluster(
-        jd, config.linkage, config.content_cluster_threshold);
+        jd, config.linkage, config.content_cluster_threshold, config.simd);
     cluster_of = clustering.labels;
     out.num_clusters = clustering.num_clusters;
     out.gc_build_s = stage_clock.elapsed_seconds();
@@ -318,9 +318,10 @@ SlotPlan RbcaerScheme::plan_slot(const SchemeContext& context,
     stage_clock.reset();
     const auto top_sets = top_sets_per_hotspot(demand, config_.top_fraction);
     const DistanceMatrix jd = content_distance_matrix(
-        top_sets, {.use_bitmap = config_.bitmap_jaccard, .pool = jd_pool()});
+        top_sets, {.use_bitmap = config_.bitmap_jaccard, .pool = jd_pool(),
+                   .simd = config_.simd});
     const ClusteringResult clustering = hierarchical_cluster(
-        jd, config_.linkage, config_.content_cluster_threshold);
+        jd, config_.linkage, config_.content_cluster_threshold, config_.simd);
     cluster_of = clustering.labels;
     diagnostics_.num_clusters = clustering.num_clusters;
     stage_timings_.gc_build_s = stage_clock.elapsed_seconds();

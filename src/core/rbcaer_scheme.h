@@ -48,6 +48,13 @@ struct RbcaerConfig {
   /// the scalar sorted-merge oracle. Both are bit-identical; the scalar
   /// path exists for differential testing and as a portability fallback.
   bool bitmap_jaccard = true;
+  /// SIMD dispatch for the Jd batch kernels (the bitmap matrix build's
+  /// jaccard_row tiles and the clustering argmin scans): auto probes the
+  /// CPU at runtime, scalar pins the baseline kernels, avx2 demands the
+  /// vector path and throws where it is unavailable. All modes produce
+  /// bit-identical plans (DESIGN.md §3.14); surfaced as --simd on the
+  /// CLIs.
+  SimdMode simd = SimdMode::kAuto;
   /// Worker threads for the row-striped Jd matrix build. 1 (default) keeps
   /// the build serial — the simulator already fans whole slots out across
   /// threads, so intra-slot parallelism would oversubscribe there. Set to

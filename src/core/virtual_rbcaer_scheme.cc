@@ -26,7 +26,7 @@ namespace {
 /// Complete-linkage geo clustering cut at region_km: every pair inside a
 /// region is closer than the bound.
 std::pair<std::vector<std::uint32_t>, std::size_t> partition_by_clustering(
-    std::span<const Hotspot> hotspots, double region_km) {
+    std::span<const Hotspot> hotspots, double region_km, SimdMode simd) {
   DistanceMatrix distances(hotspots.size());
   for (std::size_t i = 0; i < hotspots.size(); ++i) {
     for (std::size_t j = i + 1; j < hotspots.size(); ++j) {
@@ -35,7 +35,7 @@ std::pair<std::vector<std::uint32_t>, std::size_t> partition_by_clustering(
     }
   }
   ClusteringResult clustering =
-      hierarchical_cluster(distances, Linkage::kComplete, region_km);
+      hierarchical_cluster(distances, Linkage::kComplete, region_km, simd);
   return {std::move(clustering.labels), clustering.num_clusters};
 }
 
@@ -121,7 +121,8 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
   // --- 1. Regions and their members. ---
   const auto [region_of, num_regions] =
       config_.partition == RegionPartition::kGeoCluster
-          ? partition_by_clustering(context.hotspots, config_.region_km)
+          ? partition_by_clustering(context.hotspots, config_.region_km,
+                                    config_.regional.simd)
           : partition_regions(context.hotspots, config_.region_km);
   diagnostics_.num_regions = num_regions;
   std::vector<std::vector<std::uint32_t>> members(num_regions);
@@ -170,9 +171,9 @@ SlotPlan VirtualRbcaerScheme::plan_slot(const SchemeContext& context,
   if (rc.content_aggregation && diagnostics_.region_max_movable > 0) {
     const auto top_sets = top_sets_per_hotspot(regional, rc.top_fraction);
     const DistanceMatrix jd = content_distance_matrix(
-        top_sets, {.use_bitmap = rc.bitmap_jaccard});
+        top_sets, {.use_bitmap = rc.bitmap_jaccard, .simd = rc.simd});
     cluster_of = hierarchical_cluster(jd, rc.linkage,
-                                      rc.content_cluster_threshold)
+                                      rc.content_cluster_threshold, rc.simd)
                      .labels;
   }
 

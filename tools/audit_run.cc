@@ -42,6 +42,7 @@
 #include "trace/slot_source.h"
 #include "trace/trace_io.h"
 #include "trace/world.h"
+#include "util/cpu_features.h"
 #include "util/flags.h"
 #include "util/peak_rss.h"
 #include "verify/schedule_audit.h"
@@ -57,13 +58,14 @@ struct SchemeChoice {
 };
 
 SchemeChoice make_scheme(const std::string& name, bool online,
-                         std::size_t shards) {
+                         std::size_t shards, SimdMode simd) {
   SchemeChoice choice;
   if (name == "rbcaer") {
     RbcaerConfig config;
     config.audit_level = AuditLevel::kFull;
     config.online = online;
     config.num_shards = shards;
+    config.simd = simd;
     choice.scheme = std::make_unique<RbcaerScheme>(config);
     choice.audit_capacity = true;
   } else if (name == "virtual") {
@@ -71,6 +73,7 @@ SchemeChoice make_scheme(const std::string& name, bool online,
     config.regional.audit_level = AuditLevel::kFull;
     config.regional.online = online;
     config.regional.num_shards = shards;
+    config.regional.simd = simd;
     choice.scheme = std::make_unique<VirtualRbcaerScheme>(config);
     choice.audit_capacity = true;
   } else if (name == "nearest") {
@@ -96,7 +99,11 @@ int main(int argc, char** argv) {
   // exchange-boundary audits inside the orchestrator).
   const auto shards =
       static_cast<std::size_t>(flags.get_int("shards", 0));
-  SchemeChoice choice = make_scheme(scheme_name, online, shards);
+  // Jd SIMD kernels (auto | scalar | avx2); plans are bit-identical in
+  // every mode, so the audits see the same numbers regardless.
+  const SimdMode simd =
+      parse_simd_mode(flags.get_string("simd", "auto"));
+  SchemeChoice choice = make_scheme(scheme_name, online, shards, simd);
   if (!choice.scheme) {
     std::fprintf(stderr,
                  "unknown --scheme=%s (rbcaer|virtual|nearest|random)\n",

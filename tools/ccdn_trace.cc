@@ -40,6 +40,7 @@
 #include "trace/slot_source.h"
 #include "trace/trace_io.h"
 #include "trace/world.h"
+#include "util/cpu_features.h"
 #include "util/flags.h"
 #include "util/log.h"
 
@@ -147,10 +148,16 @@ int cmd_simulate(const Flags& flags) {
   // slot's θ-sweep scaffold instead of rebuilding when the partition
   // membership holds. Plans are bit-identical to the rebuild path.
   const bool online = flags.get_bool("online", false);
+  // Jd SIMD kernel selection (auto | scalar | avx2). Any mode yields the
+  // identical plan; the flag exists for pinning and for forcing the vector
+  // path in benchmarks.
+  const SimdMode simd =
+      parse_simd_mode(flags.get_string("simd", "auto"));
   SchemePtr scheme;
   if (scheme_name == "rbcaer") {
     RbcaerConfig config;
     config.online = online;
+    config.simd = simd;
     scheme = std::make_unique<RbcaerScheme>(config);
   } else if (scheme_name == "nearest") {
     scheme = std::make_unique<NearestScheme>();
@@ -159,6 +166,7 @@ int cmd_simulate(const Flags& flags) {
   } else if (scheme_name == "virtual") {
     VirtualRbcaerConfig config;
     config.regional.online = online;
+    config.regional.simd = simd;
     scheme = std::make_unique<VirtualRbcaerScheme>(config);
   } else {
     std::fprintf(stderr,

@@ -41,6 +41,7 @@
 #include "sim/simulator.h"
 #include "trace/generator.h"
 #include "trace/world.h"
+#include "util/cpu_features.h"
 #include "util/flags.h"
 
 namespace {
@@ -102,6 +103,12 @@ const VariantCheck kVariantChecks[] = {
     {"virtual-shard1", "virtual", "shard=1 bit-identity"},
 };
 
+/// Jd SIMD mode for every scheme built by make_scheme, set once from
+/// --simd in main. The digests are pinned against CHANGES in the plans, so
+/// running the whole tool under scalar or avx2 and getting the same
+/// goldens IS the bit-identity check the CI legs rely on.
+SimdMode g_simd = SimdMode::kAuto;
+
 SchemePtr make_scheme(const std::string& name) {
   constexpr std::string_view kOnlineSuffix = "-online";
   constexpr std::string_view kIntSuffix = "-int";
@@ -142,6 +149,7 @@ SchemePtr make_scheme(const std::string& name) {
     config.online = online;
     config.integer_costs = integer;
     config.num_shards = shards;
+    config.simd = g_simd;
     return std::make_unique<RbcaerScheme>(config);
   }
   if (base == "virtual") {
@@ -149,6 +157,7 @@ SchemePtr make_scheme(const std::string& name) {
     config.regional.online = online;
     config.regional.integer_costs = integer;
     config.regional.num_shards = shards;
+    config.regional.simd = g_simd;
     return std::make_unique<VirtualRbcaerScheme>(config);
   }
   return nullptr;
@@ -247,6 +256,7 @@ int main(int argc, char** argv) {
   // needs are computed on demand). Lets CI matrix jobs run e.g.
   // --only=shard without paying for the full scheme set.
   const std::string only = flags.get_string("only", "");
+  g_simd = parse_simd_mode(flags.get_string("simd", "auto"));
   if (check_path.empty() == regen_path.empty()) {
     std::fprintf(stderr,
                  "usage: golden_digests --check=<golden.json> "
